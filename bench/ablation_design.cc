@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ablation of PPA's design choices (DESIGN.md experiment index):
+ *
+ *  1. persist coalescing in the write buffer (Section 4.3) — run with
+ *     the write-combining window disabled;
+ *  2. asynchronous persistence — proxied by the ReplayCache variant,
+ *     whose per-store clwb makes persistence synchronous;
+ *  3. dynamic (PRF-sized) regions — run with a deliberately small PRF
+ *     so regions become compiler-short, isolating the value of long
+ *     regions.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ppa;
+using namespace ppabench;
+
+namespace
+{
+
+FigureReport report(
+    "Ablation: PPA design choices (slowdown vs memory mode)",
+    "Columns isolate the contribution of each mechanism the paper "
+    "builds on.",
+    {"app", "full PPA", "no coalescing", "tiny PRF (80/80)",
+     "sync persist (RC)"});
+
+std::vector<double> full, nocoal, tiny, sync_rc;
+
+void
+runApp(benchmark::State &state, const WorkloadProfile &profile)
+{
+    for (auto _ : state) {
+        ExperimentKnobs knobs = benchKnobs();
+        const RunStats &base =
+            cachedRun(profile, SystemVariant::MemoryMode, knobs);
+
+        const RunStats &ppa =
+            cachedRun(profile, SystemVariant::Ppa, knobs);
+
+        ExperimentKnobs k_nocoal = knobs;
+        k_nocoal.wbCoalesceWindow = 0;
+        const RunStats &ppa_nocoal =
+            cachedRun(profile, SystemVariant::Ppa, k_nocoal);
+
+        ExperimentKnobs k_tiny = knobs;
+        k_tiny.intPrf = 80;
+        k_tiny.fpPrf = 80;
+        const RunStats &ppa_tiny =
+            cachedRun(profile, SystemVariant::Ppa, k_tiny);
+        const RunStats &base_tiny =
+            cachedRun(profile, SystemVariant::MemoryMode, k_tiny);
+
+        const RunStats &rc =
+            cachedRun(profile, SystemVariant::ReplayCache, knobs);
+
+        double s_full = slowdown(ppa, base);
+        double s_nocoal = slowdown(ppa_nocoal, base);
+        double s_tiny = slowdown(ppa_tiny, base_tiny);
+        double s_rc = slowdown(rc, base);
+        state.counters["full"] = s_full;
+        state.counters["no_coalescing"] = s_nocoal;
+        state.counters["tiny_prf"] = s_tiny;
+        state.counters["sync_persist"] = s_rc;
+        full.push_back(s_full);
+        nocoal.push_back(s_nocoal);
+        tiny.push_back(s_tiny);
+        sync_rc.push_back(s_rc);
+        report.addRow({profile.name, TextTable::factor(s_full),
+                       TextTable::factor(s_nocoal),
+                       TextTable::factor(s_tiny),
+                       TextTable::factor(s_rc)});
+    }
+}
+
+struct Register
+{
+    Register()
+    {
+        for (const char *name :
+             {"gcc", "hmmer", "lbm", "rb", "water-ns", "tpcc"}) {
+            const auto &profile = profileByName(name);
+            benchmark::RegisterBenchmark(
+                (std::string("ablation/") + name).c_str(),
+                [&profile](benchmark::State &st) {
+                    runApp(st, profile);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+} registerAll;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    report.addRow({"geomean", TextTable::factor(geomean(full)),
+                   TextTable::factor(geomean(nocoal)),
+                   TextTable::factor(geomean(tiny)),
+                   TextTable::factor(geomean(sync_rc))});
+    report.print();
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure benchmark binaries.
+ *
+ * Every binary in bench/ regenerates one table or figure of the
+ * paper's evaluation. Each registers its simulation points as
+ * google-benchmark cases (one iteration each — these are whole-program
+ * simulations, not microbenchmarks), records the paper's metric in the
+ * benchmark counters, and prints the figure's rows as an aligned table
+ * at exit.
+ */
+
+#ifndef PPA_BENCH_BENCH_COMMON_HH
+#define PPA_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/experiment.hh"
+#include "workload/profile.hh"
+
+namespace ppabench
+{
+
+/** Default committed-instruction budget per core for bench runs. */
+constexpr std::uint64_t benchInsts = 15000;
+
+/**
+ * Run (and memoize) one workload/variant/knob combination so that,
+ * e.g., a baseline shared by several figure rows runs only once per
+ * binary.
+ */
+inline const ppa::RunStats &
+cachedRun(const ppa::WorkloadProfile &profile, ppa::SystemVariant variant,
+          const ppa::ExperimentKnobs &knobs)
+{
+    using Key = std::tuple<std::string, int, unsigned, unsigned,
+                           unsigned, unsigned, unsigned, int, unsigned,
+                           std::uint64_t, unsigned>;
+    static std::map<Key, ppa::RunStats> cache;
+    Key key{profile.name,
+            static_cast<int>(variant),
+            knobs.threads,
+            knobs.wpqEntries,
+            knobs.intPrf,
+            knobs.fpPrf,
+            knobs.csqEntries,
+            static_cast<int>(knobs.nvmWriteGbps * 100),
+            knobs.l3Cache ? 1u : 0u,
+            knobs.instsPerCore,
+            knobs.wbCoalesceWindow};
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, runWorkload(profile, variant, knobs))
+                 .first;
+    return it->second;
+}
+
+/** Default knobs for bench runs (Table 2 configuration). */
+inline ppa::ExperimentKnobs
+benchKnobs()
+{
+    ppa::ExperimentKnobs knobs;
+    knobs.instsPerCore = benchInsts;
+    return knobs;
+}
+
+/**
+ * Collects the figure's rows and prints them once at the end of the
+ * binary (after google-benchmark's own report).
+ */
+class FigureReport
+{
+  public:
+    FigureReport(std::string title, std::string reference,
+                 std::vector<std::string> headers)
+        : figTitle(std::move(title)), figReference(std::move(reference)),
+          table(std::move(headers))
+    {}
+
+    void addRow(std::vector<std::string> cells)
+    {
+        table.addRow(std::move(cells));
+    }
+
+    void
+    print() const
+    {
+        std::printf("\n=== %s ===\n", figTitle.c_str());
+        std::printf("%s\n\n", figReference.c_str());
+        std::printf("%s\n", table.render().c_str());
+    }
+
+  private:
+    std::string figTitle;
+    std::string figReference;
+    ppa::TextTable table;
+};
+
+/** A short, representative cross-suite app list for sweep figures
+ *  (full-41 sweeps would multiply runtimes by the sweep depth). */
+inline std::vector<std::string>
+sweepApps()
+{
+    return {"gcc",  "hmmer",   "lbm",  "mcf",      "libquantum",
+            "rb",   "tpcc",    "sps",  "water-ns", "ocean",
+            "lulesh", "xsbench"};
+}
+
+/** Standard main: run the registered cases, then print the report. */
+#define PPA_BENCH_MAIN(report_expr)                                     \
+    int main(int argc, char **argv)                                     \
+    {                                                                   \
+        ::benchmark::Initialize(&argc, argv);                           \
+        ::benchmark::RunSpecifiedBenchmarks();                          \
+        ::benchmark::Shutdown();                                        \
+        (report_expr).print();                                          \
+        return 0;                                                       \
+    }
+
+} // namespace ppabench
+
+#endif // PPA_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 1: ReplayCache's slowdown relative to the baseline (original
+ * applications on PMEM's memory mode).
+ *
+ * Paper result: ~5x average slowdown — compiler regions are too short
+ * (~12 instructions) and every store carries a clwb that occupies a
+ * store-queue entry, so pipelines stall at each persist barrier.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ppa;
+using namespace ppabench;
+
+namespace
+{
+
+FigureReport report(
+    "Figure 1: ReplayCache slowdown vs PMEM memory mode (lower is "
+    "better)",
+    "Paper: ~5x average slowdown across the suites.",
+    {"app", "suite", "ReplayCache"});
+
+std::vector<double> slowdowns;
+
+void
+runApp(benchmark::State &state, const WorkloadProfile &profile)
+{
+    ExperimentKnobs knobs = benchKnobs();
+    for (auto _ : state) {
+        const RunStats &base =
+            cachedRun(profile, SystemVariant::MemoryMode, knobs);
+        const RunStats &rc =
+            cachedRun(profile, SystemVariant::ReplayCache, knobs);
+        double s = slowdown(rc, base);
+        state.counters["rc_slowdown"] = s;
+        slowdowns.push_back(s);
+        report.addRow({profile.name, suiteName(profile.suite),
+                       TextTable::factor(s)});
+    }
+}
+
+struct Register
+{
+    Register()
+    {
+        // A representative subset across all suites (Figure 1 is the
+        // motivation sketch; Figure 8 carries the full comparison).
+        for (const auto &name : sweepApps()) {
+            const auto &profile = profileByName(name);
+            benchmark::RegisterBenchmark(
+                ("fig01/" + profile.name).c_str(),
+                [&profile](benchmark::State &st) {
+                    runApp(st, profile);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+} registerAll;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    report.addRow({"geomean", "-", TextTable::factor(geomean(
+                                       slowdowns))});
+    report.print();
+    return 0;
+}

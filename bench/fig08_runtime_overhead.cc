@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 8: run-time overhead of PPA and Capri, normalized to the
+ * baseline (original binaries on PMEM's memory mode), over all 41
+ * applications with a 40-entry CSQ.
+ *
+ * Paper result: PPA averages ~2% overhead while Capri averages ~26%
+ * (its regions are ~11x shorter); rb shows PPA's largest overhead due
+ * to its higher relative write traffic.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ppa;
+using namespace ppabench;
+
+namespace
+{
+
+FigureReport report(
+    "Figure 8: normalized slowdown vs PMEM memory mode (lower is "
+    "better)",
+    "Paper: PPA ~1.02x mean, Capri ~1.26x mean; rb is PPA's worst "
+    "case.",
+    {"app", "suite", "PPA", "Capri"});
+
+std::vector<double> ppaSlowdowns;
+std::vector<double> capriSlowdowns;
+
+void
+runApp(benchmark::State &state, const WorkloadProfile &profile)
+{
+    ExperimentKnobs knobs = benchKnobs();
+    for (auto _ : state) {
+        const RunStats &base =
+            cachedRun(profile, SystemVariant::MemoryMode, knobs);
+        const RunStats &ppa =
+            cachedRun(profile, SystemVariant::Ppa, knobs);
+        const RunStats &capri =
+            cachedRun(profile, SystemVariant::Capri, knobs);
+
+        double s_ppa = slowdown(ppa, base);
+        double s_capri = slowdown(capri, base);
+        state.counters["ppa_slowdown"] = s_ppa;
+        state.counters["capri_slowdown"] = s_capri;
+
+        ppaSlowdowns.push_back(s_ppa);
+        capriSlowdowns.push_back(s_capri);
+        report.addRow({profile.name, suiteName(profile.suite),
+                       TextTable::factor(s_ppa),
+                       TextTable::factor(s_capri)});
+    }
+}
+
+struct Register
+{
+    Register()
+    {
+        for (const auto &profile : allProfiles()) {
+            benchmark::RegisterBenchmark(
+                ("fig08/" + profile.name).c_str(),
+                [&profile](benchmark::State &st) {
+                    runApp(st, profile);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+} registerAll;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    report.addRow({"geomean", "-",
+                   TextTable::factor(geomean(ppaSlowdowns)),
+                   TextTable::factor(geomean(capriSlowdowns))});
+    report.print();
+    return 0;
+}

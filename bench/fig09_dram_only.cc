@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 9: slowdown of PPA and of PMEM's memory mode relative to a
+ * DRAM-only (volatile) system.
+ *
+ * Paper result: PPA and memory mode are 16% and 14% slower than the
+ * DRAM-only system on average; poor-locality apps (lbm 44%, pc 58%)
+ * pay the most because the DRAM cache only lengthens their miss path.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ppa;
+using namespace ppabench;
+
+namespace
+{
+
+FigureReport report(
+    "Figure 9: normalized slowdown vs a DRAM-only volatile system",
+    "Paper: memory mode ~1.14x, PPA ~1.16x mean; lbm/pc worst "
+    "(1.44x/1.58x) due to poor locality.",
+    {"app", "suite", "memory-mode", "PPA"});
+
+std::vector<double> memSlow;
+std::vector<double> ppaSlow;
+
+void
+runApp(benchmark::State &state, const WorkloadProfile &profile)
+{
+    ExperimentKnobs knobs = benchKnobs();
+    for (auto _ : state) {
+        const RunStats &dram =
+            cachedRun(profile, SystemVariant::DramOnly, knobs);
+        const RunStats &mem =
+            cachedRun(profile, SystemVariant::MemoryMode, knobs);
+        const RunStats &ppa =
+            cachedRun(profile, SystemVariant::Ppa, knobs);
+        double s_mem = slowdown(mem, dram);
+        double s_ppa = slowdown(ppa, dram);
+        state.counters["memmode_vs_dram"] = s_mem;
+        state.counters["ppa_vs_dram"] = s_ppa;
+        memSlow.push_back(s_mem);
+        ppaSlow.push_back(s_ppa);
+        report.addRow({profile.name, suiteName(profile.suite),
+                       TextTable::factor(s_mem),
+                       TextTable::factor(s_ppa)});
+    }
+}
+
+struct Register
+{
+    Register()
+    {
+        for (const auto &profile : allProfiles()) {
+            benchmark::RegisterBenchmark(
+                ("fig09/" + profile.name).c_str(),
+                [&profile](benchmark::State &st) {
+                    runApp(st, profile);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+} registerAll;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    report.addRow({"geomean", "-", TextTable::factor(geomean(memSlow)),
+                   TextTable::factor(geomean(ppaSlow))});
+    report.print();
+    return 0;
+}

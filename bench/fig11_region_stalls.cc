@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 11: stall cycles at the end of PPA's regions as a percentage
+ * of execution time.
+ *
+ * Paper result: +0.21% on average thanks to long regions hiding the
+ * store-persistence latency; water-ns/water-sp are the outliers
+ * (6.1%/8.1%) due to shorter regions with more stores.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ppa;
+using namespace ppabench;
+
+namespace
+{
+
+FigureReport report(
+    "Figure 11: region-end stall cycles as a fraction of execution",
+    "Paper: ~0.21% average; water-ns 6.1% and water-sp 8.1% are the "
+    "worst (store-dense, shorter regions).",
+    {"app", "suite", "stall ratio", "regions", "avg stall/region"});
+
+double ratioSum = 0.0;
+unsigned ratioCount = 0;
+
+void
+runApp(benchmark::State &state, const WorkloadProfile &profile)
+{
+    ExperimentKnobs knobs = benchKnobs();
+    for (auto _ : state) {
+        const RunStats &ppa =
+            cachedRun(profile, SystemVariant::Ppa, knobs);
+        double ratio = ppa.boundaryStallRatio();
+        state.counters["stall_ratio"] = ratio;
+        ratioSum += ratio;
+        ++ratioCount;
+        double per_region =
+            ppa.regionCount
+                ? static_cast<double>(ppa.boundaryStallCycles) /
+                      static_cast<double>(ppa.regionCount)
+                : 0.0;
+        report.addRow({profile.name, suiteName(profile.suite),
+                       TextTable::percent(ratio, 2),
+                       std::to_string(ppa.regionCount),
+                       TextTable::num(per_region, 1)});
+    }
+}
+
+struct Register
+{
+    Register()
+    {
+        for (const auto &profile : allProfiles()) {
+            benchmark::RegisterBenchmark(
+                ("fig11/" + profile.name).c_str(),
+                [&profile](benchmark::State &st) {
+                    runApp(st, profile);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+} registerAll;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    report.addRow(
+        {"mean", "-",
+         TextTable::percent(ratioCount ? ratioSum / ratioCount : 0.0,
+                            2),
+         "-", "-"});
+    report.print();
+    return 0;
+}

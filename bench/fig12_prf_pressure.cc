@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 12: increase in rename-stage stall cycles (core out of free
+ * physical registers) caused by PPA, versus the baseline.
+ *
+ * Paper result: +0.07% on average — free registers are plentiful
+ * (Figure 5) and region boundaries reclaim the masked registers
+ * quickly (Figure 11).
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ppa;
+using namespace ppabench;
+
+namespace
+{
+
+FigureReport report(
+    "Figure 12: extra rename stalls (no free phys reg) under PPA",
+    "Paper: +0.07% of cycles on average.",
+    {"app", "suite", "baseline stall", "PPA stall", "increase"});
+
+double increaseSum = 0.0;
+unsigned increaseCount = 0;
+
+void
+runApp(benchmark::State &state, const WorkloadProfile &profile)
+{
+    ExperimentKnobs knobs = benchKnobs();
+    for (auto _ : state) {
+        const RunStats &base =
+            cachedRun(profile, SystemVariant::MemoryMode, knobs);
+        const RunStats &ppa =
+            cachedRun(profile, SystemVariant::Ppa, knobs);
+        double base_ratio = base.renameStallRatio();
+        double ppa_ratio = ppa.renameStallRatio();
+        double inc = ppa_ratio - base_ratio;
+        state.counters["stall_increase"] = inc;
+        increaseSum += inc;
+        ++increaseCount;
+        report.addRow({profile.name, suiteName(profile.suite),
+                       TextTable::percent(base_ratio, 3),
+                       TextTable::percent(ppa_ratio, 3),
+                       TextTable::percent(inc, 3)});
+    }
+}
+
+struct Register
+{
+    Register()
+    {
+        for (const auto &profile : allProfiles()) {
+            benchmark::RegisterBenchmark(
+                ("fig12/" + profile.name).c_str(),
+                [&profile](benchmark::State &st) {
+                    runApp(st, profile);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+} registerAll;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    report.addRow({"mean", "-", "-", "-",
+                   TextTable::percent(increaseCount
+                                          ? increaseSum / increaseCount
+                                          : 0.0,
+                                      3)});
+    report.print();
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 13: average number of stores and other instructions per
+ * dynamically formed PPA region.
+ *
+ * Paper result: ~301 other + ~18 store instructions per region on
+ * average (vs Capri's compiler regions of ~29 instructions); bzip2
+ * and libquantum form smaller regions due to heavy register usage.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ppa;
+using namespace ppabench;
+
+namespace
+{
+
+FigureReport report(
+    "Figure 13: dynamic region size (instructions per region)",
+    "Paper: ~301 others + ~18 stores per region on average; Capri's "
+    "regions are ~29 instructions (~11x shorter).",
+    {"app", "suite", "stores/region", "others/region",
+     "total/region"});
+
+double storeSum = 0.0;
+double otherSum = 0.0;
+unsigned count = 0;
+
+void
+runApp(benchmark::State &state, const WorkloadProfile &profile)
+{
+    ExperimentKnobs knobs = benchKnobs();
+    for (auto _ : state) {
+        const RunStats &ppa =
+            cachedRun(profile, SystemVariant::Ppa, knobs);
+        state.counters["stores_per_region"] = ppa.avgRegionStores;
+        state.counters["others_per_region"] = ppa.avgRegionOthers;
+        storeSum += ppa.avgRegionStores;
+        otherSum += ppa.avgRegionOthers;
+        ++count;
+        report.addRow(
+            {profile.name, suiteName(profile.suite),
+             TextTable::num(ppa.avgRegionStores, 1),
+             TextTable::num(ppa.avgRegionOthers, 1),
+             TextTable::num(ppa.avgRegionStores + ppa.avgRegionOthers,
+                            1)});
+    }
+}
+
+struct Register
+{
+    Register()
+    {
+        for (const auto &profile : allProfiles()) {
+            benchmark::RegisterBenchmark(
+                ("fig13/" + profile.name).c_str(),
+                [&profile](benchmark::State &st) {
+                    runApp(st, profile);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+} registerAll;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    if (count) {
+        report.addRow({"mean", "-",
+                       TextTable::num(storeSum / count, 1),
+                       TextTable::num(otherSum / count, 1),
+                       TextTable::num((storeSum + otherSum) / count,
+                                      1)});
+    }
+    report.addRow({"(Capri compiler regions)", "-", "-", "-", "29"});
+    report.print();
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 15: sensitivity to the NVM write pending queue (WPQ) size,
+ * swept from 8 to 24 entries on the memory-intensive and
+ * multi-threaded applications.
+ *
+ * Paper result: even with an 8-entry WPQ the mean overhead stays ~8%;
+ * rb and water-ns/sp are the sensitive cases (low baseline write
+ * traffic means PPA's store writebacks dominate the WPQ), and the
+ * default 16 entries absorbs the pressure.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ppa;
+using namespace ppabench;
+
+namespace
+{
+
+FigureReport report(
+    "Figure 15: PPA slowdown vs WPQ size (8 / 16 / 24 entries)",
+    "Paper: WPQ-8 ~1.08x mean; rb/water-ns/water-sp most sensitive; "
+    "WPQ-16 (default) absorbs the traffic.",
+    {"app", "WPQ-8", "WPQ-16", "WPQ-24"});
+
+std::vector<double> s8, s16, s24;
+
+void
+runApp(benchmark::State &state, const WorkloadProfile &profile)
+{
+    for (auto _ : state) {
+        std::vector<std::string> row{profile.name};
+        for (unsigned wpq : {8u, 16u, 24u}) {
+            ExperimentKnobs knobs = benchKnobs();
+            knobs.wpqEntries = wpq;
+            const RunStats &base =
+                cachedRun(profile, SystemVariant::MemoryMode, knobs);
+            const RunStats &ppa =
+                cachedRun(profile, SystemVariant::Ppa, knobs);
+            double s = slowdown(ppa, base);
+            state.counters["wpq" + std::to_string(wpq)] = s;
+            row.push_back(TextTable::factor(s));
+            (wpq == 8 ? s8 : wpq == 16 ? s16 : s24).push_back(s);
+        }
+        report.addRow(std::move(row));
+    }
+}
+
+struct Register
+{
+    Register()
+    {
+        for (const auto &name : sweepApps()) {
+            const auto &profile = profileByName(name);
+            benchmark::RegisterBenchmark(
+                ("fig15/" + profile.name).c_str(),
+                [&profile](benchmark::State &st) {
+                    runApp(st, profile);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+} registerAll;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    report.addRow({"geomean", TextTable::factor(geomean(s8)),
+                   TextTable::factor(geomean(s16)),
+                   TextTable::factor(geomean(s24))});
+    report.print();
+    return 0;
+}

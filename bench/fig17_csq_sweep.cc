@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 17: sensitivity to the committed store queue (CSQ) size,
+ * swept from 10 to 50 entries.
+ *
+ * Paper result: minimal impact — regions average only ~18 stores, so
+ * a 40-entry CSQ rarely overflows; the default is set to 40 to make
+ * CSQ-full implicit boundaries rare.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ppa;
+using namespace ppabench;
+
+namespace
+{
+
+constexpr unsigned sizes[] = {10, 20, 30, 40, 50};
+
+FigureReport report(
+    "Figure 17: PPA slowdown vs CSQ size (10..50 entries)",
+    "Paper: minimal impact; 40 entries (default) make CSQ overflow "
+    "rare.",
+    {"app", "CSQ-10", "CSQ-20", "CSQ-30", "CSQ-40 (default)",
+     "CSQ-50"});
+
+std::vector<double> slow[5];
+
+void
+runApp(benchmark::State &state, const WorkloadProfile &profile)
+{
+    for (auto _ : state) {
+        std::vector<std::string> row{profile.name};
+        for (std::size_t i = 0; i < 5; ++i) {
+            ExperimentKnobs knobs = benchKnobs();
+            knobs.csqEntries = sizes[i];
+            const RunStats &base =
+                cachedRun(profile, SystemVariant::MemoryMode, knobs);
+            const RunStats &ppa =
+                cachedRun(profile, SystemVariant::Ppa, knobs);
+            double s = slowdown(ppa, base);
+            state.counters["csq" + std::to_string(sizes[i])] = s;
+            row.push_back(TextTable::factor(s));
+            slow[i].push_back(s);
+        }
+        report.addRow(std::move(row));
+    }
+}
+
+struct Register
+{
+    Register()
+    {
+        for (const auto &name : sweepApps()) {
+            const auto &profile = profileByName(name);
+            benchmark::RegisterBenchmark(
+                ("fig17/" + profile.name).c_str(),
+                [&profile](benchmark::State &st) {
+                    runApp(st, profile);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+} registerAll;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    std::vector<std::string> row{"geomean"};
+    for (auto &s : slow)
+        row.push_back(TextTable::factor(geomean(s)));
+    report.addRow(std::move(row));
+    report.print();
+    return 0;
+}

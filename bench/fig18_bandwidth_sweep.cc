@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 18: sensitivity to the PMEM write bandwidth, swept from
+ * 1 GB/s to 6 GB/s.
+ *
+ * Paper result: ~7% mean overhead even at 1 GB/s; at and beyond the
+ * default 2.3 GB/s (the empirical Optane number) the overhead stays
+ * ~2%. water-ns/water-sp/rb are the most bandwidth-sensitive because
+ * their baselines generate little writeback traffic of their own.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ppa;
+using namespace ppabench;
+
+namespace
+{
+
+constexpr double bws[] = {1.0, 2.3, 4.0, 6.0};
+
+FigureReport report(
+    "Figure 18: PPA slowdown vs NVM write bandwidth",
+    "Paper: ~1.07x at 1 GB/s, ~1.02x at >= 2.3 GB/s (default); "
+    "rb/water most sensitive.",
+    {"app", "1 GB/s", "2.3 GB/s (default)", "4 GB/s", "6 GB/s"});
+
+std::vector<double> slow[4];
+
+void
+runApp(benchmark::State &state, const WorkloadProfile &profile)
+{
+    for (auto _ : state) {
+        std::vector<std::string> row{profile.name};
+        for (std::size_t i = 0; i < 4; ++i) {
+            ExperimentKnobs knobs = benchKnobs();
+            knobs.nvmWriteGbps = bws[i];
+            const RunStats &base =
+                cachedRun(profile, SystemVariant::MemoryMode, knobs);
+            const RunStats &ppa =
+                cachedRun(profile, SystemVariant::Ppa, knobs);
+            double s = slowdown(ppa, base);
+            row.push_back(TextTable::factor(s));
+            slow[i].push_back(s);
+        }
+        report.addRow(std::move(row));
+    }
+}
+
+struct Register
+{
+    Register()
+    {
+        for (const auto &name : sweepApps()) {
+            const auto &profile = profileByName(name);
+            benchmark::RegisterBenchmark(
+                ("fig18/" + profile.name).c_str(),
+                [&profile](benchmark::State &st) {
+                    runApp(st, profile);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+} registerAll;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    std::vector<std::string> row{"geomean"};
+    for (auto &s : slow)
+        row.push_back(TextTable::factor(geomean(s)));
+    report.addRow(std::move(row));
+    report.print();
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 19: sensitivity to the thread count for the multi-threaded
+ * applications, swept 8/16/32/64 with the shared L2 and WPQ scaled
+ * proportionally (as the paper does).
+ *
+ * Paper result: PPA maintains 2%-6% mean overhead from 8 to 64
+ * threads; water-ns/water-sp and memcached r20w80 rise slightly with
+ * more threads due to synchronization stalls.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ppa;
+using namespace ppabench;
+
+namespace
+{
+
+constexpr unsigned threadCounts[] = {8, 16, 32, 64};
+
+FigureReport report(
+    "Figure 19: PPA slowdown vs thread count (MT suites)",
+    "Paper: ~1.02x-1.06x mean for 8..64 threads; water-ns/water-sp "
+    "and r20w80 grow slightly with threads.",
+    {"app", "8T", "16T", "32T", "64T"});
+
+std::vector<double> slow[4];
+
+void
+runApp(benchmark::State &state, const WorkloadProfile &profile)
+{
+    for (auto _ : state) {
+        std::vector<std::string> row{profile.name};
+        for (std::size_t i = 0; i < 4; ++i) {
+            ExperimentKnobs knobs = benchKnobs();
+            knobs.threads = threadCounts[i];
+            // Keep total simulated work bounded as threads scale.
+            knobs.instsPerCore = 8000;
+            const RunStats &base =
+                cachedRun(profile, SystemVariant::MemoryMode, knobs);
+            const RunStats &ppa =
+                cachedRun(profile, SystemVariant::Ppa, knobs);
+            double s = slowdown(ppa, base);
+            row.push_back(TextTable::factor(s));
+            slow[i].push_back(s);
+        }
+        report.addRow(std::move(row));
+    }
+}
+
+struct Register
+{
+    Register()
+    {
+        // A representative MT subset (running all 19 MT apps at 64
+        // threads would dominate the whole bench suite's runtime).
+        for (const char *name :
+             {"rb", "tpcc", "r20w80", "water-ns", "ocean", "genome"}) {
+            const auto &profile = profileByName(name);
+            benchmark::RegisterBenchmark(
+                (std::string("fig19/") + name).c_str(),
+                [&profile](benchmark::State &st) {
+                    runApp(st, profile);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+} registerAll;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    std::vector<std::string> row{"geomean"};
+    for (auto &s : slow)
+        row.push_back(TextTable::factor(geomean(s)));
+    report.addRow(std::move(row));
+    report.print();
+    return 0;
+}

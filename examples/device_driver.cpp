@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Example: crash-consistent device I/O through the battery-backed
+ * I/O buffer (paper Section 5).
+ *
+ * A driver drains a persistent work queue to a device doorbell.
+ * Device writes are irrevocable — a packet must leave exactly once —
+ * so they cannot go through the replay path; PPA instead treats any
+ * store to the battery-backed I/O window as persisted at commit.
+ *
+ * The demo cuts power twice mid-stream and then checks:
+ *   1. the device saw every packet exactly once, in order;
+ *   2. the persistent queue state (consumer cursor) matches;
+ *   3. no uncommitted packet ever reached the device.
+ */
+
+#include <cstdio>
+
+#include "isa/builder.hh"
+#include "sim/system.hh"
+
+using namespace ppa;
+
+namespace
+{
+
+constexpr Addr ioBase = 0x7F00'0000; // device doorbell window
+constexpr Addr queueBase = 0x500000; // persistent work queue
+constexpr std::uint64_t packets = 200;
+
+Program
+driverProgram()
+{
+    ProgramBuilder b;
+    // The work queue holds `packets` pre-filled entries.
+    for (std::uint64_t i = 0; i < packets; ++i)
+        b.initMem(queueBase + 64 + i * 8, 0xD000 + i);
+    b.initMem(queueBase, 0); // consumer cursor
+
+    b.movi(0, packets);      // r0: packets remaining
+    b.movi(1, queueBase);    // r1: queue header
+    b.movi(2, queueBase + 64);
+    b.movi(3, ioBase);       // r3: device doorbell
+
+    auto loop = b.label();
+    b.place(loop);
+    b.ld(4, 1, 0);           // cursor
+    b.shli(5, 4, 3);
+    b.add(5, 5, 2);
+    b.ld(6, 5, 0);           // packet payload
+    b.st(6, 3, 0);           // ring the doorbell (irrevocable I/O)
+    b.addi(4, 4, 1);
+    b.st(4, 1, 0);           // advance the persistent cursor
+    b.subi(0, 0, 1);
+    b.brnz(0, loop);
+    b.halt();
+    return b.program();
+}
+
+} // namespace
+
+int
+main()
+{
+    Program prog = driverProgram();
+
+    SystemConfig sc;
+    sc.core.mode = PersistMode::Ppa;
+    sc.mem.ioWindowBase = ioBase;
+    sc.mem.ioWindowBytes = 4096;
+    System system(sc);
+    system.seedMemory(prog.initialMemory());
+    ProgramExecutor source(prog);
+    system.bindSource(0, &source);
+
+    for (Cycle fail : {2'000u, 6'000u}) {
+        system.runUntilCycle(fail);
+        if (system.allDone())
+            break;
+        auto images = system.powerFail();
+        std::printf("power failure at cycle %llu: device had received "
+                    "%llu packets; battery preserves them\n",
+                    static_cast<unsigned long long>(system.cycle()),
+                    static_cast<unsigned long long>(
+                        system.memory().ioBuffer().writeCount()));
+        system.recover(images);
+    }
+    system.run();
+
+    const auto &history = system.memory().ioBuffer().history();
+    bool ok = history.size() == packets;
+    for (std::size_t i = 0; ok && i < history.size(); ++i)
+        ok = history[i].value == 0xD000 + i;
+
+    std::printf("device received %zu packets (expected %llu), "
+                "exactly once and in order: %s\n",
+                history.size(),
+                static_cast<unsigned long long>(packets),
+                ok ? "yes" : "NO");
+    std::printf("persistent consumer cursor: %llu\n",
+                static_cast<unsigned long long>(
+                    system.memory().nvmImage().read(queueBase)));
+    return ok && system.memory().nvmImage().read(queueBase) == packets
+               ? 0
+               : 1;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Example: exploring PPA's dynamic region formation.
+ *
+ * Runs the same workload on PPA cores with different physical
+ * register file and CSQ sizes and reports how the dynamically formed
+ * regions change: their length, their store density, what ended them
+ * (PRF exhaustion vs CSQ overflow vs sync primitives), and how long
+ * the pipeline waited at boundaries. This is the mechanism behind the
+ * paper's Figures 13, 16 and 17 in one interactive tour.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "sim/experiment.hh"
+
+using namespace ppa;
+
+namespace
+{
+
+struct Config
+{
+    const char *label;
+    unsigned intPrf;
+    unsigned fpPrf;
+    unsigned csq;
+};
+
+} // namespace
+
+int
+main()
+{
+    const WorkloadProfile &profile = profileByName("hmmer");
+    const Config configs[] = {
+        {"tiny PRF (48/48), CSQ 40", 48, 48, 40},
+        {"small PRF (80/80), CSQ 40", 80, 80, 40},
+        {"default PRF (180/168), CSQ 40", 180, 168, 40},
+        {"default PRF, tiny CSQ (10)", 180, 168, 10},
+        {"Icelake PRF (280/224), CSQ 40", 280, 224, 40},
+    };
+
+    std::printf("dynamic region formation for '%s' (%s)\n\n",
+                profile.name.c_str(), suiteName(profile.suite));
+
+    TextTable table({"configuration", "regions", "insts/region",
+                     "stores/region", "boundary stalls", "slowdown"});
+
+    ExperimentKnobs base_knobs;
+    base_knobs.instsPerCore = 20000;
+
+    for (const Config &c : configs) {
+        ExperimentKnobs knobs = base_knobs;
+        knobs.intPrf = c.intPrf;
+        knobs.fpPrf = c.fpPrf;
+        knobs.csqEntries = c.csq;
+        // Fair comparison: the baseline uses the same PRF size (a
+        // smaller PRF slows the non-persistent core too).
+        RunStats baseline =
+            runWorkload(profile, SystemVariant::MemoryMode, knobs);
+        RunStats rs = runWorkload(profile, SystemVariant::Ppa, knobs);
+        double insts_per_region =
+            rs.avgRegionStores + rs.avgRegionOthers;
+        table.addRow({c.label, std::to_string(rs.regionCount),
+                      TextTable::num(insts_per_region, 1),
+                      TextTable::num(rs.avgRegionStores, 1),
+                      std::to_string(rs.boundaryStallCycles),
+                      TextTable::factor(slowdown(rs, baseline))});
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Reading the table: a larger PRF lets PPA defer register\n"
+        "reclamation longer, forming longer regions (Figure 16); a\n"
+        "tiny CSQ forces implicit boundaries every few stores\n"
+        "(Figure 17); boundary stalls stay small because each\n"
+        "region's stores persist asynchronously while it executes\n"
+        "(Figures 11 and 13).\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+#include "baselines/replaycache.hh"
+
+namespace ppa
+{
+
+ReplayCacheTransform::ReplayCacheTransform(DynInstSource &inner,
+                                           const ReplayCacheParams &p)
+    : src(inner), cfg(p)
+{
+}
+
+bool
+ReplayCacheTransform::next(DynInst &out)
+{
+    if (!pending.empty()) {
+        out = pending.front();
+        pending.pop_front();
+        return true;
+    }
+
+    DynInst inst;
+    if (!src.next(inst))
+        return false;
+    out = inst;
+
+    if (inst.isStore()) {
+        // The compiler writes every store back immediately.
+        DynInst clwb;
+        clwb.index = inst.index;
+        clwb.op = Opcode::Clwb;
+        clwb.memAddr = inst.memAddr;
+        pending.push_back(clwb);
+        ++clwbCount;
+    }
+
+    ++instsInRegion;
+    if (instsInRegion >= cfg.regionInsts || inst.isSync()) {
+        // Persist barrier at the compiler region boundary.
+        if (!inst.isSync()) {
+            DynInst fence;
+            fence.index = inst.index;
+            fence.op = Opcode::Fence;
+            pending.push_back(fence);
+            ++fenceCount;
+        }
+        instsInRegion = 0;
+    }
+    return true;
+}
+
+void
+ReplayCacheTransform::seekTo(std::uint64_t index)
+{
+    pending.clear();
+    instsInRegion = 0;
+    src.seekTo(index);
+}
+
+} // namespace ppa

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * ReplayCache-style WSP baseline (paper Sections 2.4 and 7.1).
+ *
+ * ReplayCache [Zeng et al., MICRO'21] enforces store integrity with a
+ * compiler: a special register allocator keeps store operands live
+ * within short compiler-formed regions (~12 instructions on average —
+ * limited by architectural register scarcity, function calls/loops,
+ * and EHS energy constraints), inserts a clwb after every store (which
+ * occupies a store queue entry), and a persist barrier at every region
+ * end that stalls the pipeline until all the region's writebacks are
+ * acknowledged.
+ *
+ * We reproduce this as a committed-stream transformation: each store
+ * is followed by a clwb to its line, and a fence terminates each
+ * region. The core's PersistMode::ReplayCache makes the fence wait on
+ * outstanding clwb acknowledgments, reproducing the two slowdown
+ * mechanisms the paper identifies (doubled store-queue pressure and
+ * frequent synchronous barriers).
+ */
+
+#ifndef PPA_BASELINES_REPLAYCACHE_HH
+#define PPA_BASELINES_REPLAYCACHE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "isa/source.hh"
+
+namespace ppa
+{
+
+/** Parameters of the modeled ReplayCache compiler. */
+struct ReplayCacheParams
+{
+    /**
+     * Average region length in original instructions. The paper
+     * reports ~12 for the EHS-tuned compiler; with energy-aware
+     * splitting disabled (as the paper's comparison does) regions
+     * remain architectural-register-bound.
+     */
+    unsigned regionInsts = 12;
+};
+
+/**
+ * Wraps an instruction source, inserting clwb after each store and a
+ * fence (persist barrier) at each compiler region boundary.
+ *
+ * Injected instructions reuse the index of the preceding original
+ * instruction so that LCPC-style bookkeeping remains monotonic; the
+ * transformation is only used for performance comparison, never for
+ * recovery.
+ */
+class ReplayCacheTransform : public DynInstSource
+{
+  public:
+    ReplayCacheTransform(DynInstSource &inner,
+                         const ReplayCacheParams &params);
+
+    bool next(DynInst &out) override;
+    void seekTo(std::uint64_t index) override;
+
+    /** Number of clwb instructions injected so far. */
+    std::uint64_t injectedClwbs() const { return clwbCount; }
+    /** Number of barrier fences injected so far. */
+    std::uint64_t injectedFences() const { return fenceCount; }
+
+  private:
+    DynInstSource &src;
+    ReplayCacheParams cfg;
+
+    /** Pending injected instructions to emit before the next pull. */
+    std::deque<DynInst> pending;
+    unsigned instsInRegion = 0;
+    std::uint64_t clwbCount = 0;
+    std::uint64_t fenceCount = 0;
+};
+
+} // namespace ppa
+
+#endif // PPA_BASELINES_REPLAYCACHE_HH

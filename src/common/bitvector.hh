@@ -1,0 +1,133 @@
+/**
+ * @file
+ * A fixed-size dynamic bit vector.
+ *
+ * Used by PPA's MaskReg (one bit per physical register) and by cache
+ * dirty/valid bookkeeping. Unlike std::vector<bool> it exposes popcount,
+ * find-first-set iteration, and bulk clear, which the hardware-model code
+ * relies on.
+ */
+
+#ifndef PPA_COMMON_BITVECTOR_HH
+#define PPA_COMMON_BITVECTOR_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace ppa
+{
+
+/**
+ * A bit vector of run-time-chosen but thereafter fixed size.
+ */
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    /** Construct a vector of @p nbits bits, all clear. */
+    explicit BitVector(std::size_t nbits)
+        : numBits(nbits), words((nbits + 63) / 64, 0)
+    {}
+
+    /** Number of bits in the vector. */
+    std::size_t size() const { return numBits; }
+
+    /** Set bit @p idx. */
+    void
+    set(std::size_t idx)
+    {
+        PPA_ASSERT(idx < numBits, "bit index ", idx, " out of range");
+        words[idx >> 6] |= (std::uint64_t{1} << (idx & 63));
+    }
+
+    /** Clear bit @p idx. */
+    void
+    reset(std::size_t idx)
+    {
+        PPA_ASSERT(idx < numBits, "bit index ", idx, " out of range");
+        words[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+    }
+
+    /** Test bit @p idx. */
+    bool
+    test(std::size_t idx) const
+    {
+        PPA_ASSERT(idx < numBits, "bit index ", idx, " out of range");
+        return (words[idx >> 6] >> (idx & 63)) & 1;
+    }
+
+    /** Clear every bit. */
+    void
+    clearAll()
+    {
+        for (auto &w : words)
+            w = 0;
+    }
+
+    /** Number of set bits. */
+    std::size_t
+    count() const
+    {
+        std::size_t n = 0;
+        for (auto w : words)
+            n += static_cast<std::size_t>(std::popcount(w));
+        return n;
+    }
+
+    /** True when no bit is set. */
+    bool
+    none() const
+    {
+        for (auto w : words) {
+            if (w)
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * Invoke @p fn with the index of each set bit, in ascending order.
+     */
+    template <typename Fn>
+    void
+    forEachSet(Fn &&fn) const
+    {
+        for (std::size_t wi = 0; wi < words.size(); ++wi) {
+            std::uint64_t w = words[wi];
+            while (w) {
+                int bit = std::countr_zero(w);
+                fn((wi << 6) + static_cast<std::size_t>(bit));
+                w &= w - 1;
+            }
+        }
+    }
+
+    /** Size in bytes of the raw storage (for checkpoint sizing). */
+    std::size_t storageBytes() const { return words.size() * 8; }
+
+    /** Raw word access for checkpoint serialization. */
+    const std::vector<std::uint64_t> &raw() const { return words; }
+
+    /** Restore from raw words (sizes must match). */
+    void
+    restoreRaw(const std::vector<std::uint64_t> &w)
+    {
+        PPA_ASSERT(w.size() == words.size(), "bit vector size mismatch");
+        words = w;
+    }
+
+    bool operator==(const BitVector &other) const = default;
+
+  private:
+    std::size_t numBits = 0;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace ppa
+
+#endif // PPA_COMMON_BITVECTOR_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic() flags internal simulator bugs (aborts); fatal() flags user
+ * configuration errors (clean exit); warn()/inform() report conditions
+ * that do not stop simulation.
+ */
+
+#ifndef PPA_COMMON_LOGGING_HH
+#define PPA_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ppa
+{
+
+namespace detail
+{
+
+/** Stream-compose a message from variadic parts. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and abort.
+ * Use only for conditions that indicate the simulator itself is broken.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::fprintf(stderr, "panic: %s\n",
+                 detail::composeMessage(std::forward<Args>(args)...).c_str());
+    std::abort();
+}
+
+/**
+ * Report an unrecoverable user error (bad configuration, bad input)
+ * and exit with an error code.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::fprintf(stderr, "fatal: %s\n",
+                 detail::composeMessage(std::forward<Args>(args)...).c_str());
+    std::exit(1);
+}
+
+/** Report a suspicious but non-fatal condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::composeMessage(std::forward<Args>(args)...).c_str());
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::fprintf(stdout, "info: %s\n",
+                 detail::composeMessage(std::forward<Args>(args)...).c_str());
+}
+
+/** Assert a simulator invariant; panics with a message when violated. */
+#define PPA_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::ppa::panic("assertion '", #cond, "' failed at ", __FILE__,    \
+                         ":", __LINE__, ": ",                               \
+                         ::ppa::detail::composeMessage(__VA_ARGS__));       \
+        }                                                                   \
+    } while (0)
+
+} // namespace ppa
+
+#endif // PPA_COMMON_LOGGING_HH

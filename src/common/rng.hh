@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All workload generators and failure injectors draw from this
+ * splitmix64/xoshiro256** generator so that every experiment is exactly
+ * reproducible from its seed, independent of the standard library.
+ */
+
+#ifndef PPA_COMMON_RNG_HH
+#define PPA_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace ppa
+{
+
+/**
+ * xoshiro256** seeded through splitmix64; deterministic across platforms.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // Expand the seed with splitmix64 so that nearby seeds give
+        // uncorrelated streams.
+        std::uint64_t x = seed;
+        for (auto &si : s) {
+            x += 0x9E3779B97F4A7C15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            si = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        PPA_ASSERT(bound > 0, "Rng::below requires a positive bound");
+        // Lemire's multiply-shift rejection-free approximation is fine
+        // here; slight bias is irrelevant for workload synthesis.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        PPA_ASSERT(lo <= hi, "Rng::range requires lo <= hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Approximately geometric draw with mean @p mean (>= 1);
+     * used for run lengths in workload synthesis.
+     */
+    std::uint64_t
+    geometric(double mean)
+    {
+        if (mean <= 1.0)
+            return 1;
+        double p = 1.0 / mean;
+        std::uint64_t n = 1;
+        while (!chance(p) && n < 100000)
+            ++n;
+        return n;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4];
+};
+
+} // namespace ppa
+
+#endif // PPA_COMMON_RNG_HH

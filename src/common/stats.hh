@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Lightweight statistics primitives.
+ *
+ * Counters, scalar averages, histograms, and per-cycle CDF samplers in
+ * the spirit of gem5's stats package, but with just the features the
+ * PPA evaluation needs (notably the free-register CDFs of Figure 5).
+ */
+
+#ifndef PPA_COMMON_STATS_HH
+#define PPA_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace ppa
+{
+namespace stats
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { val += n; }
+    std::uint64_t value() const { return val; }
+    void reset() { val = 0; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/** Running mean / min / max of a scalar sample stream. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++n;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    std::uint64_t count() const { return n; }
+
+    void
+    reset()
+    {
+        sum = 0.0;
+        n = 0;
+        lo = 1e300;
+        hi = -1e300;
+    }
+
+  private:
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    double lo = 1e300;
+    double hi = -1e300;
+};
+
+/**
+ * An integer-valued histogram with unit-width bins over [0, maxValue].
+ *
+ * sample() clamps to the top bin; cdf() and percentile() summarize the
+ * distribution. This is how Figure 5's free-register CDFs are collected:
+ * the rename stage samples the free-list occupancy every cycle.
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /** Construct with bins covering [0, max_value]. */
+    explicit Histogram(std::size_t max_value) : bins(max_value + 1, 0) {}
+
+    /** Record one observation of @p v (clamped to the top bin). */
+    void
+    sample(std::size_t v)
+    {
+        PPA_ASSERT(!bins.empty(), "histogram not sized");
+        if (v >= bins.size())
+            v = bins.size() - 1;
+        ++bins[v];
+        ++total;
+    }
+
+    std::uint64_t count() const { return total; }
+    std::size_t maxValue() const { return bins.empty() ? 0 : bins.size() - 1; }
+
+    /** Fraction of samples <= @p v. */
+    double
+    cdf(std::size_t v) const
+    {
+        if (total == 0)
+            return 0.0;
+        if (v >= bins.size())
+            v = bins.size() - 1;
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i <= v; ++i)
+            acc += bins[i];
+        return static_cast<double>(acc) / static_cast<double>(total);
+    }
+
+    /** Smallest value whose CDF is >= @p frac (frac in [0,1]). */
+    std::size_t
+    percentile(double frac) const
+    {
+        if (total == 0)
+            return 0;
+        std::uint64_t target =
+            static_cast<std::uint64_t>(frac * static_cast<double>(total));
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < bins.size(); ++i) {
+            acc += bins[i];
+            if (acc >= target)
+                return i;
+        }
+        return bins.size() - 1;
+    }
+
+    /** Mean of the observed values. */
+    double
+    mean() const
+    {
+        if (total == 0)
+            return 0.0;
+        double s = 0.0;
+        for (std::size_t i = 0; i < bins.size(); ++i)
+            s += static_cast<double>(i) * static_cast<double>(bins[i]);
+        return s / static_cast<double>(total);
+    }
+
+    /** Full CDF as (value, fraction<=value) pairs for plotting. */
+    std::vector<std::pair<std::size_t, double>>
+    cdfSeries() const
+    {
+        std::vector<std::pair<std::size_t, double>> out;
+        if (total == 0)
+            return out;
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < bins.size(); ++i) {
+            acc += bins[i];
+            out.emplace_back(
+                i, static_cast<double>(acc) / static_cast<double>(total));
+        }
+        return out;
+    }
+
+    void
+    merge(const Histogram &other)
+    {
+        PPA_ASSERT(bins.size() == other.bins.size(),
+                   "histogram size mismatch in merge");
+        for (std::size_t i = 0; i < bins.size(); ++i)
+            bins[i] += other.bins[i];
+        total += other.total;
+    }
+
+  private:
+    std::vector<std::uint64_t> bins;
+    std::uint64_t total = 0;
+};
+
+/**
+ * A named bag of counters and averages so that pipeline components can
+ * register and dump statistics uniformly.
+ */
+class Group
+{
+  public:
+    Counter &counter(const std::string &name) { return counters[name]; }
+    Average &average(const std::string &name) { return averages[name]; }
+
+    std::uint64_t
+    counterValue(const std::string &name) const
+    {
+        auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second.value();
+    }
+
+    double
+    averageValue(const std::string &name) const
+    {
+        auto it = averages.find(name);
+        return it == averages.end() ? 0.0 : it->second.mean();
+    }
+
+    const std::map<std::string, Counter> &allCounters() const
+    {
+        return counters;
+    }
+    const std::map<std::string, Average> &allAverages() const
+    {
+        return averages;
+    }
+
+  private:
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Average> averages;
+};
+
+} // namespace stats
+} // namespace ppa
+
+#endif // PPA_COMMON_STATS_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ *
+ * The conventions mirror those of classic architecture simulators:
+ * a Cycle counts core clock cycles, an Addr is a byte address in the
+ * simulated physical address space, and register indices are small
+ * integers with an explicit "invalid" sentinel.
+ */
+
+#ifndef PPA_COMMON_TYPES_HH
+#define PPA_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ppa
+{
+
+/** Core clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Simulated physical byte address. */
+using Addr = std::uint64_t;
+
+/** 64-bit data value carried by registers and memory words. */
+using Word = std::uint64_t;
+
+/** Architectural register index. */
+using ArchReg = std::int16_t;
+
+/** Physical register index into the unified PRF. */
+using PhysReg = std::int32_t;
+
+/** Sequence number assigned to each dynamic instruction, in program order. */
+using SeqNum = std::uint64_t;
+
+/** Sentinel used where a register index is absent. */
+constexpr ArchReg invalidArchReg = -1;
+
+/** Sentinel used where a physical register index is absent. */
+constexpr PhysReg invalidPhysReg = -1;
+
+/** Sentinel cycle meaning "never" / "not yet scheduled". */
+constexpr Cycle neverCycle = std::numeric_limits<Cycle>::max();
+
+/** Register class: the unified PRF is split into INT and FP banks. */
+enum class RegClass : std::uint8_t { Int = 0, Fp = 1 };
+
+/** Number of register classes. */
+constexpr int numRegClasses = 2;
+
+} // namespace ppa
+
+#endif // PPA_COMMON_TYPES_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit conversions between wall-clock time, core cycles, and bandwidth.
+ *
+ * The simulated core runs at a fixed frequency (2 GHz per Table 2);
+ * NVM latencies are specified in nanoseconds and bandwidths in GB/s,
+ * so these helpers centralize the conversions.
+ */
+
+#ifndef PPA_COMMON_UNITS_HH
+#define PPA_COMMON_UNITS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ppa
+{
+
+/** Bytes per kibibyte/mebibyte/gibibyte. */
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * KiB;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+/**
+ * Clock domain conversions pinned to a core frequency.
+ */
+class ClockDomain
+{
+  public:
+    /** Construct with frequency in Hz (default 2 GHz, Table 2). */
+    explicit ClockDomain(double freq_hz = 2.0e9) : freqHz(freq_hz) {}
+
+    double frequencyHz() const { return freqHz; }
+
+    /** Convert nanoseconds to core cycles, rounding up (with an
+     *  epsilon so that exact multiples are not bumped by floating-
+     *  point noise, e.g. 175 ns at 2 GHz is exactly 350 cycles). */
+    Cycle
+    nsToCycles(double ns) const
+    {
+        double cycles = ns * 1e-9 * freqHz;
+        auto c = static_cast<Cycle>(cycles + 1e-6);
+        return (static_cast<double>(c) + 1e-6 < cycles) ? c + 1 : c;
+    }
+
+    /** Convert core cycles to nanoseconds. */
+    double
+    cyclesToNs(Cycle cycles) const
+    {
+        return static_cast<double>(cycles) / freqHz * 1e9;
+    }
+
+    /**
+     * Cycles needed to move @p bytes at @p gbytes_per_sec (GB/s, decimal
+     * gigabytes as in device datasheets).
+     */
+    Cycle
+    bandwidthCycles(std::uint64_t bytes, double gbytes_per_sec) const
+    {
+        double seconds =
+            static_cast<double>(bytes) / (gbytes_per_sec * 1e9);
+        double cycles = seconds * freqHz;
+        auto c = static_cast<Cycle>(cycles + 1e-6);
+        return (static_cast<double>(c) + 1e-6 < cycles) ? c + 1 : c;
+    }
+
+  private:
+    double freqHz;
+};
+
+} // namespace ppa
+
+#endif // PPA_COMMON_UNITS_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Branch prediction for the front end.
+ *
+ * A classic bimodal predictor: a table of 2-bit saturating counters
+ * indexed by the branch PC. A BTB hit is assumed for predicted-taken
+ * branches (trace-driven fetch knows the target), so correctly
+ * predicted branches fetch without a bubble; mispredictions stall the
+ * front end until the branch resolves, plus a refill penalty — the
+ * dominant effect a Skylake-class tournament predictor leaves behind
+ * at this level of abstraction.
+ */
+
+#ifndef PPA_CORE_BRANCH_PREDICTOR_HH
+#define PPA_CORE_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ppa
+{
+
+/**
+ * Bimodal 2-bit-counter branch predictor.
+ */
+class BranchPredictor
+{
+  public:
+    /** @param entries counter-table entries (power of two). */
+    explicit BranchPredictor(std::size_t entries = 4096)
+        : counters(entries, 2 /* weakly taken */), mask(entries - 1)
+    {}
+
+    /** Predict the direction of the branch at @p pc. */
+    bool
+    predict(Addr pc) const
+    {
+        return counters[index(pc)] >= 2;
+    }
+
+    /**
+     * Update with the actual outcome; returns true when the
+     * prediction was correct.
+     */
+    bool
+    update(Addr pc, bool taken)
+    {
+        std::uint8_t &ctr = counters[index(pc)];
+        bool correct = (ctr >= 2) == taken;
+        if (taken) {
+            if (ctr < 3)
+                ++ctr;
+        } else {
+            if (ctr > 0)
+                --ctr;
+        }
+        if (correct)
+            statCorrect.inc();
+        else
+            statWrong.inc();
+        return correct;
+    }
+
+    std::uint64_t correctPredictions() const
+    {
+        return statCorrect.value();
+    }
+    std::uint64_t mispredictions() const { return statWrong.value(); }
+
+    double
+    accuracy() const
+    {
+        std::uint64_t total = statCorrect.value() + statWrong.value();
+        return total ? static_cast<double>(statCorrect.value()) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+  private:
+    std::size_t index(Addr pc) const { return (pc >> 2) & mask; }
+
+    std::vector<std::uint8_t> counters;
+    std::size_t mask;
+
+    stats::Counter statCorrect;
+    stats::Counter statWrong;
+};
+
+} // namespace ppa
+
+#endif // PPA_CORE_BRANCH_PREDICTOR_HH

@@ -1,0 +1,1047 @@
+#include "core/core.hh"
+
+#include <algorithm>
+
+#include "baselines/capri.hh"
+#include "common/logging.hh"
+#include "isa/semantics.hh"
+
+namespace ppa
+{
+
+Core::Core(const CoreParams &params, unsigned core_id, MemHierarchy &mem)
+    : cfg(params), coreId(core_id), memory(mem),
+      bpred(params.branchPredictorEntries),
+      intPrf(params.intPrfEntries), fpPrf(params.fpPrfEntries),
+      intRat(numArchIntRegs), fpRat(numArchFpRegs),
+      intCrt(numArchIntRegs), fpCrt(numArchFpRegs),
+      iq(params.iqEntries), sq(params.sqEntries),
+      regIndexer(params.intPrfEntries, params.fpPrfEntries),
+      maskReg(regIndexer), csq(params.csqEntries),
+      freeIntHist(params.intPrfEntries),
+      freeFpHist(params.fpPrfEntries)
+{
+    intFreeList.fill(0, cfg.intPrfEntries);
+    fpFreeList.fill(0, cfg.fpPrfEntries);
+
+    regWaiters.assign(numRegClasses, {});
+    regWaiters[0].assign(cfg.intPrfEntries, {});
+    regWaiters[1].assign(cfg.fpPrfEntries, {});
+
+    fuIntAlu.count = cfg.numIntAlu;
+    fuIntMul.count = cfg.numIntMul;
+    fuIntDiv.count = cfg.numIntDiv;
+    fuFpAlu.count = cfg.numFpAlu;
+    fuFpMul.count = cfg.numFpMul;
+    fuFpDiv.count = cfg.numFpDiv;
+    fuLoad.count = cfg.numLoadPorts;
+    fuStore.count = cfg.numStorePorts;
+}
+
+Core::~Core() = default;
+
+void
+Core::bindSource(DynInstSource *source)
+{
+    src = source;
+    sourceExhausted = false;
+}
+
+void
+Core::bindCapriChannel(CapriChannel *channel)
+{
+    capri = channel;
+}
+
+Core::FuState &
+Core::fuFor(FuType t)
+{
+    switch (t) {
+      case FuType::IntAlu:
+        return fuIntAlu;
+      case FuType::IntMul:
+        return fuIntMul;
+      case FuType::IntDiv:
+        return fuIntDiv;
+      case FuType::FpAlu:
+        return fuFpAlu;
+      case FuType::FpMul:
+        return fuFpMul;
+      case FuType::FpDiv:
+        return fuFpDiv;
+      case FuType::MemRead:
+        return fuLoad;
+      case FuType::MemWrite:
+        return fuStore;
+      case FuType::Branch:
+        return fuIntAlu; // branches share the integer ALUs
+      default:
+        return fuIntAlu;
+    }
+}
+
+void
+Core::resetFuCycle()
+{
+    for (FuState *fu : {&fuIntAlu, &fuIntMul, &fuIntDiv, &fuFpAlu,
+                        &fuFpMul, &fuFpDiv, &fuLoad, &fuStore}) {
+        fu->usedThisCycle = 0;
+    }
+}
+
+unsigned
+Core::flattenReg(RegClass cls, PhysReg r) const
+{
+    return regIndexer.flatten(cls, r);
+}
+
+Core::RobEntry *
+Core::robFind(std::uint64_t rob_seq)
+{
+    if (rob_seq < robSeqBase)
+        return nullptr;
+    std::uint64_t off = rob_seq - robSeqBase;
+    if (off >= rob.size())
+        return nullptr;
+    return &rob[off];
+}
+
+Word
+Core::readSrc(const RobEntry &e, int i) const
+{
+    if (!e.inst.srcs[i].valid() || e.srcPhys[i] == invalidPhysReg)
+        return 0;
+    return prf(e.inst.srcs[i].cls).value(e.srcPhys[i]);
+}
+
+void
+Core::wakeDependents(RegClass cls, PhysReg r)
+{
+    if (r == invalidPhysReg)
+        return;
+    auto &waiters =
+        regWaiters[static_cast<int>(cls)][static_cast<std::size_t>(r)];
+    for (std::uint64_t seq : waiters) {
+        RobEntry *e = robFind(seq);
+        if (!e || e->iqIndex < 0)
+            continue;
+        IqEntry &slot = iq[static_cast<std::size_t>(e->iqIndex)];
+        if (!slot.valid || slot.robSeq != seq)
+            continue;
+        if (slot.remainingSrcs > 0)
+            --slot.remainingSrcs;
+        if (slot.remainingSrcs == 0)
+            readyQueue.push_back(seq);
+    }
+    waiters.clear();
+}
+
+void
+Core::freePhysReg(RegClass cls, PhysReg r)
+{
+    if (r == invalidPhysReg)
+        return;
+    freeList(cls).free(r);
+}
+
+// --------------------------------------------------------------------
+// Fetch
+// --------------------------------------------------------------------
+
+void
+Core::fetchStage()
+{
+    if (curCycle < fetchResumeCycle || fetchBlockedOnBranch ||
+        sourceExhausted || !src) {
+        return;
+    }
+
+    unsigned fetched = 0;
+    while (fetched < cfg.fetchWidth &&
+           fetchQueue.size() < cfg.fetchQueueEntries) {
+        DynInst inst;
+        if (havePendingFetch) {
+            inst = pendingFetch;
+            havePendingFetch = false;
+        } else if (!src->next(inst)) {
+            sourceExhausted = true;
+            break;
+        }
+
+        // Instruction-cache access for each new fetch line.
+        Addr line = inst.pc & ~Addr{63};
+        if (cfg.modelICache && line != lastFetchLine) {
+            bool hit = memory.instHitsL1I(coreId, inst.pc);
+            Cycle done = memory.instFetch(coreId, inst.pc, curCycle);
+            lastFetchLine = line;
+            if (!hit) {
+                // Miss: stall the front end until the line arrives.
+                pendingFetch = inst;
+                havePendingFetch = true;
+                fetchResumeCycle = done;
+                return;
+            }
+        }
+
+        fetchQueue.push_back(inst);
+        ++fetched;
+
+        if (inst.isBranch()) {
+            bool correct = bpred.update(inst.pc, inst.taken);
+            if (!correct) {
+                // Misprediction: fetch down the wrong path until the
+                // branch resolves in the back end, then refill.
+                fetchBlockedOnBranch = true;
+                blockingBranchPc = inst.pc;
+                fetchQueue.back().mispredicted = true;
+                return;
+            }
+            // Correct prediction (BTB hit assumed): no bubble.
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Rename / dispatch
+// --------------------------------------------------------------------
+
+void
+Core::renameStage()
+{
+    bool counted_noreg_stall = false;
+
+    for (unsigned n = 0; n < cfg.renameWidth; ++n) {
+        if (fetchQueue.empty())
+            return;
+        const DynInst &inst = fetchQueue.front();
+        const OpInfo &info = opInfo(inst.op);
+
+        if (rob.size() >= cfg.robEntries) {
+            statRobFullStall.inc();
+            return;
+        }
+
+        // Atomics execute at the ROB head with a direct persistent
+        // write; they occupy neither SQ nor LQ in this model.
+        bool is_atomic = inst.op == Opcode::AtomicRmw;
+        bool is_store_slot = (info.isStore && !is_atomic) ||
+                             inst.op == Opcode::Clwb;
+        int sq_slot = -1;
+        if (is_store_slot) {
+            if (sqUsed >= cfg.sqEntries) {
+                statSqFullStall.inc();
+                return;
+            }
+            for (unsigned i = 0; i < cfg.sqEntries; ++i) {
+                if (!sq[i].valid) {
+                    sq_slot = static_cast<int>(i);
+                    break;
+                }
+            }
+            PPA_ASSERT(sq_slot >= 0, "sqUsed inconsistent");
+        }
+        if (info.isLoad && !info.isStore && lqUsed >= cfg.lqEntries)
+            return;
+
+        bool needs_iq = info.fu != FuType::None && !is_atomic;
+        int iq_slot = -1;
+        if (needs_iq) {
+            if (iqUsed >= cfg.iqEntries)
+                return;
+            for (unsigned i = 0; i < cfg.iqEntries; ++i) {
+                if (!iq[i].valid) {
+                    iq_slot = static_cast<int>(i);
+                    break;
+                }
+            }
+            PPA_ASSERT(iq_slot >= 0, "iqUsed inconsistent");
+        }
+
+        // Check free-register availability first: the PPA region
+        // trigger lives here (Section 4.2, step 4).
+        if (inst.hasDst() && freeList(inst.dst.cls).empty()) {
+            if (!counted_noreg_stall) {
+                statRenameStallNoReg.inc();
+                counted_noreg_stall = true;
+            }
+            if (cfg.mode == PersistMode::Ppa && !barrierPending) {
+                // Inject a persist barrier right before this
+                // instruction.
+                RobEntry barrier;
+                barrier.isBarrier = true;
+                barrier.inst.op = Opcode::Fence;
+                rob.push_back(barrier);
+                ++nextRobSeq;
+                barrierPending = true;
+            }
+            return;
+        }
+
+        RobEntry e;
+        e.inst = inst;
+        e.sqIndex = sq_slot;
+        e.iqIndex = iq_slot;
+        std::uint64_t seq = nextRobSeq;
+
+        // Rename sources through the RAT *before* allocating the
+        // destination, so an instruction reading its own destination
+        // architectural register sees the previous mapping.
+        int waiting = 0;
+        for (int i = 0; i < maxSrcRegs; ++i) {
+            if (!inst.srcs[i].valid())
+                continue;
+            RegClass cls = inst.srcs[i].cls;
+            PhysReg p = rat(cls).lookup(inst.srcs[i].idx);
+            e.srcPhys[i] = p;
+            if (p != invalidPhysReg && !prf(cls).isReady(p)) {
+                ++waiting;
+                regWaiters[static_cast<int>(cls)]
+                          [static_cast<std::size_t>(p)].push_back(seq);
+            }
+        }
+
+        if (inst.hasDst()) {
+            RegClass cls = inst.dst.cls;
+            e.newDst = freeList(cls).allocate();
+            e.prevDst = rat(cls).lookup(inst.dst.idx);
+            rat(cls).update(inst.dst.idx, e.newDst);
+            prf(cls).markPending(e.newDst);
+        }
+
+        if (is_store_slot) {
+            SqEntry &s = sq[static_cast<std::size_t>(sq_slot)];
+            s = SqEntry{};
+            s.valid = true;
+            s.addr = inst.memAddr;
+            s.isClwb = inst.op == Opcode::Clwb;
+            s.isFpStore = inst.op == Opcode::FpStore;
+            s.seq = seq;
+            if (!s.isClwb) {
+                s.dataReg = e.srcPhys[0];
+                s.dataCls = inst.srcs[0].cls;
+            }
+            ++sqUsed;
+        }
+        if (info.isLoad && !info.isStore) {
+            e.holdsLq = true;
+            ++lqUsed;
+        }
+
+        if (is_atomic) {
+            pendingAtomics.emplace_back(
+                MemImage::wordAlign(inst.memAddr), seq);
+        }
+
+        // Instructions with no FU complete immediately (their commit
+        // gating, if any, happens at the head of the ROB).
+        if (!needs_iq) {
+            if (is_atomic) {
+                e.done = false; // executes at commit (locked-op style)
+            } else {
+                e.done = true;
+            }
+        } else {
+            IqEntry &slot = iq[static_cast<std::size_t>(iq_slot)];
+            slot.valid = true;
+            slot.robSeq = seq;
+            slot.remainingSrcs = waiting;
+            ++iqUsed;
+            if (waiting == 0)
+                readyQueue.push_back(seq);
+        }
+
+        rob.push_back(e);
+        ++nextRobSeq;
+        fetchQueue.pop_front();
+    }
+}
+
+// --------------------------------------------------------------------
+// Issue / execute
+// --------------------------------------------------------------------
+
+bool
+Core::tryIssueMem(RobEntry &e, std::uint64_t my_seq)
+{
+    Addr want = MemImage::wordAlign(e.inst.memAddr);
+
+    // Memory ordering against locked RMWs: an older uncommitted
+    // atomic to the same word executes only at the ROB head, so the
+    // load must wait for it.
+    for (const auto &[a, seq] : pendingAtomics) {
+        if (a == want && seq < my_seq) {
+            readyQueue.push_back(my_seq); // retry next cycle
+            return false;
+        }
+    }
+
+    // Search the store queue for the youngest older store to the same
+    // word; forward if its data is ready, otherwise wait on the
+    // store's data register.
+    const SqEntry *match = nullptr;
+    for (unsigned i = 0; i < cfg.sqEntries; ++i) {
+        const SqEntry &s = sq[i];
+        if (!s.valid || s.isClwb || s.seq >= my_seq)
+            continue;
+        if (MemImage::wordAlign(s.addr) != want)
+            continue;
+        if (!match || s.seq > match->seq)
+            match = &s;
+    }
+
+    if (match) {
+        if (!match->dataReady) {
+            if (match->dataReg == invalidPhysReg ||
+                prf(match->dataCls).isReady(match->dataReg)) {
+                // The store's input is available but the store has
+                // not executed yet: busy-retry next cycle. (Blocking
+                // on the register would never be woken again.)
+                readyQueue.push_back(my_seq);
+                return false;
+            }
+            // Block on the store's data register; woken when it is
+            // written back.
+            PPA_ASSERT(e.iqIndex >= 0, "load without IQ slot");
+            IqEntry &slot = iq[static_cast<std::size_t>(e.iqIndex)];
+            slot.remainingSrcs = 1;
+            regWaiters[static_cast<int>(match->dataCls)]
+                      [static_cast<std::size_t>(match->dataReg)]
+                          .push_back(slot.robSeq);
+            return false;
+        }
+        e.execResult = match->dataValue;
+        e.issued = true;
+        scheduleExec(e, my_seq,
+                     curCycle + memory.l1d(coreId).hitLatency());
+        return true;
+    }
+
+    e.execResult = memory.committed().read(e.inst.memAddr);
+    e.issued = true;
+    scheduleExec(e, my_seq, memory.load(coreId, e.inst.memAddr,
+                                        curCycle));
+    return true;
+}
+
+void
+Core::scheduleExec(RobEntry &e, std::uint64_t seq, Cycle complete)
+{
+    execEvents.push({complete, seq});
+    if (e.iqIndex >= 0) {
+        iq[static_cast<std::size_t>(e.iqIndex)].valid = false;
+        e.iqIndex = -1;
+        PPA_ASSERT(iqUsed > 0, "iq underflow");
+        --iqUsed;
+    }
+}
+
+void
+Core::issueStage()
+{
+    resetFuCycle();
+    unsigned issued = 0;
+    std::size_t attempts = readyQueue.size();
+
+    while (attempts-- > 0 && issued < cfg.issueWidth) {
+        std::uint64_t seq = readyQueue.front();
+        readyQueue.pop_front();
+        RobEntry *e = robFind(seq);
+        if (!e || e->issued || e->done || e->iqIndex < 0) {
+            continue; // stale entry (squashed by power failure)
+        }
+        IqEntry &slot = iq[static_cast<std::size_t>(e->iqIndex)];
+        if (!slot.valid || slot.robSeq != seq || slot.remainingSrcs > 0)
+            continue;
+
+        if (cfg.inOrderIssue) {
+            // Section 6 in-order variant: an instruction may issue
+            // only when every older instruction has at least issued.
+            bool older_unissued = false;
+            for (std::uint64_t s = robSeqBase; s < seq; ++s) {
+                RobEntry *older = robFind(s);
+                if (older && !older->issued && !older->done &&
+                    !older->isBarrier) {
+                    older_unissued = true;
+                    break;
+                }
+            }
+            if (older_unissued) {
+                readyQueue.push_back(seq);
+                continue;
+            }
+        }
+
+        const OpInfo &info = opInfo(e->inst.op);
+        FuState &fu = fuFor(info.fu);
+        bool unpipelined = info.fu == FuType::IntDiv ||
+                           info.fu == FuType::FpDiv;
+        if (fu.usedThisCycle >= fu.count ||
+            (unpipelined && fu.busyUntil > curCycle)) {
+            readyQueue.push_back(seq); // retry next cycle
+            continue;
+        }
+
+        if (e->inst.isLoad()) {
+            if (!tryIssueMem(*e, seq))
+                continue;
+            ++fu.usedThisCycle;
+            ++issued;
+            continue;
+        }
+
+        ++fu.usedThisCycle;
+        if (unpipelined)
+            fu.busyUntil = curCycle + static_cast<Cycle>(info.latency);
+
+        if (e->inst.isStore() || e->inst.op == Opcode::Clwb) {
+            // Stores "execute" by latching their data into the SQ.
+            if (e->sqIndex >= 0) {
+                SqEntry &s = sq[static_cast<std::size_t>(e->sqIndex)];
+                if (!s.isClwb)
+                    e->execResult = readSrc(*e, 0);
+            }
+            e->issued = true;
+            scheduleExec(*e, seq, curCycle + 1);
+        } else if (e->inst.hasDst()) {
+            Word s0 = readSrc(*e, 0);
+            Word s1 = readSrc(*e, 1);
+            e->execResult = aluCompute(e->inst.op, s0, s1, e->inst.imm);
+            e->issued = true;
+            scheduleExec(*e, seq,
+                         curCycle + static_cast<Cycle>(info.latency));
+        } else {
+            // Branches: timing only.
+            e->issued = true;
+            scheduleExec(*e, seq,
+                         curCycle + static_cast<Cycle>(info.latency));
+        }
+        ++issued;
+    }
+}
+
+// --------------------------------------------------------------------
+// Writeback
+// --------------------------------------------------------------------
+
+void
+Core::writebackStage()
+{
+    while (!execEvents.empty() && execEvents.top().complete <= curCycle) {
+        ExecEvent ev = execEvents.top();
+        execEvents.pop();
+        RobEntry *e = robFind(ev.robSeq);
+        if (!e || e->done)
+            continue;
+
+        if (e->inst.isStore() || e->inst.op == Opcode::Clwb) {
+            if (e->sqIndex >= 0) {
+                SqEntry &s = sq[static_cast<std::size_t>(e->sqIndex)];
+                if (!s.isClwb) {
+                    s.dataValue = e->execResult;
+                    s.dataReady = true;
+                    // Wake any loads blocked on this store's data.
+                    wakeDependents(s.dataCls, s.dataReg);
+                }
+            }
+        } else if (e->inst.hasDst()) {
+            prf(e->inst.dst.cls).write(e->newDst, e->execResult);
+            wakeDependents(e->inst.dst.cls, e->newDst);
+        }
+        e->done = true;
+
+        if (e->inst.mispredicted && fetchBlockedOnBranch &&
+            e->inst.pc == blockingBranchPc) {
+            // The mispredicted branch resolved: redirect the front
+            // end and pay the refill penalty.
+            fetchBlockedOnBranch = false;
+            fetchResumeCycle = curCycle + cfg.branchRedirectPenalty;
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Post-commit store merging
+// --------------------------------------------------------------------
+
+void
+Core::mergeCommittedStores()
+{
+    // Retire completed merges and clwb acks.
+    while (!mergeInFlight.empty() && mergeInFlight.front() <= curCycle)
+        mergeInFlight.pop_front();
+    std::erase_if(clwbAcks, [&](Cycle c) {
+        if (c <= curCycle) {
+            PPA_ASSERT(outstandingClwbs > 0, "clwb underflow");
+            --outstandingClwbs;
+            return true;
+        }
+        return false;
+    });
+
+    if (committedStoreFifo.empty() ||
+        mergeInFlight.size() >= cfg.storeMergeOverlap) {
+        return;
+    }
+
+    int idx = committedStoreFifo.front();
+    SqEntry &s = sq[static_cast<std::size_t>(idx)];
+    PPA_ASSERT(s.valid && s.committed, "merging uncommitted store");
+
+    if (s.isClwb) {
+        Cycle ack = memory.clwbLine(coreId, s.addr, curCycle);
+        ++outstandingClwbs;
+        clwbAcks.push_back(ack);
+    } else {
+        bool persist = cfg.mode == PersistMode::Ppa;
+        auto res = memory.storeMerge(coreId, s.addr, s.dataValue,
+                                     curCycle, persist);
+        if (!res.accepted)
+            return; // persist path full; retry next cycle
+        mergeInFlight.push_back(res.completeCycle);
+        std::sort(mergeInFlight.begin(), mergeInFlight.end());
+    }
+
+    s.valid = false;
+    PPA_ASSERT(sqUsed > 0, "sq underflow");
+    --sqUsed;
+    committedStoreFifo.pop_front();
+}
+
+// --------------------------------------------------------------------
+// Commit
+// --------------------------------------------------------------------
+
+bool
+Core::regionBoundaryConditionsMet()
+{
+    // All of the region's committed stores must have merged into L1D
+    // and their persist operations must be acknowledged (the L1D
+    // counter register reads zero, Section 4.3).
+    if (!committedStoreFifo.empty())
+        return false;
+    if (memory.outstandingPersists(coreId, curCycle) != 0) {
+        // Tell the write buffer to stop write-combining: the barrier
+        // needs the residual entries out now.
+        memory.writeBuffer(coreId).setDraining(true);
+        return false;
+    }
+    return true;
+}
+
+void
+Core::completeRegionBoundary(RegionEndCause cause)
+{
+    // Reclaim the physical registers whose release was deferred
+    // because MaskReg marked them as committed-store operands.
+    for (unsigned g : deferredFrees) {
+        RegClass cls = maskReg.indexer().classOf(g);
+        freePhysReg(cls, maskReg.indexer().indexOf(g));
+    }
+    deferredFrees.clear();
+    maskReg.clearAll();
+    csq.clear();
+    memory.writeBuffer(coreId).setDraining(false);
+    regions.onRegionEnd(cause);
+}
+
+void
+Core::retireStoreBookkeeping(RobEntry &e)
+{
+    PPA_ASSERT(e.sqIndex >= 0, "store without SQ slot");
+    SqEntry &s = sq[static_cast<std::size_t>(e.sqIndex)];
+
+    if (!s.isClwb && memory.ioBuffer().inRange(s.addr)) {
+        // Irrevocable device write (Section 5): the battery-backed
+        // I/O buffer makes the store persistent at commit — it never
+        // enters the cache hierarchy, the CSQ, or replay.
+        memory.ioBuffer().write(s.addr, s.dataValue);
+        s.valid = false;
+        PPA_ASSERT(sqUsed > 0, "sq underflow");
+        --sqUsed;
+        return;
+    }
+
+    s.committed = true;
+    committedStoreFifo.push_back(e.sqIndex);
+
+    if (cfg.mode == PersistMode::Ppa && !s.isClwb) {
+        if (cfg.csqCarriesValues) {
+            // Section 6 variant: record the data value directly; no
+            // register masking is needed.
+            csq.pushValue(s.addr, s.dataValue);
+        } else if (s.dataReg == invalidPhysReg) {
+            // A store of a never-defined register carries the
+            // architectural zero.
+            csq.push(csqZeroRegIndex, s.addr);
+        } else {
+            // Store integrity: mask the data register and record the
+            // committed store in the CSQ (Sections 3.3, 4.4).
+            csq.push(flattenReg(s.dataCls, s.dataReg), s.addr);
+            maskReg.mask(s.dataCls, s.dataReg);
+        }
+    }
+}
+
+bool
+Core::commitOne(RobEntry &e)
+{
+    const DynInst &inst = e.inst;
+
+    // ---- gating at the head of the ROB -----------------------------
+    if (e.isBarrier) {
+        if (!regionBoundaryConditionsMet()) {
+            regions.onBoundaryStall();
+            return false;
+        }
+        completeRegionBoundary(RegionEndCause::PrfExhausted);
+        barrierPending = false;
+        return true;
+    }
+
+    if (inst.isStore() && cfg.mode == PersistMode::Ppa && csq.full()) {
+        // Implicit region boundary: the CSQ cannot accept another
+        // committed store (Section 4.2).
+        if (!regionBoundaryConditionsMet()) {
+            regions.onBoundaryStall();
+            return false;
+        }
+        completeRegionBoundary(RegionEndCause::CsqFull);
+    }
+
+    if (inst.op == Opcode::Fence) {
+        // Fences drain the store path; under PPA they are region
+        // boundaries (Section 6); under ReplayCache they additionally
+        // wait for all outstanding clwb acks.
+        if (!committedStoreFifo.empty())
+            return false;
+        if (cfg.mode == PersistMode::ReplayCache &&
+            outstandingClwbs > 0) {
+            regions.onBoundaryStall();
+            return false;
+        }
+        if (cfg.mode == PersistMode::Ppa) {
+            if (!regionBoundaryConditionsMet()) {
+                regions.onBoundaryStall();
+                return false;
+            }
+            completeRegionBoundary(RegionEndCause::SyncPrimitive);
+        }
+        if (cfg.mode == PersistMode::Capri && capri) {
+            if (!capri->empty(curCycle)) {
+                regions.onBoundaryStall();
+                return false;
+            }
+            capriInstsInRegion = 0;
+        }
+    }
+
+    if (inst.op == Opcode::AtomicRmw && !e.done) {
+        // Locked-RMW semantics: execute at the head once the data
+        // register is ready and (under PPA) the region is persistent.
+        if (!committedStoreFifo.empty())
+            return false;
+        PhysReg data_reg = e.srcPhys[0];
+        if (data_reg != invalidPhysReg &&
+            !prf(inst.srcs[0].cls).isReady(data_reg)) {
+            return false;
+        }
+        if (cfg.mode == PersistMode::Ppa) {
+            if (!regionBoundaryConditionsMet()) {
+                regions.onBoundaryStall();
+                return false;
+            }
+            completeRegionBoundary(RegionEndCause::SyncPrimitive);
+        }
+        Word delta = readSrc(e, 0);
+        Word old = memory.committed().read(inst.memAddr);
+        if (cfg.mode == PersistMode::Ppa) {
+            memory.atomicPersistWrite(coreId, inst.memAddr, old + delta,
+                                      curCycle);
+        } else {
+            memory.committed().write(inst.memAddr, old + delta);
+            // Timing/traffic for the RMW's cache access.
+            memory.storeMerge(coreId, inst.memAddr, old + delta,
+                              curCycle, false);
+        }
+        if (e.newDst != invalidPhysReg) {
+            prf(inst.dst.cls).write(e.newDst, old);
+            wakeDependents(inst.dst.cls, e.newDst);
+        }
+        e.done = true;
+    }
+
+    if (!e.done)
+        return false;
+
+    // ---- actual retirement -----------------------------------------
+    if (inst.op == Opcode::AtomicRmw) {
+        // The RMW's write was applied (and, under PPA, persisted)
+        // during its head-of-ROB execution above. commitOne always
+        // operates on the ROB head, whose sequence is robSeqBase.
+        std::erase_if(pendingAtomics, [&](const auto &pa) {
+            return pa.second == robSeqBase;
+        });
+    } else if (inst.isStore()) {
+        if (cfg.mode == PersistMode::Capri && capri) {
+            // The redo buffer must accept the store for it to commit.
+            if (!capri->onStoreCommit(curCycle))
+                return false;
+        }
+        retireStoreBookkeeping(e);
+    } else if (inst.op == Opcode::Clwb) {
+        retireStoreBookkeeping(e);
+    }
+
+    if (e.newDst != invalidPhysReg) {
+        RegClass cls = inst.dst.cls;
+        crt(cls).update(inst.dst.idx, e.newDst);
+        if (e.prevDst != invalidPhysReg) {
+            if (cfg.mode == PersistMode::Ppa &&
+                maskReg.isMasked(cls, e.prevDst)) {
+                // Deferred reclamation: the register holds a committed
+                // store's operand (Section 3.3).
+                deferredFrees.push_back(flattenReg(cls, e.prevDst));
+            } else {
+                freePhysReg(cls, e.prevDst);
+            }
+        }
+    }
+
+    if (e.holdsLq) {
+        PPA_ASSERT(lqUsed > 0, "lq underflow");
+        --lqUsed;
+    }
+
+    lcpc = inst.index;
+    lcpcValid = true;
+    ++commitCount;
+    if (inst.isStore())
+        ++storeCommitCount;
+    if (cfg.mode == PersistMode::Ppa)
+        regions.onCommit(inst.isStore());
+
+    if (cfg.mode == PersistMode::Capri) {
+        ++capriInstsInRegion;
+        if (capriInstsInRegion >= cfg.capriRegionInsts) {
+            // Compiler-formed region boundary; the *next* commit will
+            // block until the redo buffer drains.
+            capriInstsInRegion = 0;
+            regions.onRegionEnd(RegionEndCause::PrfExhausted);
+        }
+    }
+    return true;
+}
+
+void
+Core::commitStage()
+{
+    // Capri: block at a compiler region boundary until drained.
+    if (cfg.mode == PersistMode::Capri && capri &&
+        capriInstsInRegion == 0 && !rob.empty() &&
+        !capri->empty(curCycle)) {
+        regions.onBoundaryStall();
+        return;
+    }
+
+    for (unsigned n = 0; n < cfg.commitWidth && !rob.empty(); ++n) {
+        RobEntry &head = rob.front();
+        if (!commitOne(head))
+            return;
+        rob.pop_front();
+        ++robSeqBase;
+    }
+}
+
+// --------------------------------------------------------------------
+// Top level
+// --------------------------------------------------------------------
+
+void
+Core::tick()
+{
+    // Sample PRF occupancy at the renaming stage, every cycle
+    // (Figure 5's methodology).
+    freeIntHist.sample(intFreeList.size());
+    freeFpHist.sample(fpFreeList.size());
+
+    commitStage();
+    mergeCommittedStores();
+    writebackStage();
+    issueStage();
+    renameStage();
+    fetchStage();
+    ++curCycle;
+}
+
+bool
+Core::done() const
+{
+    return sourceExhausted && fetchQueue.empty() && rob.empty() &&
+           committedStoreFifo.empty() && mergeInFlight.empty() &&
+           outstandingClwbs == 0;
+}
+
+ArchState
+Core::architecturalState() const
+{
+    ArchState st;
+    for (ArchReg a = 0; a < numArchIntRegs; ++a) {
+        PhysReg p = intCrt.lookup(a);
+        if (p != invalidPhysReg)
+            st.intRegs[static_cast<std::size_t>(a)] = intPrf.value(p);
+    }
+    for (ArchReg a = 0; a < numArchFpRegs; ++a) {
+        PhysReg p = fpCrt.lookup(a);
+        if (p != invalidPhysReg)
+            st.fpRegs[static_cast<std::size_t>(a)] = fpPrf.value(p);
+    }
+    return st;
+}
+
+CheckpointImage
+Core::powerFail()
+{
+    CheckpointImage image;
+    if (cfg.mode == PersistMode::Ppa) {
+        image.valid = true;
+        image.csq = csq.contents();
+        image.lcpc = lcpc;
+        image.anyCommitted = lcpcValid;
+        image.crtInt = intCrt.raw();
+        image.crtFp = fpCrt.raw();
+        image.maskBits = maskReg.raw();
+
+        auto save_reg = [&](RegClass cls, PhysReg p) {
+            if (p == invalidPhysReg)
+                return;
+            unsigned g = flattenReg(cls, p);
+            image.physRegValues[g] = prf(cls).value(p);
+        };
+        for (ArchReg a = 0; a < numArchIntRegs; ++a)
+            save_reg(RegClass::Int, intCrt.lookup(a));
+        for (ArchReg a = 0; a < numArchFpRegs; ++a)
+            save_reg(RegClass::Fp, fpCrt.lookup(a));
+        for (const auto &entry : csq.contents()) {
+            if (entry.carriesValue ||
+                entry.physRegIndex == csqZeroRegIndex) {
+                continue; // value inline or architecturally zero
+            }
+            RegClass cls = regIndexer.classOf(entry.physRegIndex);
+            save_reg(cls, regIndexer.indexOf(entry.physRegIndex));
+        }
+    }
+
+    // All volatile pipeline state evaporates.
+    fetchQueue.clear();
+    rob.clear();
+    robSeqBase = nextRobSeq;
+    for (auto &slot : iq)
+        slot.valid = false;
+    iqUsed = 0;
+    for (auto &s : sq)
+        s.valid = false;
+    sqUsed = 0;
+    lqUsed = 0;
+    committedStoreFifo.clear();
+    mergeInFlight.clear();
+    clwbAcks.clear();
+    outstandingClwbs = 0;
+    pendingAtomics.clear();
+    readyQueue.clear();
+    while (!execEvents.empty())
+        execEvents.pop();
+    for (auto &cls_waiters : regWaiters) {
+        for (auto &w : cls_waiters)
+            w.clear();
+    }
+    deferredFrees.clear();
+    barrierPending = false;
+    capriInstsInRegion = 0;
+    fetchBlockedOnBranch = false;
+    havePendingFetch = false;
+    lastFetchLine = ~Addr{0};
+    intFreeList.clear();
+    fpFreeList.clear();
+    sourceExhausted = true; // no fetching until recover()
+
+    return image;
+}
+
+void
+Core::recover(const CheckpointImage &image)
+{
+    PPA_ASSERT(image.valid, "recovering from an invalid checkpoint");
+    PPA_ASSERT(cfg.mode == PersistMode::Ppa,
+               "only PPA cores implement the recovery protocol");
+
+    // (1) Restore the checkpointed structures from NVM.
+    maskReg.restore(image.maskBits);
+    csq.restore(image.csq);
+    intCrt.restoreRaw(image.crtInt);
+    fpCrt.restoreRaw(image.crtFp);
+    lcpc = image.lcpc;
+    lcpcValid = image.anyCommitted;
+
+    for (const auto &[g, v] : image.physRegValues) {
+        RegClass cls = regIndexer.classOf(g);
+        prf(cls).restore(regIndexer.indexOf(g), v);
+    }
+
+    // (2) Replay the committed stores, front to rear (idempotent).
+    for (const auto &entry : csq.contents()) {
+        if (entry.carriesValue) {
+            memory.recoveryWrite(entry.addr, entry.value);
+        } else if (entry.physRegIndex == csqZeroRegIndex) {
+            memory.recoveryWrite(entry.addr, 0);
+        } else {
+            RegClass cls = regIndexer.classOf(entry.physRegIndex);
+            PhysReg p = regIndexer.indexOf(entry.physRegIndex);
+            memory.recoveryWrite(entry.addr, prf(cls).value(p));
+        }
+    }
+
+    // (3) Populate the RAT with the restored CRT.
+    intRat.restoreRaw(image.crtInt);
+    fpRat.restoreRaw(image.crtFp);
+
+    // Rebuild the free lists: a register is free unless the CRT maps
+    // it or MaskReg pins it; masked registers not referenced by the
+    // CRT rejoin via deferred reclamation at the next boundary.
+    std::vector<bool> used_int(cfg.intPrfEntries, false);
+    std::vector<bool> used_fp(cfg.fpPrfEntries, false);
+    for (PhysReg p : image.crtInt) {
+        if (p != invalidPhysReg)
+            used_int[static_cast<std::size_t>(p)] = true;
+    }
+    for (PhysReg p : image.crtFp) {
+        if (p != invalidPhysReg)
+            used_fp[static_cast<std::size_t>(p)] = true;
+    }
+    deferredFrees.clear();
+    maskReg.forEachMasked([&](RegClass cls, PhysReg p) {
+        auto &used = cls == RegClass::Int ? used_int : used_fp;
+        if (!used[static_cast<std::size_t>(p)]) {
+            deferredFrees.push_back(flattenReg(cls, p));
+            used[static_cast<std::size_t>(p)] = true;
+        }
+    });
+    intFreeList.clear();
+    for (unsigned p = 0; p < cfg.intPrfEntries; ++p) {
+        if (!used_int[p])
+            intFreeList.free(static_cast<PhysReg>(p));
+    }
+    fpFreeList.clear();
+    for (unsigned p = 0; p < cfg.fpPrfEntries; ++p) {
+        if (!used_fp[p])
+            fpFreeList.free(static_cast<PhysReg>(p));
+    }
+
+    // (4) Resume right after the last committed instruction.
+    if (src) {
+        src->seekTo(lcpcValid ? lcpc + 1 : 0);
+        sourceExhausted = false;
+    }
+    fetchResumeCycle = curCycle;
+}
+
+} // namespace ppa

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * The out-of-order core model with PPA support.
+ *
+ * A 4-wide superscalar pipeline driven by the committed-path
+ * instruction stream: fetch -> rename/dispatch -> issue -> execute ->
+ * writeback -> commit, with a unified physical register file, ROB,
+ * issue queue, and load/store queues sized per Table 2.
+ *
+ * In PersistMode::Ppa the core additionally implements the paper's
+ * mechanisms:
+ *  - store integrity: committed stores mask their data physical
+ *    register in MaskReg; reclamation of masked registers is deferred
+ *    to the region boundary (Sections 3.3, 4.1, 4.2);
+ *  - dynamic region formation: a persist barrier is injected when
+ *    renaming stalls on an empty free list, when the CSQ fills, or at
+ *    a synchronization primitive (Sections 4.2, 6);
+ *  - asynchronous region persistence: committed stores flow through
+ *    the L1D write buffer to NVM in the background; the barrier
+ *    retires only when the persist counter reaches zero (Section 4.3);
+ *  - JIT checkpoint & recovery: on power failure the five structures
+ *    (CSQ, LCPC, CRT, MaskReg, marked PRF registers) are saved, and
+ *    recovery replays the CSQ then resumes after LCPC (Sections 4.5,
+ *    4.6).
+ */
+
+#ifndef PPA_CORE_CORE_HH
+#define PPA_CORE_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/branch_predictor.hh"
+#include "core/params.hh"
+#include "core/rename.hh"
+#include "isa/dyninst.hh"
+#include "isa/source.hh"
+#include "mem/hierarchy.hh"
+#include "ppa/checkpoint.hh"
+#include "ppa/csq.hh"
+#include "ppa/mask_reg.hh"
+#include "ppa/region_stats.hh"
+
+namespace ppa
+{
+
+class CapriChannel;
+
+/**
+ * One simulated out-of-order core.
+ */
+class Core
+{
+  public:
+    /**
+     * @param params core configuration
+     * @param core_id index of this core within the system
+     * @param mem    the shared memory hierarchy
+     */
+    Core(const CoreParams &params, unsigned core_id, MemHierarchy &mem);
+
+    ~Core();
+
+    /** Attach the committed-path instruction source. */
+    void bindSource(DynInstSource *source);
+
+    /** Attach a Capri redo-buffer channel (PersistMode::Capri). */
+    void bindCapriChannel(CapriChannel *channel);
+
+    /** Advance one clock cycle. */
+    void tick();
+
+    /** True when the stream is exhausted and the pipeline is empty. */
+    bool done() const;
+
+    /** Current cycle. */
+    Cycle cycle() const { return curCycle; }
+
+    /** Committed instruction count. */
+    std::uint64_t committedInsts() const { return commitCount; }
+
+    /** Committed store count. */
+    std::uint64_t committedStores() const { return storeCommitCount; }
+
+    /**
+     * Power failure: JIT-checkpoint the five PPA structures and drop
+     * all volatile pipeline state. Only meaningful in Ppa mode; in
+     * other modes the returned image is invalid (unrecoverable, which
+     * is the point of the comparison).
+     */
+    CheckpointImage powerFail();
+
+    /**
+     * Power restore: rebuild the pipeline from @p image — restore
+     * CRT/MaskReg/CSQ/marked registers, replay the CSQ stores into
+     * NVM, repopulate the RAT from the CRT, and resume fetching after
+     * LCPC (Section 4.6).
+     */
+    void recover(const CheckpointImage &image);
+
+    /**
+     * Architectural register state reconstructed through the CRT, for
+     * verification against the golden model.
+     */
+    ArchState architecturalState() const;
+
+    // ---- statistics accessors ---------------------------------------
+    const RegionStats &regionStats() const { return regions; }
+    const BranchPredictor &branchPredictor() const { return bpred; }
+    const stats::Histogram &freeIntRegHistogram() const
+    {
+        return freeIntHist;
+    }
+    const stats::Histogram &freeFpRegHistogram() const
+    {
+        return freeFpHist;
+    }
+    std::uint64_t renameStallNoRegCycles() const
+    {
+        return statRenameStallNoReg.value();
+    }
+    std::uint64_t sqFullStalls() const { return statSqFullStall.value(); }
+    std::uint64_t robFullStalls() const
+    {
+        return statRobFullStall.value();
+    }
+    std::uint64_t lastCommittedIndex() const { return lcpc; }
+    bool anyCommitted() const { return lcpcValid; }
+
+    const CoreParams &params() const { return cfg; }
+
+  private:
+    // ---- pipeline data structures -----------------------------------
+    struct RobEntry
+    {
+        DynInst inst;
+        /** Renamed source physical registers (invalid = value 0). */
+        PhysReg srcPhys[maxSrcRegs] = {invalidPhysReg, invalidPhysReg,
+                                       invalidPhysReg};
+        /** Newly allocated destination phys reg (or invalid). */
+        PhysReg newDst = invalidPhysReg;
+        /** Previous mapping of the destination arch reg. */
+        PhysReg prevDst = invalidPhysReg;
+        /** Result computed at issue, written back at completion. */
+        Word execResult = 0;
+        bool done = false;
+        bool issued = false;
+        /** PPA-injected persist barrier (region boundary). */
+        bool isBarrier = false;
+        /** Store queue slot for stores/clwb (index), else -1. */
+        int sqIndex = -1;
+        /** Load queue occupancy marker. */
+        bool holdsLq = false;
+        /** Issue queue slot while waiting, else -1. */
+        int iqIndex = -1;
+    };
+
+    struct SqEntry
+    {
+        bool valid = false;
+        Addr addr = 0;
+        /** Data phys reg (store) or invalid (clwb). */
+        PhysReg dataReg = invalidPhysReg;
+        RegClass dataCls = RegClass::Int;
+        bool dataReady = false;
+        Word dataValue = 0;
+        bool committed = false;
+        bool isClwb = false;
+        bool isFpStore = false;
+        SeqNum seq = 0;
+    };
+
+    struct IqEntry
+    {
+        bool valid = false;
+        std::uint64_t robSeq = 0;
+        int remainingSrcs = 0;
+    };
+
+    struct ExecEvent
+    {
+        Cycle complete;
+        std::uint64_t robSeq;
+        bool operator>(const ExecEvent &other) const
+        {
+            return complete > other.complete;
+        }
+    };
+
+    // ---- pipeline stages (called in reverse order each tick) --------
+    void commitStage();
+    void mergeCommittedStores();
+    void writebackStage();
+    void issueStage();
+    void renameStage();
+    void fetchStage();
+
+    // ---- helpers -----------------------------------------------------
+    RobEntry *robFind(std::uint64_t rob_seq);
+    void wakeDependents(RegClass cls, PhysReg r);
+    void scheduleExec(RobEntry &e, std::uint64_t seq, Cycle complete);
+    Word readSrc(const RobEntry &e, int i) const;
+    bool tryIssueMem(RobEntry &e, std::uint64_t seq);
+    void freePhysReg(RegClass cls, PhysReg r);
+    bool regionBoundaryConditionsMet();
+    void completeRegionBoundary(RegionEndCause cause);
+    unsigned flattenReg(RegClass cls, PhysReg r) const;
+    bool commitOne(RobEntry &e);
+    void retireStoreBookkeeping(RobEntry &e);
+
+    PhysRegFile &prf(RegClass cls)
+    {
+        return cls == RegClass::Int ? intPrf : fpPrf;
+    }
+    const PhysRegFile &prf(RegClass cls) const
+    {
+        return cls == RegClass::Int ? intPrf : fpPrf;
+    }
+    FreeList &freeList(RegClass cls)
+    {
+        return cls == RegClass::Int ? intFreeList : fpFreeList;
+    }
+    RenameTable &rat(RegClass cls)
+    {
+        return cls == RegClass::Int ? intRat : fpRat;
+    }
+    RenameTable &crt(RegClass cls)
+    {
+        return cls == RegClass::Int ? intCrt : fpCrt;
+    }
+    const RenameTable &crt(RegClass cls) const
+    {
+        return cls == RegClass::Int ? intCrt : fpCrt;
+    }
+
+    // ---- configuration ----------------------------------------------
+    CoreParams cfg;
+    unsigned coreId;
+    MemHierarchy &memory;
+    DynInstSource *src = nullptr;
+    CapriChannel *capri = nullptr;
+
+    // ---- time ----------------------------------------------------------
+    Cycle curCycle = 0;
+
+    // ---- front end ----------------------------------------------------
+    std::deque<DynInst> fetchQueue;
+    Cycle fetchResumeCycle = 0;
+    bool sourceExhausted = false;
+    BranchPredictor bpred;
+    /** Fetch stalls until the mispredicted branch (by seq) resolves. */
+    bool fetchBlockedOnBranch = false;
+    std::uint64_t blockingBranchSeq = 0;
+    /** Sequence was assigned yet? The blocking branch may still be in
+     *  the fetch queue (not renamed); resolve matching is by PC. */
+    Addr blockingBranchPc = 0;
+    Addr lastFetchLine = ~Addr{0};
+    /** Instruction pulled from the source but not yet accepted into
+     *  the fetch queue (stalled on an I-cache miss). */
+    bool havePendingFetch = false;
+    DynInst pendingFetch;
+
+    // ---- rename -------------------------------------------------------
+    PhysRegFile intPrf;
+    PhysRegFile fpPrf;
+    FreeList intFreeList;
+    FreeList fpFreeList;
+    RenameTable intRat;
+    RenameTable fpRat;
+    RenameTable intCrt;
+    RenameTable fpCrt;
+
+    // ---- window -------------------------------------------------------
+    std::deque<RobEntry> rob;
+    std::uint64_t nextRobSeq = 0;
+    std::uint64_t robSeqBase = 0; // seq of rob.front()
+    std::vector<IqEntry> iq;
+    unsigned iqUsed = 0;
+    std::vector<SqEntry> sq;
+    unsigned sqUsed = 0;
+    unsigned lqUsed = 0;
+    std::vector<std::vector<std::vector<std::uint64_t>>> regWaiters;
+    std::priority_queue<ExecEvent, std::vector<ExecEvent>,
+                        std::greater<ExecEvent>> execEvents;
+    std::deque<std::uint64_t> readyQueue;
+
+    // ---- functional units ----------------------------------------------
+    struct FuState
+    {
+        unsigned count = 1;
+        unsigned usedThisCycle = 0;
+        Cycle busyUntil = 0; // for unpipelined units
+    };
+    FuState fuIntAlu, fuIntMul, fuIntDiv, fuFpAlu, fuFpMul, fuFpDiv,
+        fuLoad, fuStore;
+    FuState &fuFor(FuType t);
+    void resetFuCycle();
+
+    // ---- post-commit store merging --------------------------------------
+    std::deque<int> committedStoreFifo; // SQ indices awaiting merge
+    std::deque<Cycle> mergeInFlight;    // completion cycles (MLP cap)
+    /** Uncommitted atomic RMWs: (word address, rob seq); younger
+     *  loads to the same word must not issue past them. */
+    std::vector<std::pair<Addr, std::uint64_t>> pendingAtomics;
+    std::uint64_t outstandingClwbs = 0;
+    std::deque<Cycle> clwbAcks;
+
+    // ---- PPA state -------------------------------------------------------
+    PhysRegIndexer regIndexer;
+    MaskReg maskReg;
+    Csq csq;
+    std::vector<unsigned> deferredFrees; // global phys indices
+    bool barrierPending = false;  // a barrier is in flight in the ROB
+    bool csqBoundaryPending = false;
+    std::uint64_t lcpc = 0;
+    bool lcpcValid = false;
+
+    // ---- Capri state -----------------------------------------------------
+    unsigned capriInstsInRegion = 0;
+
+    // ---- statistics -------------------------------------------------------
+    std::uint64_t commitCount = 0;
+    std::uint64_t storeCommitCount = 0;
+    RegionStats regions;
+    stats::Histogram freeIntHist;
+    stats::Histogram freeFpHist;
+    stats::Counter statRenameStallNoReg;
+    stats::Counter statSqFullStall;
+    stats::Counter statRobFullStall;
+};
+
+} // namespace ppa
+
+#endif // PPA_CORE_CORE_HH

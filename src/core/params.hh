@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Out-of-order core configuration (Table 2 of the paper).
+ *
+ * Defaults model one core of the 8-core, 4-wide x86_64 OoO processor
+ * at 2 GHz with a unified PRF: ROB/IQ/SQ/LQ/INT-PRF/FP-PRF of
+ * 224/97/56/72/180/168.
+ */
+
+#ifndef PPA_CORE_PARAMS_HH
+#define PPA_CORE_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ppa
+{
+
+/** Which persistence design the core runs. */
+enum class PersistMode : std::uint8_t
+{
+    /** No persistence support: PMEM memory mode baseline, the
+     *  DRAM-only system, or the eADR/BBB ideal-PSP system (those
+     *  differ only in memory-system configuration). */
+    Volatile,
+    /** The paper's design: store integrity in the PRF, dynamic
+     *  regions, asynchronous persistence, JIT checkpointing. */
+    Ppa,
+    /** ReplayCache-style WSP: compiler-formed short regions with one
+     *  clwb per store and a synchronous persist barrier per region.
+     *  The instruction stream must be pre-transformed (see
+     *  baselines/replaycache.hh). */
+    ReplayCache,
+    /** Capri-style WSP: hardware redo buffer drained over a dedicated
+     *  persist path, compiler regions of ~29 instructions. */
+    Capri,
+};
+
+/** Pipeline and structure sizes for one core. */
+struct CoreParams
+{
+    unsigned fetchWidth = 4;
+    unsigned renameWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned commitWidth = 4;
+
+    unsigned robEntries = 224;
+    unsigned iqEntries = 97;
+    unsigned sqEntries = 56;
+    unsigned lqEntries = 72;
+    unsigned intPrfEntries = 180;
+    unsigned fpPrfEntries = 168;
+
+    /** Front-end refill bubble after a branch misprediction. */
+    unsigned branchRedirectPenalty = 8;
+    unsigned fetchQueueEntries = 16;
+    /** Bimodal branch-predictor entries (power of two). */
+    std::size_t branchPredictorEntries = 4096;
+    /** Model the L1I: fetch stalls on instruction-cache misses. */
+    bool modelICache = true;
+
+    /** Functional unit counts. */
+    unsigned numIntAlu = 4;
+    unsigned numIntMul = 1;
+    unsigned numIntDiv = 1;
+    unsigned numFpAlu = 2;
+    unsigned numFpMul = 2;
+    unsigned numFpDiv = 1;
+    unsigned numLoadPorts = 2;
+    unsigned numStorePorts = 1;
+
+    /** Maximum in-flight post-commit store merges (store-miss MLP). */
+    unsigned storeMergeOverlap = 8;
+
+    PersistMode mode = PersistMode::Volatile;
+
+    /** PPA: committed store queue entries (Table 2: 40 by default). */
+    unsigned csqEntries = 40;
+
+    /**
+     * PPA Section 6 extension: the CSQ carries data *values* instead
+     * of physical-register indexes, as needed for in-order cores and
+     * ROB-style renaming. MaskReg is then unnecessary (no register
+     * needs pinning) at the cost of wider CSQ entries.
+     */
+    bool csqCarriesValues = false;
+
+    /**
+     * Section 6 "In-Order Cores": issue strictly in program order
+     * (completion may still be out of order). Combine with
+     * csqCarriesValues=true for the paper's in-order PPA design.
+     */
+    bool inOrderIssue = false;
+
+    /** Capri: region length in committed instructions (~29, §7.5). */
+    unsigned capriRegionInsts = 29;
+};
+
+} // namespace ppa
+
+#endif // PPA_CORE_PARAMS_HH

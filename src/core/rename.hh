@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Register renaming structures: unified physical register file, free
+ * list, register alias table (RAT) and commit rename table (CRT).
+ *
+ * These are the existing microarchitectural components PPA builds on
+ * (paper Section 2.1): renaming picks a register from the free list
+ * and records the mapping in the RAT; ROB retirement moves the mapping
+ * into the CRT; a physical register is normally reclaimed when a later
+ * instruction redefining the same architectural register retires. PPA
+ * only changes that last step — reclamation is *deferred* while the
+ * register is masked as a committed store operand.
+ */
+
+#ifndef PPA_CORE_RENAME_HH
+#define PPA_CORE_RENAME_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "isa/arch.hh"
+
+namespace ppa
+{
+
+/**
+ * One bank (INT or FP) of the unified physical register file: values
+ * plus ready bits.
+ */
+class PhysRegFile
+{
+  public:
+    explicit PhysRegFile(unsigned num_regs)
+        : values(num_regs, 0), ready(num_regs, false)
+    {}
+
+    unsigned size() const { return static_cast<unsigned>(values.size()); }
+
+    Word
+    value(PhysReg r) const
+    {
+        PPA_ASSERT(valid(r), "reading bad phys reg ", r);
+        return values[static_cast<std::size_t>(r)];
+    }
+
+    bool
+    isReady(PhysReg r) const
+    {
+        PPA_ASSERT(valid(r), "readiness of bad phys reg ", r);
+        return ready[static_cast<std::size_t>(r)];
+    }
+
+    /** Write a value and mark the register ready. */
+    void
+    write(PhysReg r, Word v)
+    {
+        PPA_ASSERT(valid(r), "writing bad phys reg ", r);
+        values[static_cast<std::size_t>(r)] = v;
+        ready[static_cast<std::size_t>(r)] = true;
+    }
+
+    /** Mark not-ready (on allocation to a new producer). */
+    void
+    markPending(PhysReg r)
+    {
+        PPA_ASSERT(valid(r), "marking bad phys reg ", r);
+        ready[static_cast<std::size_t>(r)] = false;
+    }
+
+    /** Restore a value during power-failure recovery. */
+    void
+    restore(PhysReg r, Word v)
+    {
+        write(r, v);
+    }
+
+  private:
+    bool
+    valid(PhysReg r) const
+    {
+        return r >= 0 && static_cast<unsigned>(r) < values.size();
+    }
+
+    std::vector<Word> values;
+    std::vector<bool> ready;
+};
+
+/**
+ * Free list of physical registers for one bank.
+ */
+class FreeList
+{
+  public:
+    FreeList() = default;
+
+    /** Populate with registers [first, count). */
+    void
+    fill(PhysReg first, unsigned count)
+    {
+        regs.clear();
+        for (unsigned i = 0; i < count; ++i)
+            regs.push_back(first + static_cast<PhysReg>(i));
+    }
+
+    bool empty() const { return regs.empty(); }
+    std::size_t size() const { return regs.size(); }
+
+    PhysReg
+    allocate()
+    {
+        PPA_ASSERT(!regs.empty(), "allocating from empty free list");
+        PhysReg r = regs.front();
+        regs.pop_front();
+        return r;
+    }
+
+    void free(PhysReg r) { regs.push_back(r); }
+
+    void clear() { regs.clear(); }
+
+  private:
+    std::deque<PhysReg> regs;
+};
+
+/**
+ * A rename table (used for both RAT and CRT) for one bank.
+ */
+class RenameTable
+{
+  public:
+    RenameTable() = default;
+
+    explicit RenameTable(unsigned arch_regs)
+        : map(arch_regs, invalidPhysReg)
+    {}
+
+    PhysReg
+    lookup(ArchReg a) const
+    {
+        PPA_ASSERT(a >= 0 && static_cast<std::size_t>(a) < map.size(),
+                   "bad arch reg ", a);
+        return map[static_cast<std::size_t>(a)];
+    }
+
+    void
+    update(ArchReg a, PhysReg p)
+    {
+        PPA_ASSERT(a >= 0 && static_cast<std::size_t>(a) < map.size(),
+                   "bad arch reg ", a);
+        map[static_cast<std::size_t>(a)] = p;
+    }
+
+    const std::vector<PhysReg> &raw() const { return map; }
+    void restoreRaw(const std::vector<PhysReg> &m) { map = m; }
+
+    std::size_t size() const { return map.size(); }
+
+  private:
+    std::vector<PhysReg> map;
+};
+
+} // namespace ppa
+
+#endif // PPA_CORE_RENAME_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Hardware cost and energy model (paper Sections 7.12 and 7.13).
+ *
+ * The paper sizes PPA's three structures (64-bit LCPC, 384-bit
+ * MaskReg, 40-entry CSQ) with CACTI 7.0 at a 22 nm node, computes the
+ * JIT-checkpoint energy from the measured 11.839 nJ/byte core-to-NVM
+ * movement cost, and sizes backup capacitors from published energy
+ * densities (1e-4 Wh/cm^3 supercapacitor, 1e-2 Wh/cm^3 Li-thin).
+ *
+ * CACTI itself is a large external tool; this module implements an
+ * analytical SRAM-array model calibrated to reproduce the paper's
+ * Table 4 magnitudes at 22 nm, plus the exact arithmetic behind
+ * Table 5 and the Section 7.13 timing numbers. The calibration
+ * constants are documented inline.
+ */
+
+#ifndef PPA_ENERGY_COST_MODEL_HH
+#define PPA_ENERGY_COST_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppa
+{
+namespace energy
+{
+
+/** Geometry of a small SRAM structure (register or FIFO array). */
+struct SramStructure
+{
+    std::string name;
+    std::uint64_t bits = 64;     ///< total storage bits
+    unsigned entries = 1;        ///< rows (1 = flat register)
+};
+
+/** CACTI-style outputs for one structure. */
+struct SramCost
+{
+    double areaUm2 = 0.0;          ///< silicon area (um^2)
+    double accessLatencyNs = 0.0;  ///< read access time
+    double dynamicAccessPj = 0.0;  ///< energy per access (pJ)
+};
+
+/**
+ * Analytical SRAM cost model at a given technology node.
+ */
+class SramCostModel
+{
+  public:
+    /** @param node_nm process node (the paper uses 22 nm). */
+    explicit SramCostModel(double node_nm = 22.0);
+
+    /** Estimate the cost of @p s. */
+    SramCost estimate(const SramStructure &s) const;
+
+  private:
+    double nodeNm;
+};
+
+/** Energy to move one byte from core SRAM to NVM (nJ/byte),
+ *  from the measurement studies the paper cites. */
+constexpr double nJPerByteToNvm = 11.839;
+
+/** Battery technology energy densities (Wh/cm^3). */
+constexpr double superCapWhPerCm3 = 1e-4;
+constexpr double liThinWhPerCm3 = 1e-2;
+
+/** Intel Xeon server core area excluding shared L2 (mm^2). */
+constexpr double xeonCoreAreaMm2 = 11.85;
+
+/** Energy storage requirement and resulting volumes. */
+struct BackupRequirement
+{
+    double energyJ = 0.0;       ///< joules to secure
+    double superCapMm3 = 0.0;   ///< supercapacitor volume
+    double liThinMm3 = 0.0;     ///< Li-thin battery volume
+    double superCapRatioToCore = 0.0; ///< volume / core area ratio
+    double liThinRatioToCore = 0.0;
+};
+
+/** Compute backup storage for flushing @p bytes to NVM. */
+BackupRequirement backupForBytes(std::uint64_t bytes);
+
+/** JIT checkpoint timing (Section 7.13). */
+struct CheckpointTiming
+{
+    double readTimeNs = 0.0;   ///< controller reads, 8 B/cycle @2 GHz
+    double flushTimeUs = 0.0;  ///< NVM flush at PMEM write bandwidth
+};
+
+/**
+ * Timing to checkpoint @p bytes with the sequential controller at
+ * @p clock_ghz and flush at @p pmem_write_gbps.
+ */
+CheckpointTiming checkpointTiming(std::uint64_t bytes,
+                                  double clock_ghz = 2.0,
+                                  double pmem_write_gbps = 2.3);
+
+/**
+ * PPA's worst-case checkpoint footprint (Section 7.13): 40 CSQ
+ * registers + 48 CRT registers at 128 bits each, plus CSQ entries,
+ * CRT entries, MaskReg, and LCPC at 8-byte granularity.
+ */
+std::uint64_t ppaWorstCaseCheckpointBytes();
+
+/** Capri's per-core flush: 54 KB redo buffer. */
+std::uint64_t capriFlushBytes();
+
+/** LightPC's per-core flush: registers + L1D + L2 (Section 7.13). */
+std::uint64_t lightPcFlushBytes();
+
+/** eADR-style flush: the full SRAM cache hierarchy of a server chip
+ *  (the paper quotes a 550 mJ supercapacitor requirement). */
+double eadrEnergyJ();
+
+/** BBB's battery-backed persist buffers (the paper quotes 775 uJ). */
+double bbbEnergyJ();
+
+/** The three PPA structures of Table 4. */
+std::vector<std::pair<SramStructure, SramCost>> ppaStructureCosts();
+
+/** Sum of PPA structure areas as a fraction of a Xeon core. */
+double ppaAreaRatio();
+
+} // namespace energy
+} // namespace ppa
+
+#endif // PPA_ENERGY_COST_MODEL_HH

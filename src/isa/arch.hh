@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Architectural register file constants and state.
+ *
+ * Matches the paper's assumptions (Section 7.13): 16 architectural
+ * integer registers and 32 architectural floating-point registers.
+ */
+
+#ifndef PPA_ISA_ARCH_HH
+#define PPA_ISA_ARCH_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace ppa
+{
+
+/** Number of architectural integer registers (x86-64 GPR count). */
+constexpr int numArchIntRegs = 16;
+
+/** Number of architectural FP registers (XMM count, Section 7.13). */
+constexpr int numArchFpRegs = 32;
+
+/** Arch register count for a class. */
+inline int
+numArchRegs(RegClass cls)
+{
+    return cls == RegClass::Int ? numArchIntRegs : numArchFpRegs;
+}
+
+/**
+ * Full architectural register state; used by the golden-model executor
+ * and by recovery verification.
+ */
+struct ArchState
+{
+    std::array<Word, numArchIntRegs> intRegs{};
+    std::array<Word, numArchFpRegs> fpRegs{};
+
+    Word
+    read(RegClass cls, ArchReg r) const
+    {
+        if (cls == RegClass::Int) {
+            PPA_ASSERT(r >= 0 && r < numArchIntRegs, "bad int reg ", r);
+            return intRegs[static_cast<std::size_t>(r)];
+        }
+        PPA_ASSERT(r >= 0 && r < numArchFpRegs, "bad fp reg ", r);
+        return fpRegs[static_cast<std::size_t>(r)];
+    }
+
+    void
+    write(RegClass cls, ArchReg r, Word v)
+    {
+        if (cls == RegClass::Int) {
+            PPA_ASSERT(r >= 0 && r < numArchIntRegs, "bad int reg ", r);
+            intRegs[static_cast<std::size_t>(r)] = v;
+        } else {
+            PPA_ASSERT(r >= 0 && r < numArchFpRegs, "bad fp reg ", r);
+            fpRegs[static_cast<std::size_t>(r)] = v;
+        }
+    }
+
+    bool operator==(const ArchState &other) const = default;
+};
+
+} // namespace ppa
+
+#endif // PPA_ISA_ARCH_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Assembler-style fluent API for constructing Programs.
+ *
+ * The functional kernels (hash table, tree, transactions, ...) and the
+ * examples are written against this builder, e.g.:
+ *
+ *   ProgramBuilder b;
+ *   auto loop = b.label();
+ *   b.movi(r0, 100);
+ *   b.place(loop);
+ *   b.addi(r1, r1, 1);
+ *   b.st(r1, r2, 0);
+ *   b.subi(r0, r0, 1);
+ *   b.brnz(r0, loop);
+ *   b.halt();
+ */
+
+#ifndef PPA_ISA_BUILDER_HH
+#define PPA_ISA_BUILDER_HH
+
+#include "isa/program.hh"
+
+namespace ppa
+{
+
+/**
+ * Fluent builder over a Program. Register arguments are architectural
+ * indices; `r` values name integer registers and `f` values FP ones.
+ */
+class ProgramBuilder
+{
+  public:
+    /** The program under construction (valid during and after build). */
+    Program &program() { return prog; }
+
+    /** Create an unplaced label. */
+    Label label() { return prog.newLabel(); }
+
+    /** Place @p l at the current position. */
+    void place(Label l) { prog.placeLabel(l); }
+
+    /** Seed initial memory: mem[addr] = value. */
+    void initMem(Addr addr, Word value)
+    {
+        prog.initialMemory().write(addr, value);
+    }
+
+    // ---- integer ALU -----------------------------------------------
+    void movi(ArchReg rd, Word imm);              ///< rd = imm
+    void mov(ArchReg rd, ArchReg rs);             ///< rd = rs
+    void add(ArchReg rd, ArchReg ra, ArchReg rb); ///< rd = ra + rb
+    void addi(ArchReg rd, ArchReg ra, Word imm);  ///< rd = ra + imm
+    void sub(ArchReg rd, ArchReg ra, ArchReg rb);
+    void subi(ArchReg rd, ArchReg ra, Word imm);  ///< rd = ra - imm
+    void mul(ArchReg rd, ArchReg ra, ArchReg rb);
+    void div(ArchReg rd, ArchReg ra, ArchReg rb);
+    void and_(ArchReg rd, ArchReg ra, ArchReg rb);
+    void or_(ArchReg rd, ArchReg ra, ArchReg rb);
+    void xor_(ArchReg rd, ArchReg ra, ArchReg rb);
+    void shli(ArchReg rd, ArchReg ra, Word sh);   ///< rd = ra << sh
+    void shri(ArchReg rd, ArchReg ra, Word sh);   ///< rd = ra >> sh
+    void cmplt(ArchReg rd, ArchReg ra, ArchReg rb);
+
+    // ---- floating point --------------------------------------------
+    void fadd(ArchReg fd, ArchReg fa, ArchReg fb);
+    void fmul(ArchReg fd, ArchReg fa, ArchReg fb);
+    void fdiv(ArchReg fd, ArchReg fa, ArchReg fb);
+    void fmov(ArchReg fd, ArchReg fa);
+    void fcvt(ArchReg fd, ArchReg rs);            ///< fd = double(rs)
+
+    // ---- memory ----------------------------------------------------
+    void ld(ArchReg rd, ArchReg rbase, Word off);   ///< rd = mem[rbase+off]
+    void st(ArchReg rdata, ArchReg rbase, Word off);///< mem[rbase+off] = rdata
+    void fld(ArchReg fd, ArchReg rbase, Word off);
+    void fst(ArchReg fdata, ArchReg rbase, Word off);
+    void amoadd(ArchReg rd, ArchReg rdata, ArchReg rbase, Word off);
+    void clwb(ArchReg rbase, Word off);
+
+    // ---- control ---------------------------------------------------
+    void brnz(ArchReg rcond, Label target); ///< branch if rcond != 0
+    void jmp(Label target);
+    void fence();
+    void nop();
+    void halt();
+
+  private:
+    void
+    emit(StaticInst si)
+    {
+        prog.append(si);
+    }
+
+    Program prog;
+};
+
+} // namespace ppa
+
+#endif // PPA_ISA_BUILDER_HH

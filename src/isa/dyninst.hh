@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Dynamic (committed-path) instruction representation.
+ *
+ * The out-of-order core consumes a stream of DynInsts — the committed
+ * path of the program, the way a trace-driven simulator would. Each
+ * DynInst carries its opcode, architectural registers, an immediate,
+ * and (for memory operations) the pre-resolved effective address.
+ * Register *values* are not part of the DynInst: they flow through the
+ * simulated physical register file, which is what PPA's store-integrity
+ * mechanism protects.
+ */
+
+#ifndef PPA_ISA_DYNINST_HH
+#define PPA_ISA_DYNINST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace ppa
+{
+
+/** Maximum number of register sources an instruction can name. */
+constexpr int maxSrcRegs = 3;
+
+/** One architectural register reference (class + index). */
+struct RegRef
+{
+    RegClass cls = RegClass::Int;
+    ArchReg idx = invalidArchReg;
+
+    bool valid() const { return idx != invalidArchReg; }
+
+    static RegRef
+    intReg(ArchReg r)
+    {
+        return {RegClass::Int, r};
+    }
+
+    static RegRef
+    fpReg(ArchReg r)
+    {
+        return {RegClass::Fp, r};
+    }
+
+    static RegRef none() { return {RegClass::Int, invalidArchReg}; }
+
+    bool operator==(const RegRef &other) const = default;
+};
+
+/**
+ * One dynamic instruction on the committed path.
+ */
+struct DynInst
+{
+    /** Position in the committed stream (0-based); the stream cursor
+     *  used by LCPC bookkeeping and seekTo(). */
+    std::uint64_t index = 0;
+
+    /**
+     * Fetch address of the instruction (code-space PC). Loops map
+     * back to the same PC, which is what the branch predictor and the
+     * L1 instruction cache key on. Sources that do not model code
+     * layout may leave it zero; the front end then synthesizes
+     * index-based addresses.
+     */
+    Addr pc = 0;
+
+    Opcode op = Opcode::Nop;
+
+    /** Destination register (invalid if the op defines none). */
+    RegRef dst = RegRef::none();
+
+    /** Source registers; unused slots are invalid. */
+    RegRef srcs[maxSrcRegs] = {RegRef::none(), RegRef::none(),
+                               RegRef::none()};
+
+    /** Immediate operand. */
+    Word imm = 0;
+
+    /**
+     * Effective address for loads/stores/atomics/clwb, pre-resolved by
+     * the functional front end (trace-driven style).
+     */
+    Addr memAddr = 0;
+
+    /** For branches: was this branch taken on the committed path? */
+    bool taken = false;
+
+    /** Set by the fetch stage when the predictor missed this branch;
+     *  the front end stalls until it resolves in the back end. */
+    bool mispredicted = false;
+
+    /** Number of valid sources. */
+    int
+    numSrcs() const
+    {
+        int n = 0;
+        for (const auto &s : srcs) {
+            if (s.valid())
+                ++n;
+        }
+        return n;
+    }
+
+    bool isLoad() const { return opInfo(op).isLoad; }
+    bool isStore() const { return opInfo(op).isStore; }
+    bool isBranch() const { return opInfo(op).isBranch; }
+    bool isSync() const { return opInfo(op).isSync; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool hasDst() const { return dst.valid(); }
+
+    /**
+     * The register carrying the data being stored. By convention the
+     * store's data operand is srcs[0]; MaskReg tracks (only) this
+     * register, matching the paper's Section 4.2 optimization of
+     * recording just the data register.
+     */
+    RegRef
+    storeDataReg() const
+    {
+        return isStore() ? srcs[0] : RegRef::none();
+    }
+};
+
+} // namespace ppa
+
+#endif // PPA_ISA_DYNINST_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The micro-ISA opcode set and its static properties.
+ *
+ * The simulator executes a small RISC-like instruction set that is rich
+ * enough to express the paper's workloads: integer/FP arithmetic of
+ * several latency classes, loads/stores, branches, and the
+ * synchronization primitives (atomic RMW, fence) that PPA treats as
+ * region boundaries (Section 6 of the paper).
+ */
+
+#ifndef PPA_ISA_OPCODES_HH
+#define PPA_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace ppa
+{
+
+/** Micro-operations understood by the pipeline. */
+enum class Opcode : std::uint8_t
+{
+    Nop,        ///< no-op (consumes fetch/rob slots only)
+    IntAdd,     ///< dst = src1 + src2 + imm
+    IntSub,     ///< dst = src1 - src2 + imm
+    IntMul,     ///< dst = src1 * src2
+    IntDiv,     ///< dst = src1 / max(src2,1)
+    IntAnd,     ///< dst = src1 & src2
+    IntOr,      ///< dst = src1 | src2
+    IntXor,     ///< dst = src1 ^ src2
+    IntShl,     ///< dst = src1 << (src2 & 63)
+    IntShr,     ///< dst = src1 >> (src2 & 63)
+    IntMov,     ///< dst = src1 + imm (also used as "load immediate")
+    IntCmpLt,   ///< dst = src1 < src2 (unsigned)
+    FpAdd,      ///< FP dst = src1 + src2
+    FpMul,      ///< FP dst = src1 * src2
+    FpDiv,      ///< FP dst = src1 / src2
+    FpMov,      ///< FP dst = src1
+    FpCvt,      ///< FP dst = double(int src1)
+    Load,       ///< dst = mem[EA]
+    FpLoad,     ///< FP dst = mem[EA]
+    Store,      ///< mem[EA] = src data (INT)
+    FpStore,    ///< mem[EA] = src data (FP)
+    Branch,     ///< conditional branch (taken iff src1 != 0)
+    Jump,       ///< unconditional branch
+    AtomicRmw,  ///< mem[EA] = mem[EA] + src data; dst = old value
+    Fence,      ///< full memory fence (region boundary under PPA)
+    Clwb,       ///< cacheline writeback (ReplayCache baseline only)
+    Halt,       ///< terminates the stream
+};
+
+/** Functional-unit class an opcode executes on. */
+enum class FuType : std::uint8_t
+{
+    None,    ///< nop/fence/halt: no FU needed
+    IntAlu,  ///< simple integer
+    IntMul,  ///< integer multiply
+    IntDiv,  ///< integer divide (unpipelined)
+    FpAlu,   ///< FP add/mov/cvt
+    FpMul,   ///< FP multiply
+    FpDiv,   ///< FP divide (unpipelined)
+    MemRead, ///< load port
+    MemWrite,///< store port
+    Branch,  ///< branch unit
+};
+
+/** Static properties of an opcode. */
+struct OpInfo
+{
+    std::string_view mnemonic;
+    FuType fu;
+    /** Execution latency in cycles (memory ops add cache latency). */
+    int latency;
+    bool isLoad;
+    bool isStore;
+    bool isBranch;
+    /** Synchronization primitive: PPA region boundary (Section 6). */
+    bool isSync;
+    bool writesIntReg;
+    bool writesFpReg;
+};
+
+/** Look up the static properties of @p op. */
+const OpInfo &opInfo(Opcode op);
+
+/** Mnemonic for diagnostics. */
+inline std::string_view
+opName(Opcode op)
+{
+    return opInfo(op).mnemonic;
+}
+
+/** Destination register class of @p op (only valid if it writes one). */
+inline RegClass
+destClass(Opcode op)
+{
+    return opInfo(op).writesFpReg ? RegClass::Fp : RegClass::Int;
+}
+
+/** True if the opcode defines a destination register. */
+inline bool
+writesReg(Opcode op)
+{
+    const OpInfo &info = opInfo(op);
+    return info.writesIntReg || info.writesFpReg;
+}
+
+} // namespace ppa
+
+#endif // PPA_ISA_OPCODES_HH

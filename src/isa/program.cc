@@ -1,0 +1,106 @@
+#include "isa/program.hh"
+
+#include "common/logging.hh"
+#include "isa/semantics.hh"
+
+namespace ppa
+{
+
+ProgramExecutor::ProgramExecutor(const Program &program,
+                                 std::uint64_t max_insts)
+    : prog(program), maxInsts(max_insts), mem(program.initialMemory())
+{
+}
+
+bool
+ProgramExecutor::stepOne()
+{
+    if (halted || staticPc >= prog.size() || stream.size() >= maxInsts)
+        return false;
+
+    const StaticInst &si = prog.at(staticPc);
+
+    DynInst di;
+    di.index = stream.size();
+    // Code space: 4-byte instructions at 1 GiB; loops revisit PCs.
+    di.pc = 0x4000'0000ull + staticPc * 4;
+    di.op = si.op;
+    di.dst = si.dst;
+    for (int i = 0; i < maxSrcRegs; ++i)
+        di.srcs[i] = si.srcs[i];
+    di.imm = si.imm;
+
+    auto src_val = [&](int i) {
+        return state.read(si.srcs[i].cls, si.srcs[i].idx);
+    };
+
+    // Resolve effective addresses and branch outcomes functionally.
+    std::uint64_t next_pc = staticPc + 1;
+    switch (si.op) {
+      case Opcode::Load:
+      case Opcode::FpLoad:
+        di.memAddr = MemImage::wordAlign(src_val(0) + si.imm);
+        break;
+      case Opcode::Store:
+      case Opcode::FpStore:
+      case Opcode::AtomicRmw:
+        di.memAddr = MemImage::wordAlign(src_val(1) + si.imm);
+        break;
+      case Opcode::Clwb:
+        di.memAddr = MemImage::wordAlign(src_val(0) + si.imm);
+        break;
+      case Opcode::Branch:
+        di.taken = src_val(0) != 0;
+        if (di.taken)
+            next_pc = prog.labelPc(si.target);
+        break;
+      case Opcode::Jump:
+        di.taken = true;
+        next_pc = prog.labelPc(si.target);
+        break;
+      case Opcode::Halt:
+        halted = true;
+        break;
+      default:
+        break;
+    }
+
+    applyDynInst(di, state, mem);
+    stream.push_back(di);
+    staticPc = next_pc;
+    return true;
+}
+
+void
+ProgramExecutor::generateUpTo(std::uint64_t upto)
+{
+    while (stream.size() <= upto && stepOne()) {
+    }
+}
+
+bool
+ProgramExecutor::next(DynInst &out)
+{
+    if (readPos >= stream.size())
+        generateUpTo(readPos);
+    if (readPos >= stream.size())
+        return false;
+    out = stream[readPos++];
+    return true;
+}
+
+void
+ProgramExecutor::seekTo(std::uint64_t index)
+{
+    readPos = index;
+}
+
+std::uint64_t
+ProgramExecutor::totalLength()
+{
+    while (stepOne()) {
+    }
+    return stream.size();
+}
+
+} // namespace ppa

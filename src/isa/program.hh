@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Static program representation for the micro-ISA.
+ *
+ * A Program is a list of static instructions with label-based branch
+ * targets plus initial memory contents. The ProgramExecutor runs it
+ * functionally to produce the committed-path DynInst stream the core
+ * consumes, resolving effective addresses and branch outcomes.
+ */
+
+#ifndef PPA_ISA_PROGRAM_HH
+#define PPA_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "isa/arch.hh"
+#include "isa/dyninst.hh"
+#include "isa/source.hh"
+#include "mem/mem_image.hh"
+
+namespace ppa
+{
+
+/** Identifier of a label within a program. */
+using Label = std::int32_t;
+
+constexpr Label invalidLabel = -1;
+
+/**
+ * One static instruction. Conventions for memory operands:
+ *  - Load/FpLoad:   EA = value(srcs[0]) + imm, dst = mem[EA]
+ *  - Store/FpStore: data = srcs[0], EA = value(srcs[1]) + imm
+ *  - AtomicRmw:     data = srcs[0], EA = value(srcs[1]) + imm
+ *  - Clwb:          EA = value(srcs[0]) + imm
+ *  - Branch:        taken iff value(srcs[0]) != 0, to target label
+ */
+struct StaticInst
+{
+    Opcode op = Opcode::Nop;
+    RegRef dst = RegRef::none();
+    RegRef srcs[maxSrcRegs] = {RegRef::none(), RegRef::none(),
+                               RegRef::none()};
+    Word imm = 0;
+    Label target = invalidLabel;
+};
+
+/**
+ * A complete static program: instructions, label positions, and the
+ * initial memory image.
+ */
+class Program
+{
+  public:
+    /** Append an instruction; returns its static PC. */
+    std::uint64_t
+    append(const StaticInst &inst)
+    {
+        insts.push_back(inst);
+        return insts.size() - 1;
+    }
+
+    /** Create a fresh (unplaced) label. */
+    Label
+    newLabel()
+    {
+        labelPcs.push_back(~std::uint64_t{0});
+        return static_cast<Label>(labelPcs.size() - 1);
+    }
+
+    /** Place @p label at the current end of the program. */
+    void placeLabel(Label label) { labelPcs[checkLabel(label)] = size(); }
+
+    /** Static PC a label resolves to. */
+    std::uint64_t
+    labelPc(Label label) const
+    {
+        std::uint64_t pc = labelPcs[checkLabel(label)];
+        PPA_ASSERT(pc != ~std::uint64_t{0}, "label ", label, " unplaced");
+        return pc;
+    }
+
+    std::uint64_t size() const { return insts.size(); }
+    const StaticInst &at(std::uint64_t pc) const { return insts[pc]; }
+
+    /** Initial memory contents the program starts from. */
+    MemImage &initialMemory() { return initMem; }
+    const MemImage &initialMemory() const { return initMem; }
+
+  private:
+    std::size_t
+    checkLabel(Label label) const
+    {
+        PPA_ASSERT(label >= 0 &&
+                       static_cast<std::size_t>(label) < labelPcs.size(),
+                   "bad label ", label);
+        return static_cast<std::size_t>(label);
+    }
+
+    std::vector<StaticInst> insts;
+    std::vector<std::uint64_t> labelPcs;
+    MemImage initMem;
+};
+
+/**
+ * Runs a Program functionally, producing the committed-path stream.
+ *
+ * The executor memoizes generated DynInsts so that seekTo() — used by
+ * power-failure recovery to resume after LCPC — is cheap.
+ */
+class ProgramExecutor : public DynInstSource
+{
+  public:
+    /**
+     * @param program   the static program to run
+     * @param max_insts safety bound on dynamic instruction count
+     */
+    explicit ProgramExecutor(const Program &program,
+                             std::uint64_t max_insts = 50'000'000);
+
+    bool next(DynInst &out) override;
+    void seekTo(std::uint64_t index) override;
+
+    /** Total committed-path length (runs the program to completion). */
+    std::uint64_t totalLength();
+
+    /** The memoized committed-path stream generated so far. */
+    const std::vector<DynInst> &generated() const { return stream; }
+
+    /** Golden architectural state after all generated instructions. */
+    const ArchState &goldenState() const { return state; }
+
+    /** Golden memory after all generated instructions. */
+    const MemImage &goldenMemory() const { return mem; }
+
+  private:
+    /** Generate committed-path instructions up to index @p upto. */
+    void generateUpTo(std::uint64_t upto);
+
+    /** Functionally step one static instruction; false at halt/end. */
+    bool stepOne();
+
+    const Program &prog;
+    std::uint64_t maxInsts;
+    std::uint64_t staticPc = 0;
+    bool halted = false;
+
+    ArchState state;
+    MemImage mem;
+
+    std::vector<DynInst> stream;
+    std::uint64_t readPos = 0;
+};
+
+} // namespace ppa
+
+#endif // PPA_ISA_PROGRAM_HH

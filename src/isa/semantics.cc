@@ -1,0 +1,126 @@
+#include "isa/semantics.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace ppa
+{
+
+namespace
+{
+
+double
+asDouble(Word w)
+{
+    return std::bit_cast<double>(w);
+}
+
+Word
+asWord(double d)
+{
+    return std::bit_cast<Word>(d);
+}
+
+} // namespace
+
+Word
+aluCompute(Opcode op, Word s0, Word s1, Word imm)
+{
+    switch (op) {
+      case Opcode::IntAdd:
+        return s0 + s1 + imm;
+      case Opcode::IntSub:
+        return s0 - s1 + imm;
+      case Opcode::IntMul:
+        return s0 * s1;
+      case Opcode::IntDiv:
+        return s0 / (s1 ? s1 : 1);
+      case Opcode::IntAnd:
+        return s0 & s1;
+      case Opcode::IntOr:
+        return s0 | s1;
+      case Opcode::IntXor:
+        return s0 ^ s1;
+      case Opcode::IntShl:
+        return s0 << ((s1 + imm) & 63);
+      case Opcode::IntShr:
+        return s0 >> ((s1 + imm) & 63);
+      case Opcode::IntMov:
+        return s0 + imm;
+      case Opcode::IntCmpLt:
+        return s0 < s1 ? 1 : 0;
+      case Opcode::FpAdd:
+        return asWord(asDouble(s0) + asDouble(s1));
+      case Opcode::FpMul:
+        return asWord(asDouble(s0) * asDouble(s1));
+      case Opcode::FpDiv:
+        return asWord(asDouble(s0) / asDouble(s1));
+      case Opcode::FpMov:
+        return s0;
+      case Opcode::FpCvt:
+        return asWord(static_cast<double>(s0));
+      default:
+        panic("aluCompute on non-ALU opcode ", opName(op));
+    }
+}
+
+void
+applyDynInst(const DynInst &inst, ArchState &state, MemImage &mem)
+{
+    auto src = [&](int i) -> Word {
+        PPA_ASSERT(inst.srcs[i].valid(), "reading invalid source ", i,
+                   " of ", opName(inst.op));
+        return state.read(inst.srcs[i].cls, inst.srcs[i].idx);
+    };
+
+    switch (inst.op) {
+      case Opcode::Nop:
+      case Opcode::Fence:
+      case Opcode::Halt:
+      case Opcode::Clwb:
+      case Opcode::Branch:
+      case Opcode::Jump:
+        // No architectural register/memory effect on the committed
+        // path (branch outcomes are pre-recorded in the DynInst).
+        break;
+      case Opcode::Load:
+      case Opcode::FpLoad:
+        state.write(inst.dst.cls, inst.dst.idx, mem.read(inst.memAddr));
+        break;
+      case Opcode::Store:
+      case Opcode::FpStore:
+        mem.write(inst.memAddr, src(0));
+        break;
+      case Opcode::AtomicRmw: {
+        Word old = mem.read(inst.memAddr);
+        mem.write(inst.memAddr, old + src(0));
+        state.write(inst.dst.cls, inst.dst.idx, old);
+        break;
+      }
+      default: {
+        // Register-writing ALU operation.
+        Word s0 = inst.srcs[0].valid() ? src(0) : 0;
+        Word s1 = inst.srcs[1].valid() ? src(1) : 0;
+        state.write(inst.dst.cls, inst.dst.idx,
+                    aluCompute(inst.op, s0, s1, inst.imm));
+        break;
+      }
+    }
+}
+
+GoldenResult
+runGolden(const std::vector<DynInst> &stream, const MemImage &initial_mem)
+{
+    GoldenResult result;
+    result.mem = initial_mem;
+    for (const auto &inst : stream) {
+        applyDynInst(inst, result.state, result.mem);
+        ++result.instCount;
+        if (inst.isStore())
+            ++result.storeCount;
+    }
+    return result;
+}
+
+} // namespace ppa

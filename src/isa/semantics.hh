@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Functional semantics shared by the golden model and the OoO core.
+ *
+ * Both the functional executor (golden model) and the pipeline's
+ * execute stage use these helpers, guaranteeing that the two agree on
+ * every value — which is what makes crash-consistency verification
+ * meaningful.
+ */
+
+#ifndef PPA_ISA_SEMANTICS_HH
+#define PPA_ISA_SEMANTICS_HH
+
+#include "common/types.hh"
+#include "isa/arch.hh"
+#include "isa/dyninst.hh"
+#include "mem/mem_image.hh"
+
+namespace ppa
+{
+
+/**
+ * Compute the ALU result of a register-writing, non-load opcode from
+ * its source values. FP values are IEEE doubles bit-cast into Words.
+ */
+Word aluCompute(Opcode op, Word s0, Word s1, Word imm);
+
+/**
+ * Apply one committed-path instruction to architectural state and
+ * memory; the golden model's step function.
+ */
+void applyDynInst(const DynInst &inst, ArchState &state, MemImage &mem);
+
+/**
+ * Run an entire committed-path stream through the golden model,
+ * producing the final architectural state and memory image.
+ */
+struct GoldenResult
+{
+    ArchState state;
+    MemImage mem;
+    std::uint64_t instCount = 0;
+    std::uint64_t storeCount = 0;
+};
+
+GoldenResult runGolden(const std::vector<DynInst> &stream,
+                       const MemImage &initial_mem);
+
+} // namespace ppa
+
+#endif // PPA_ISA_SEMANTICS_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Sources of committed-path dynamic instructions.
+ *
+ * A DynInstSource feeds the core's fetch stage. It must support
+ * repositioning (seekTo) so that power-failure recovery can resume
+ * fetching right after the last committed PC (LCPC), per the paper's
+ * Section 4.6 recovery protocol.
+ */
+
+#ifndef PPA_ISA_SOURCE_HH
+#define PPA_ISA_SOURCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/dyninst.hh"
+
+namespace ppa
+{
+
+/**
+ * Abstract producer of the committed-path instruction stream.
+ */
+class DynInstSource
+{
+  public:
+    virtual ~DynInstSource() = default;
+
+    /**
+     * Produce the next instruction into @p out.
+     * @return false when the stream is exhausted.
+     */
+    virtual bool next(DynInst &out) = 0;
+
+    /**
+     * Reposition the stream so the next call to next() returns the
+     * instruction whose index is @p index.
+     */
+    virtual void seekTo(std::uint64_t index) = 0;
+};
+
+/**
+ * A materialized instruction stream; used by tests, examples, and the
+ * functional kernels where the whole committed path fits in memory.
+ */
+class VectorSource : public DynInstSource
+{
+  public:
+    VectorSource() = default;
+
+    explicit VectorSource(std::vector<DynInst> insts)
+        : stream(std::move(insts))
+    {
+        renumber();
+    }
+
+    /** Append an instruction; indices are assigned on the fly. */
+    void
+    push(DynInst inst)
+    {
+        inst.index = stream.size();
+        stream.push_back(inst);
+    }
+
+    bool
+    next(DynInst &out) override
+    {
+        if (pos >= stream.size())
+            return false;
+        out = stream[pos++];
+        return true;
+    }
+
+    void seekTo(std::uint64_t index) override { pos = index; }
+
+    std::uint64_t size() const { return stream.size(); }
+    const DynInst &at(std::uint64_t i) const { return stream[i]; }
+    const std::vector<DynInst> &all() const { return stream; }
+
+  private:
+    void
+    renumber()
+    {
+        for (std::uint64_t i = 0; i < stream.size(); ++i)
+            stream[i].index = i;
+    }
+
+    std::vector<DynInst> stream;
+    std::uint64_t pos = 0;
+};
+
+} // namespace ppa
+
+#endif // PPA_ISA_SOURCE_HH

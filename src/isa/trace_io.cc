@@ -1,0 +1,124 @@
+#include "isa/trace_io.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace ppa
+{
+
+namespace
+{
+
+constexpr char traceMagic[8] = {'P', 'P', 'A', 'T', 'R', 'A', 'C', '1'};
+constexpr std::uint64_t traceVersion = 1;
+
+/** On-disk record: fixed 48 bytes per instruction. */
+struct TraceRecord
+{
+    std::uint64_t pc;
+    std::uint64_t memAddr;
+    std::uint64_t imm;
+    std::uint8_t op;
+    std::uint8_t dstCls;
+    std::int16_t dstIdx;
+    std::uint8_t srcCls[maxSrcRegs];
+    std::uint8_t taken;
+    std::int16_t srcIdx[maxSrcRegs];
+    std::uint8_t pad[10];
+};
+static_assert(sizeof(TraceRecord) == 48, "trace record layout drifted");
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+void
+writeTrace(const std::string &path, const std::vector<DynInst> &stream)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        fatal("cannot open trace file '", path, "' for writing");
+
+    std::uint64_t count = stream.size();
+    if (std::fwrite(traceMagic, sizeof(traceMagic), 1, f.get()) != 1 ||
+        std::fwrite(&traceVersion, 8, 1, f.get()) != 1 ||
+        std::fwrite(&count, 8, 1, f.get()) != 1) {
+        fatal("failed writing trace header to '", path, "'");
+    }
+
+    for (const auto &di : stream) {
+        TraceRecord r{};
+        r.pc = di.pc;
+        r.memAddr = di.memAddr;
+        r.imm = di.imm;
+        r.op = static_cast<std::uint8_t>(di.op);
+        r.dstCls = static_cast<std::uint8_t>(di.dst.cls);
+        r.dstIdx = di.dst.idx;
+        for (int i = 0; i < maxSrcRegs; ++i) {
+            r.srcCls[i] = static_cast<std::uint8_t>(di.srcs[i].cls);
+            r.srcIdx[i] = di.srcs[i].idx;
+        }
+        r.taken = di.taken ? 1 : 0;
+        if (std::fwrite(&r, sizeof(r), 1, f.get()) != 1)
+            fatal("failed writing trace record to '", path, "'");
+    }
+}
+
+std::vector<DynInst>
+readTrace(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        fatal("cannot open trace file '", path, "'");
+
+    char magic[8];
+    std::uint64_t version = 0;
+    std::uint64_t count = 0;
+    if (std::fread(magic, sizeof(magic), 1, f.get()) != 1 ||
+        std::memcmp(magic, traceMagic, sizeof(magic)) != 0) {
+        fatal("'", path, "' is not a PPA trace file");
+    }
+    if (std::fread(&version, 8, 1, f.get()) != 1 ||
+        version != traceVersion) {
+        fatal("'", path, "' has unsupported trace version");
+    }
+    if (std::fread(&count, 8, 1, f.get()) != 1)
+        fatal("'", path, "' has a truncated header");
+
+    std::vector<DynInst> stream;
+    stream.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TraceRecord r;
+        if (std::fread(&r, sizeof(r), 1, f.get()) != 1)
+            fatal("'", path, "' is truncated at record ", i);
+        DynInst di;
+        di.index = i;
+        di.pc = r.pc;
+        di.memAddr = r.memAddr;
+        di.imm = r.imm;
+        di.op = static_cast<Opcode>(r.op);
+        di.dst = {static_cast<RegClass>(r.dstCls), r.dstIdx};
+        for (int s = 0; s < maxSrcRegs; ++s) {
+            di.srcs[s] = {static_cast<RegClass>(r.srcCls[s]),
+                          r.srcIdx[s]};
+        }
+        di.taken = r.taken != 0;
+        stream.push_back(di);
+    }
+    return stream;
+}
+
+} // namespace ppa

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Binary trace files for committed-path instruction streams.
+ *
+ * The simulator is trace-driven; this module makes traces durable:
+ * any DynInst stream (a functional kernel's committed path, a
+ * synthetic workload, or a stream captured from elsewhere) can be
+ * written to a compact binary file and replayed later via
+ * TraceFileSource. That enables "record once, sweep many configs"
+ * workflows and sharing reproducible inputs.
+ *
+ * Format: a 24-byte header (magic 'PPATRAC1', version, instruction
+ * count) followed by fixed-size little-endian records.
+ */
+
+#ifndef PPA_ISA_TRACE_IO_HH
+#define PPA_ISA_TRACE_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/source.hh"
+
+namespace ppa
+{
+
+/** Write @p stream to @p path. Fatal on I/O errors. */
+void writeTrace(const std::string &path,
+                const std::vector<DynInst> &stream);
+
+/** Read an entire trace file. Fatal on a malformed file. */
+std::vector<DynInst> readTrace(const std::string &path);
+
+/**
+ * A DynInstSource replaying a trace file (loaded eagerly; trace files
+ * at simulator scale are tens of MB at most).
+ */
+class TraceFileSource : public DynInstSource
+{
+  public:
+    explicit TraceFileSource(const std::string &path)
+        : stream(readTrace(path))
+    {}
+
+    bool
+    next(DynInst &out) override
+    {
+        if (pos >= stream.size())
+            return false;
+        out = stream[pos++];
+        return true;
+    }
+
+    void seekTo(std::uint64_t index) override { pos = index; }
+
+    std::uint64_t size() const { return stream.size(); }
+
+  private:
+    std::vector<DynInst> stream;
+    std::uint64_t pos = 0;
+};
+
+} // namespace ppa
+
+#endif // PPA_ISA_TRACE_IO_HH

@@ -1,0 +1,171 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace ppa
+{
+
+Cache::Cache(const CacheParams &p, const char *name)
+    : params(p), cacheName(name)
+{
+    PPA_ASSERT(std::has_single_bit(std::uint64_t{params.lineBytes}),
+               "line size must be a power of two");
+    PPA_ASSERT(params.assoc > 0, "associativity must be positive");
+    numSets = params.sizeBytes / (params.lineBytes * params.assoc);
+    PPA_ASSERT(numSets > 0, cacheName, ": size too small");
+    PPA_ASSERT(std::has_single_bit(std::uint64_t{numSets}),
+               cacheName, ": set count must be a power of two");
+    sets.assign(numSets, std::vector<Line>(params.assoc));
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / params.lineBytes) & (numSets - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return (addr / params.lineBytes) / numSets;
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    auto &set = sets[setIndex(addr)];
+    Addr tag = tagOf(addr);
+
+    for (auto &line : set) {
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = ++stampCounter;
+            if (is_write)
+                line.dirty = true;
+            statHits.inc();
+            return {true, std::nullopt};
+        }
+    }
+
+    statMisses.inc();
+
+    // Fill: choose the LRU way (preferring invalid ways).
+    Line *victim = &set[0];
+    for (auto &line : set) {
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lruStamp < victim->lruStamp)
+            victim = &line;
+    }
+
+    std::optional<Addr> dirty_victim;
+    if (victim->valid && victim->dirty) {
+        dirty_victim = (victim->tag * numSets +
+                        setIndex(addr)) * params.lineBytes;
+    }
+
+    victim->tag = tag;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->lruStamp = ++stampCounter;
+    return {false, dirty_victim};
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const auto &set = sets[setIndex(addr)];
+    Addr tag = tagOf(addr);
+    for (const auto &line : set) {
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+std::optional<Addr>
+Cache::insertWriteback(Addr line_addr, bool dirty)
+{
+    auto &set = sets[setIndex(line_addr)];
+    Addr tag = tagOf(line_addr);
+
+    for (auto &line : set) {
+        if (line.valid && line.tag == tag) {
+            line.dirty = line.dirty || dirty;
+            line.lruStamp = ++stampCounter;
+            return std::nullopt;
+        }
+    }
+
+    Line *victim = &set[0];
+    for (auto &line : set) {
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lruStamp < victim->lruStamp)
+            victim = &line;
+    }
+
+    std::optional<Addr> dirty_victim;
+    if (victim->valid && victim->dirty) {
+        dirty_victim = (victim->tag * numSets +
+                        setIndex(line_addr)) * params.lineBytes;
+    }
+
+    victim->tag = tag;
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->lruStamp = ++stampCounter;
+    return dirty_victim;
+}
+
+void
+Cache::cleanLine(Addr addr)
+{
+    auto &set = sets[setIndex(addr)];
+    Addr tag = tagOf(addr);
+    for (auto &line : set) {
+        if (line.valid && line.tag == tag) {
+            line.dirty = false;
+            return;
+        }
+    }
+}
+
+std::vector<Addr>
+Cache::invalidateAll()
+{
+    std::vector<Addr> dirty;
+    for (std::size_t si = 0; si < numSets; ++si) {
+        for (auto &line : sets[si]) {
+            if (line.valid && line.dirty) {
+                dirty.push_back((line.tag * numSets + si) *
+                                params.lineBytes);
+            }
+            line.valid = false;
+            line.dirty = false;
+        }
+    }
+    return dirty;
+}
+
+std::vector<Addr>
+Cache::dirtyLines() const
+{
+    std::vector<Addr> dirty;
+    for (std::size_t si = 0; si < numSets; ++si) {
+        for (const auto &line : sets[si]) {
+            if (line.valid && line.dirty) {
+                dirty.push_back((line.tag * numSets + si) *
+                                params.lineBytes);
+            }
+        }
+    }
+    return dirty;
+}
+
+} // namespace ppa

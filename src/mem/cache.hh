@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Set-associative write-back cache tag model with LRU replacement.
+ *
+ * The simulator tracks tags and dirty bits only; data values live in
+ * the functional memory images (see mem_image.hh). That is sufficient
+ * because the evaluation cares about hit/miss timing and writeback
+ * traffic, while crash-consistency verification flows value-exact data
+ * through the persist path (write buffer -> WPQ -> NVM image).
+ */
+
+#ifndef PPA_MEM_CACHE_HH
+#define PPA_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/params.hh"
+
+namespace ppa
+{
+
+/**
+ * Result of a cache access: hit/miss plus any dirty victim evicted by
+ * the line fill.
+ */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** Line address of a dirty victim that must be written back. */
+    std::optional<Addr> dirtyVictim;
+};
+
+/**
+ * A set-associative write-back, write-allocate cache tag array.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params, const char *name = "cache");
+
+    /**
+     * Perform an access; on a miss the line is filled (allocated),
+     * possibly evicting a dirty victim reported in the result.
+     *
+     * @param addr  byte address accessed
+     * @param is_write mark the line dirty on hit/fill
+     */
+    CacheAccessResult access(Addr addr, bool is_write);
+
+    /** Probe without side effects. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Insert a (possibly dirty) line evicted from an upper level;
+     * returns a dirty victim if the fill displaced one.
+     */
+    std::optional<Addr> insertWriteback(Addr line_addr, bool dirty);
+
+    /** Clear a line's dirty bit (after its data has been persisted). */
+    void cleanLine(Addr addr);
+
+    /** Invalidate every line; returns dirty line addresses. */
+    std::vector<Addr> invalidateAll();
+
+    /** All currently dirty line addresses (for final drain). */
+    std::vector<Addr> dirtyLines() const;
+
+    Cycle hitLatency() const { return params.hitLatency; }
+    unsigned lineBytes() const { return params.lineBytes; }
+    Addr lineMask() const { return params.lineBytes - 1; }
+
+    /** Align an address down to its containing line. */
+    Addr lineAlign(Addr addr) const { return addr & ~Addr{lineMask()}; }
+
+    std::uint64_t hits() const { return statHits.value(); }
+    std::uint64_t misses() const { return statMisses.value(); }
+
+    double
+    missRatio() const
+    {
+        std::uint64_t total = hits() + misses();
+        return total ? static_cast<double>(misses()) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::size_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheParams params;
+    const char *cacheName;
+    std::size_t numSets;
+    std::vector<std::vector<Line>> sets;
+    std::uint64_t stampCounter = 0;
+
+    stats::Counter statHits;
+    stats::Counter statMisses;
+};
+
+} // namespace ppa
+
+#endif // PPA_MEM_CACHE_HH

@@ -1,0 +1,112 @@
+#include "mem/dram_cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace ppa
+{
+
+DramCache::DramCache(const DramCacheParams &p) : params(p)
+{
+    numSets = params.sizeBytes / params.lineBytes;
+    PPA_ASSERT(std::has_single_bit(std::uint64_t{numSets}),
+               "DRAM cache set count must be a power of two");
+    lines.assign(numSets, Line{});
+}
+
+std::size_t
+DramCache::setIndex(Addr addr) const
+{
+    return (addr / params.lineBytes) & (numSets - 1);
+}
+
+Addr
+DramCache::tagOf(Addr addr) const
+{
+    return (addr / params.lineBytes) / numSets;
+}
+
+CacheAccessResult
+DramCache::access(Addr addr, bool is_write)
+{
+    Line &line = lines[setIndex(addr)];
+    Addr tag = tagOf(addr);
+
+    if (line.valid && line.tag == tag) {
+        if (is_write)
+            line.dirty = true;
+        statHits.inc();
+        return {true, std::nullopt};
+    }
+
+    if (!line.valid && params.warmStart) {
+        // First touch of this set: the fast-forward phase already
+        // brought the line in (see DramCacheParams::warmStart).
+        line.tag = tag;
+        line.valid = true;
+        line.dirty = is_write;
+        statHits.inc();
+        return {true, std::nullopt};
+    }
+
+    statMisses.inc();
+    std::optional<Addr> dirty_victim;
+    if (line.valid && line.dirty) {
+        dirty_victim = (line.tag * numSets + setIndex(addr)) *
+                       params.lineBytes;
+    }
+    line.tag = tag;
+    line.valid = true;
+    line.dirty = is_write;
+    return {false, dirty_victim};
+}
+
+bool
+DramCache::contains(Addr addr) const
+{
+    const Line &line = lines[setIndex(addr)];
+    return line.valid && line.tag == tagOf(addr);
+}
+
+void
+DramCache::updateIfPresent(Addr addr)
+{
+    Line &line = lines[setIndex(addr)];
+    if (line.valid && line.tag == tagOf(addr)) {
+        // A persist wrote the NVM copy; the cached copy is now clean
+        // relative to NVM.
+        line.dirty = false;
+    }
+}
+
+void
+DramCache::cleanLine(Addr addr)
+{
+    Line &line = lines[setIndex(addr)];
+    if (line.valid && line.tag == tagOf(addr))
+        line.dirty = false;
+}
+
+std::vector<Addr>
+DramCache::dirtyLines() const
+{
+    std::vector<Addr> out;
+    for (std::size_t si = 0; si < numSets; ++si) {
+        const Line &line = lines[si];
+        if (line.valid && line.dirty)
+            out.push_back((line.tag * numSets + si) * params.lineBytes);
+    }
+    return out;
+}
+
+void
+DramCache::invalidateAll()
+{
+    for (auto &line : lines) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+} // namespace ppa

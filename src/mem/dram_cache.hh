@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Direct-mapped DRAM cache, i.e. the LLC of PMEM's memory mode.
+ *
+ * In Intel's memory mode, DRAM fronts the persistent memory as a
+ * direct-mapped cache managed by the memory controller. The paper's
+ * baseline and PPA both run in this mode; the eADR/BBB (app-direct)
+ * baseline disables it, which is exactly what makes the ideal PSP
+ * design lose to PPA on memory-intensive applications (Figure 10).
+ */
+
+#ifndef PPA_MEM_DRAM_CACHE_HH
+#define PPA_MEM_DRAM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+#include "mem/params.hh"
+
+namespace ppa
+{
+
+/** Direct-mapped tag array covering the DRAM cache. */
+class DramCache
+{
+  public:
+    explicit DramCache(const DramCacheParams &params);
+
+    /**
+     * Access @p addr; on a miss the line is allocated, and any dirty
+     * victim line address is returned for writeback to NVM.
+     */
+    CacheAccessResult access(Addr addr, bool is_write);
+
+    /** Probe without side effects. */
+    bool contains(Addr addr) const;
+
+    /** Update a resident line's data presence after a persist
+     *  (write-through of PPA's asynchronous store writeback). */
+    void updateIfPresent(Addr addr);
+
+    /** Clear a line's dirty bit. */
+    void cleanLine(Addr addr);
+
+    /** All dirty line addresses (final drain / eADR-style flush). */
+    std::vector<Addr> dirtyLines() const;
+
+    /** Drop all contents (power loss: DRAM is volatile). */
+    void invalidateAll();
+
+    Cycle hitLatency() const { return params.hitLatency; }
+    Addr lineAlign(Addr addr) const
+    {
+        return addr & ~Addr{params.lineBytes - 1};
+    }
+
+    std::uint64_t hits() const { return statHits.value(); }
+    std::uint64_t misses() const { return statMisses.value(); }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::size_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    DramCacheParams params;
+    std::size_t numSets;
+    std::vector<Line> lines;
+
+    stats::Counter statHits;
+    stats::Counter statMisses;
+};
+
+} // namespace ppa
+
+#endif // PPA_MEM_DRAM_CACHE_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Word-granularity functional memory image.
+ *
+ * Two images exist per simulated system: the *committed* image (the
+ * architectural memory contents as of the last committed store) and the
+ * *NVM* image (what has actually been persisted). Crash-consistency
+ * verification compares the post-recovery NVM image against the golden
+ * committed image.
+ */
+
+#ifndef PPA_MEM_MEM_IMAGE_HH
+#define PPA_MEM_MEM_IMAGE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ppa
+{
+
+/**
+ * Sparse 8-byte-word-granularity memory contents; unwritten words
+ * read as zero.
+ */
+class MemImage
+{
+  public:
+    /** Word-align an address down to its 8-byte container. */
+    static Addr wordAlign(Addr a) { return a & ~Addr{7}; }
+
+    /** Read the word containing @p addr. */
+    Word
+    read(Addr addr) const
+    {
+        auto it = words.find(wordAlign(addr));
+        return it == words.end() ? 0 : it->second;
+    }
+
+    /** Write the word containing @p addr. */
+    void write(Addr addr, Word value) { words[wordAlign(addr)] = value; }
+
+    /** Number of distinct words ever written. */
+    std::size_t footprintWords() const { return words.size(); }
+
+    /** Invoke @p fn(addr, value) for every stored word. */
+    template <typename Fn>
+    void
+    forEachWord(Fn &&fn) const
+    {
+        for (const auto &[a, v] : words)
+            fn(a, v);
+    }
+
+    /** Remove all contents. */
+    void clear() { words.clear(); }
+
+    /**
+     * Copy every word of @p other that lies within the cache line
+     * containing @p line_addr into this image. Models a 64-byte line
+     * writeback at word granularity.
+     */
+    void
+    copyLineFrom(const MemImage &other, Addr line_addr, Addr line_mask)
+    {
+        Addr base = line_addr & ~line_mask;
+        for (Addr off = 0; off <= line_mask; off += 8) {
+            auto it = other.words.find(base + off);
+            if (it != other.words.end())
+                words[base + off] = it->second;
+        }
+    }
+
+    /**
+     * True when every word present in either image has the same value
+     * in both (missing words are zero).
+     */
+    bool
+    sameContents(const MemImage &other) const
+    {
+        for (const auto &[a, v] : words) {
+            if (other.read(a) != v)
+                return false;
+        }
+        for (const auto &[a, v] : other.words) {
+            if (read(a) != v)
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * List of word addresses whose values differ between the images
+     * (for diagnostics), capped at @p limit entries.
+     */
+    std::vector<Addr>
+    diffAddrs(const MemImage &other, std::size_t limit = 16) const
+    {
+        std::vector<Addr> out;
+        for (const auto &[a, v] : words) {
+            if (other.read(a) != v) {
+                out.push_back(a);
+                if (out.size() >= limit)
+                    return out;
+            }
+        }
+        for (const auto &[a, v] : other.words) {
+            if (read(a) != v && words.find(a) == words.end()) {
+                out.push_back(a);
+                if (out.size() >= limit)
+                    return out;
+            }
+        }
+        return out;
+    }
+
+  private:
+    std::unordered_map<Addr, Word> words;
+};
+
+} // namespace ppa
+
+#endif // PPA_MEM_MEM_IMAGE_HH

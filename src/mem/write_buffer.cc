@@ -1,0 +1,118 @@
+#include "mem/write_buffer.hh"
+
+#include "common/logging.hh"
+
+namespace ppa
+{
+
+WriteBuffer::WriteBuffer(unsigned num_entries, unsigned line_bytes,
+                         unsigned coalesce_window)
+    : capacity(num_entries), lineBytes(line_bytes),
+      coalesceWindow(coalesce_window)
+{
+    PPA_ASSERT(capacity > 0, "write buffer needs at least one entry");
+}
+
+bool
+WriteBuffer::addStore(Addr addr, Word value, Cycle now)
+{
+    Addr line = addr & ~Addr{lineBytes - 1};
+
+    // Persist coalescing: merge into an un-issued entry for the same
+    // line. Correct within a region because the barrier drains the WB
+    // before the next region's stores arrive (Section 4.3).
+    for (auto &e : entries) {
+        if (!e.issued && e.lineAddr == line) {
+            e.words[MemImage::wordAlign(addr)] = value;
+            ++e.storeCount;
+            statCoalesced.inc();
+            return true;
+        }
+    }
+
+    unsigned unissued = 0;
+    for (const auto &e : entries) {
+        if (!e.issued)
+            ++unissued;
+    }
+    if (unissued >= capacity) {
+        statFullStall.inc();
+        return false;
+    }
+
+    Entry e;
+    e.lineAddr = line;
+    e.words[MemImage::wordAlign(addr)] = value;
+    e.storeCount = 1;
+    e.bornCycle = now;
+    entries.push_back(std::move(e));
+    return true;
+}
+
+void
+WriteBuffer::tick(Cycle now, Nvm &nvm, MemImage &nvm_image)
+{
+    // Issue the oldest un-issued entry per tick (one WB->WPQ port).
+    // Entries linger for a write-combining window so that a burst of
+    // same-line stores coalesces into one persist operation — but
+    // only a handful of lines stay open: older entries stream out
+    // *during* the region (the paper's asynchronous writeback), so a
+    // region boundary never faces a burst of deferred writebacks.
+    unsigned unissued = 0;
+    for (const auto &e : entries) {
+        if (!e.issued)
+            ++unissued;
+    }
+    bool pressured = draining || unissued > 3;
+    for (auto &e : entries) {
+        if (e.issued)
+            continue;
+        if (!pressured && now < e.bornCycle + coalesceWindow)
+            break; // still combining; younger entries are newer yet
+        if (!nvm.writeAcceptable(e.lineAddr, now)) {
+            // WPQ full right now; keep the entry coalescable and try
+            // again next cycle rather than committing to a future
+            // slot (a younger same-line store may still merge).
+            break;
+        }
+        NvmWriteTicket ticket = nvm.enqueueWrite(e.lineAddr, lineBytes,
+                                                 now);
+        e.issued = true;
+        e.ackCycle = ticket.ackCycle;
+        statOps.inc();
+        // Once in the WPQ the write is inside the persistence (ADR)
+        // domain: apply the word data to the persistent image now.
+        for (const auto &[a, v] : e.words)
+            nvm_image.write(a, v);
+        break;
+    }
+
+    // Retire entries on WPQ acceptance (ADR: accepted == persistent).
+    while (!entries.empty() && entries.front().issued)
+        entries.pop_front();
+}
+
+unsigned
+WriteBuffer::outstandingStores(Cycle now)
+{
+    (void)now;
+    unsigned n = 0;
+    for (const auto &e : entries) {
+        if (!e.issued)
+            n += e.storeCount;
+    }
+    return n;
+}
+
+Cycle
+WriteBuffer::drainAll(Cycle now, Nvm &nvm, MemImage &nvm_image)
+{
+    Cycle t = now;
+    while (outstandingStores(t) > 0) {
+        tick(t, nvm, nvm_image);
+        ++t;
+    }
+    return t;
+}
+
+} // namespace ppa

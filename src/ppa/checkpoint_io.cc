@@ -1,0 +1,145 @@
+#include "ppa/checkpoint_io.hh"
+
+#include "common/logging.hh"
+
+namespace ppa
+{
+
+namespace
+{
+
+constexpr std::uint64_t checkpointMagic = 0x50504143'4B505431ull;
+constexpr std::uint64_t inlineValueBit = std::uint64_t{1} << 63;
+constexpr std::uint64_t invalidMapping = ~std::uint64_t{0};
+
+} // namespace
+
+std::vector<std::uint64_t>
+serializeCheckpoint(const CheckpointImage &image)
+{
+    std::vector<std::uint64_t> out;
+    out.push_back(checkpointMagic);
+    std::uint64_t flags = (image.valid ? 1u : 0u) |
+                          (image.anyCommitted ? 2u : 0u);
+    out.push_back(flags);
+    out.push_back(image.lcpc);
+
+    const auto &mask_words = image.maskBits.raw();
+    std::uint64_t counts =
+        static_cast<std::uint64_t>(image.csq.size()) |
+        (static_cast<std::uint64_t>(image.crtInt.size()) << 16) |
+        (static_cast<std::uint64_t>(image.crtFp.size()) << 32) |
+        (static_cast<std::uint64_t>(mask_words.size()) << 48);
+    out.push_back(counts);
+    out.push_back(image.maskBits.size()); // exact MaskReg bit count
+
+    for (const auto &e : image.csq) {
+        std::uint64_t meta = e.physRegIndex;
+        if (e.carriesValue)
+            meta |= inlineValueBit;
+        out.push_back(meta);
+        out.push_back(e.addr);
+        if (e.carriesValue)
+            out.push_back(e.value);
+    }
+    for (PhysReg p : image.crtInt) {
+        out.push_back(p == invalidPhysReg
+                          ? invalidMapping
+                          : static_cast<std::uint64_t>(p));
+    }
+    for (PhysReg p : image.crtFp) {
+        out.push_back(p == invalidPhysReg
+                          ? invalidMapping
+                          : static_cast<std::uint64_t>(p));
+    }
+    for (std::uint64_t w : mask_words)
+        out.push_back(w);
+    for (const auto &[g, v] : image.physRegValues) {
+        out.push_back(g);
+        out.push_back(v);
+    }
+    out.push_back(image.physRegValues.size());
+    return out;
+}
+
+CheckpointImage
+deserializeCheckpoint(const std::vector<std::uint64_t> &words)
+{
+    auto need = [&](std::size_t pos, std::size_t n) {
+        if (pos + n > words.size()) {
+            fatal("checkpoint area truncated at entry ", pos,
+                  " (need ", n, " more of ", words.size(), ")");
+        }
+    };
+
+    need(0, 4);
+    if (words[0] != checkpointMagic)
+        fatal("checkpoint area has bad magic");
+
+    CheckpointImage image;
+    image.valid = (words[1] & 1) != 0;
+    image.anyCommitted = (words[1] & 2) != 0;
+    image.lcpc = words[2];
+
+    std::uint64_t counts = words[3];
+    std::size_t n_csq = counts & 0xFFFF;
+    std::size_t n_crt_int = (counts >> 16) & 0xFFFF;
+    std::size_t n_crt_fp = (counts >> 32) & 0xFFFF;
+    std::size_t n_mask = (counts >> 48) & 0xFFFF;
+
+    need(4, 1);
+    std::uint64_t mask_bits = words[4];
+    std::size_t pos = 5;
+    for (std::size_t i = 0; i < n_csq; ++i) {
+        need(pos, 2);
+        std::uint64_t meta = words[pos++];
+        CsqEntry e;
+        e.carriesValue = (meta & inlineValueBit) != 0;
+        e.physRegIndex = static_cast<unsigned>(meta & 0xFFFFFFFFu);
+        e.addr = words[pos++];
+        if (e.carriesValue) {
+            need(pos, 1);
+            e.value = words[pos++];
+        }
+        image.csq.push_back(e);
+    }
+
+    auto read_crt = [&](std::size_t n) {
+        std::vector<PhysReg> v;
+        for (std::size_t i = 0; i < n; ++i) {
+            need(pos, 1);
+            std::uint64_t w = words[pos++];
+            v.push_back(w == invalidMapping
+                            ? invalidPhysReg
+                            : static_cast<PhysReg>(w));
+        }
+        return v;
+    };
+    image.crtInt = read_crt(n_crt_int);
+    image.crtFp = read_crt(n_crt_fp);
+
+    need(pos, n_mask);
+    std::vector<std::uint64_t> mask_words(
+        words.begin() + static_cast<std::ptrdiff_t>(pos),
+        words.begin() + static_cast<std::ptrdiff_t>(pos + n_mask));
+    PPA_ASSERT((mask_bits + 63) / 64 == n_mask,
+               "MaskReg word count inconsistent with bit count");
+    image.maskBits = BitVector(mask_bits);
+    image.maskBits.restoreRaw(mask_words);
+    pos += n_mask;
+
+    // Register values run until the trailer (their count).
+    need(words.size() - 1, 1);
+    std::uint64_t n_regs = words.back();
+    need(pos, n_regs * 2 + 1);
+    for (std::uint64_t i = 0; i < n_regs; ++i) {
+        std::uint64_t g = words[pos++];
+        std::uint64_t v = words[pos++];
+        image.physRegValues[static_cast<unsigned>(g)] = v;
+    }
+    if (pos + 1 != words.size())
+        fatal("checkpoint area has trailing garbage");
+    return image;
+}
+
+} // namespace ppa

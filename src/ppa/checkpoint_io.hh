@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Checkpoint serialization: the NVM layout of the JIT checkpoint.
+ *
+ * Section 4.5: the controller checkpoints the five structures
+ * sequentially, one 8-byte entry at a time, through the existing
+ * non-temporal path; the Source Index Generator picks what to read
+ * and the NVM Address Generator where to write. This module defines
+ * that designated checkpoint area's byte layout and implements the
+ * (de)serialization the hardware walk performs, so a checkpoint can
+ * be stored in, and recovered from, raw NVM bytes.
+ *
+ * Layout (all fields little-endian 64-bit entries):
+ *
+ *   [0]  magic 'PPACKPT1'
+ *   [1]  flags (bit0: valid, bit1: anyCommitted)
+ *   [2]  LCPC
+ *   [3]  counts: csqEntries | crtInt<<16 | crtFp<<32 | maskWords<<48
+ *   [4]  MaskReg bit count
+ *   ...  CSQ entries   (2 words each: meta, addr; meta bit63 set =>
+ *        the entry carries an inline value in a third word)
+ *   ...  CRT INT entries (1 word each, ~0 = invalid mapping)
+ *   ...  CRT FP entries
+ *   ...  MaskReg words
+ *   ...  register values (2 words each: global index, value)
+ *   [n]  trailer: register-value count
+ */
+
+#ifndef PPA_PPA_CHECKPOINT_IO_HH
+#define PPA_PPA_CHECKPOINT_IO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ppa/checkpoint.hh"
+
+namespace ppa
+{
+
+/** Serialize @p image into the checkpoint area's 8-byte entries. */
+std::vector<std::uint64_t> serializeCheckpoint(
+    const CheckpointImage &image);
+
+/**
+ * Reconstruct a checkpoint image from the checkpoint area.
+ * Fatal on a malformed area (bad magic / truncation): recovery from
+ * a corrupt checkpoint region must not proceed silently.
+ */
+CheckpointImage deserializeCheckpoint(
+    const std::vector<std::uint64_t> &words);
+
+} // namespace ppa
+
+#endif // PPA_PPA_CHECKPOINT_IO_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Battery-backed I/O buffer (paper Section 5, "Handling I/O
+ * Operations").
+ *
+ * Irrevocable operations such as device I/O cannot be replayed: a
+ * packet must leave exactly once. The paper proposes extending PPA
+ * with a small battery-backed buffer so that any store into the
+ * buffer counts as persisted the moment it commits — it is neither
+ * CSQ-tracked nor replayed, and its contents survive power failure on
+ * the battery.
+ *
+ * The model exposes the resulting exactly-once property: the buffer
+ * records the committed I/O stores in program order; a power failure
+ * preserves the records; recovery resumes after LCPC, so no committed
+ * I/O store is ever re-executed and no uncommitted one ever appears.
+ */
+
+#ifndef PPA_PPA_IO_BUFFER_HH
+#define PPA_PPA_IO_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ppa
+{
+
+/** One committed I/O write as a device would observe it. */
+struct IoRecord
+{
+    Addr addr = 0;
+    Word value = 0;
+
+    bool operator==(const IoRecord &other) const = default;
+};
+
+/**
+ * The battery-backed I/O window: a physical address range whose
+ * stores are irrevocable device writes.
+ */
+class IoBuffer
+{
+  public:
+    IoBuffer() = default;
+
+    /** @param base start of the I/O window; @param bytes its size
+     *  (0 disables the window). */
+    IoBuffer(Addr base, std::uint64_t bytes)
+        : windowBase(base), windowBytes(bytes)
+    {}
+
+    /** Is @p addr a device address inside the window? */
+    bool
+    inRange(Addr addr) const
+    {
+        return windowBytes != 0 && addr >= windowBase &&
+               addr < windowBase + windowBytes;
+    }
+
+    /** A store to the window commits: the device sees it now. */
+    void
+    write(Addr addr, Word value)
+    {
+        records.push_back({addr, value});
+    }
+
+    /**
+     * Power failure: nothing to do — the buffer is battery-backed,
+     * so the device-visible history survives. (Method kept explicit
+     * so call sites document the property.)
+     */
+    void powerFail() {}
+
+    /** The device-visible write history, in commit order. */
+    const std::vector<IoRecord> &history() const { return records; }
+
+    std::uint64_t writeCount() const { return records.size(); }
+
+    bool enabled() const { return windowBytes != 0; }
+    Addr base() const { return windowBase; }
+
+  private:
+    Addr windowBase = 0;
+    std::uint64_t windowBytes = 0;
+    std::vector<IoRecord> records;
+};
+
+} // namespace ppa
+
+#endif // PPA_PPA_IO_BUFFER_HH

@@ -1,0 +1,207 @@
+#include "sim/experiment.hh"
+
+#include <cmath>
+#include <memory>
+
+#include "baselines/replaycache.hh"
+#include "common/logging.hh"
+#include "workload/generator.hh"
+
+namespace ppa
+{
+
+const char *
+variantName(SystemVariant variant)
+{
+    switch (variant) {
+      case SystemVariant::MemoryMode:
+        return "memory-mode";
+      case SystemVariant::Ppa:
+        return "PPA";
+      case SystemVariant::Capri:
+        return "Capri";
+      case SystemVariant::ReplayCache:
+        return "ReplayCache";
+      case SystemVariant::EadrBbb:
+        return "eADR/BBB";
+      case SystemVariant::DramOnly:
+        return "DRAM-only";
+    }
+    return "?";
+}
+
+SystemConfig
+makeSystemConfig(SystemVariant variant, const ExperimentKnobs &knobs,
+                 unsigned threads)
+{
+    SystemConfig sc;
+    sc.numCores = threads;
+
+    sc.core.intPrfEntries = knobs.intPrf;
+    sc.core.fpPrfEntries = knobs.fpPrf;
+    sc.core.csqEntries = knobs.csqEntries;
+
+    sc.mem.nvm.wpqEntries = knobs.wpqEntries;
+    sc.mem.nvm.writeBwGBps = knobs.nvmWriteGbps;
+    sc.mem.l3Enabled = knobs.l3Cache;
+    sc.mem.wbCoalesceWindow = knobs.wbCoalesceWindow;
+    if (knobs.l3Cache) {
+        // Section 7.6: private 1 MB L2 at 14 cycles under a shared
+        // L3 (16 MB scaled 16x -> 1 MB) at 44 cycles.
+        sc.mem.l2 = CacheParams{256 * KiB, 16, 64, 14};
+        sc.mem.l3 = CacheParams{1 * MiB, 16, 64, 44};
+    }
+
+    // Scale shared resources with thread count (Section 7.11: "scale
+    // up the NVM WPQ/shared L2 size proportionally"): a larger socket
+    // brings more PMEM channels, so controllers (and hence aggregate
+    // write bandwidth) grow with the core count too.
+    if (threads > 8) {
+        unsigned scale = threads / 8;
+        sc.mem.l2.sizeBytes *= scale;
+        sc.mem.nvm.wpqEntries *= scale;
+        sc.mem.nvm.numControllers *= scale; // power of 2 for 16/32/64
+        sc.mem.nvm.writeBwGBps *= scale;
+    }
+
+    switch (variant) {
+      case SystemVariant::MemoryMode:
+        sc.core.mode = PersistMode::Volatile;
+        break;
+      case SystemVariant::Ppa:
+        sc.core.mode = PersistMode::Ppa;
+        break;
+      case SystemVariant::Capri:
+        sc.core.mode = PersistMode::Capri;
+        break;
+      case SystemVariant::ReplayCache:
+        sc.core.mode = PersistMode::ReplayCache;
+        break;
+      case SystemVariant::EadrBbb:
+        // Ideal PSP: app-direct mode, so no DRAM cache; persistence
+        // itself is free (battery-backed buffers).
+        sc.core.mode = PersistMode::Volatile;
+        sc.mem.dramCache.enabled = false;
+        break;
+      case SystemVariant::DramOnly:
+        sc.core.mode = PersistMode::Volatile;
+        sc.mem.dramOnly = true;
+        break;
+    }
+    return sc;
+}
+
+RunStats
+runWorkload(const WorkloadProfile &profile, SystemVariant variant,
+            const ExperimentKnobs &knobs)
+{
+    unsigned threads = knobs.threads ? knobs.threads
+                                     : profile.defaultThreads;
+    SystemConfig sc = makeSystemConfig(variant, knobs, threads);
+    System system(sc);
+
+    // One deterministic stream per thread. ReplayCache additionally
+    // wraps each stream in its compiler transformation.
+    std::vector<std::unique_ptr<StreamGenerator>> gens;
+    std::vector<std::unique_ptr<ReplayCacheTransform>> transforms;
+    for (unsigned t = 0; t < threads; ++t) {
+        gens.push_back(std::make_unique<StreamGenerator>(
+            profile, t, knobs.seed, knobs.instsPerCore));
+        if (variant == SystemVariant::ReplayCache) {
+            transforms.push_back(std::make_unique<ReplayCacheTransform>(
+                *gens.back(), ReplayCacheParams{}));
+            system.bindSource(t, transforms.back().get());
+        } else {
+            system.bindSource(t, gens.back().get());
+        }
+    }
+
+    // Warm the caches before measurement: the slowdown figures must
+    // not be dominated by compulsory misses (the paper fast-forwards
+    // 5B instructions before its 1B-instruction measured window).
+    Cycle cap = knobs.instsPerCore * 400;
+    std::uint64_t warmup_insts = static_cast<std::uint64_t>(
+        knobs.warmupFraction *
+        static_cast<double>(knobs.instsPerCore) * threads);
+    Cycle warm_cycle = 0;
+    while (!system.allDone() && system.cycle() < cap &&
+           system.totalCommitted() < warmup_insts) {
+        for (int i = 0; i < 64 && !system.allDone(); ++i)
+            system.tick();
+    }
+    warm_cycle = system.cycle();
+    system.run(cap);
+
+    RunStats rs;
+    rs.workload = profile.name;
+    rs.variant = variant;
+    rs.threads = threads;
+    rs.totalCycles = system.cycle();
+    rs.cycles = system.cycle() - warm_cycle;
+    rs.committedInsts = system.totalCommitted();
+    rs.freeIntHist = stats::Histogram(sc.core.intPrfEntries);
+    rs.freeFpHist = stats::Histogram(sc.core.fpPrfEntries);
+
+    double region_stores = 0.0;
+    double region_others = 0.0;
+    unsigned cores_with_regions = 0;
+    for (unsigned c = 0; c < system.numCores(); ++c) {
+        const Core &core = system.core(c);
+        rs.committedStores += core.committedStores();
+        const RegionStats &reg = core.regionStats();
+        rs.regionCount += reg.regionCount();
+        rs.boundaryStallCycles += reg.stallCycles();
+        rs.renameStallNoRegCycles += core.renameStallNoRegCycles();
+        if (reg.regionCount() > 0) {
+            region_stores += reg.avgStoresPerRegion();
+            region_others += reg.avgOthersPerRegion();
+            ++cores_with_regions;
+        }
+        rs.freeIntHist.merge(core.freeIntRegHistogram());
+        rs.freeFpHist.merge(core.freeFpRegHistogram());
+        rs.coalescedStores +=
+            system.memory().writeBuffer(c).coalescedStores();
+        rs.persistOps += system.memory().writeBuffer(c).persistOps();
+    }
+    if (cores_with_regions) {
+        rs.avgRegionStores = region_stores / cores_with_regions;
+        rs.avgRegionOthers = region_others / cores_with_regions;
+    }
+    // Stall counters accumulate per core but cycles count wall-clock:
+    // normalize to per-core stalls.
+    rs.boundaryStallCycles /= threads;
+    rs.renameStallNoRegCycles /= threads;
+
+    rs.ipc = rs.totalCycles
+                 ? static_cast<double>(rs.committedInsts) /
+                       static_cast<double>(rs.totalCycles)
+                 : 0.0;
+
+    rs.nvmWrites = system.memory().nvm().writeCount();
+    rs.nvmReads = system.memory().nvm().readCount();
+    rs.nvmBytesWritten = system.memory().nvm().bytesWritten();
+    rs.wpqStallCycles = system.memory().nvm().wpqStallCycles();
+    rs.l2MissRatio = system.memory().l2MissRatio();
+    return rs;
+}
+
+double
+slowdown(const RunStats &test, const RunStats &baseline)
+{
+    PPA_ASSERT(baseline.cycles > 0, "baseline did not run");
+    return static_cast<double>(test.cycles) /
+           static_cast<double>(baseline.cycles);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += std::log(v);
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+} // namespace ppa

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Experiment runner: builds a system variant, attaches workload
+ * streams, runs for a fixed committed-instruction budget, and reports
+ * the statistics the paper's figures plot.
+ */
+
+#ifndef PPA_SIM_EXPERIMENT_HH
+#define PPA_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/system.hh"
+#include "workload/profile.hh"
+
+namespace ppa
+{
+
+/** The systems compared throughout the evaluation. */
+enum class SystemVariant : std::uint8_t
+{
+    /** PMEM memory mode without persistence: the paper's baseline. */
+    MemoryMode,
+    /** The paper's design. */
+    Ppa,
+    /** Capri-style WSP (Figure 8). */
+    Capri,
+    /** ReplayCache-style WSP (Figure 1). */
+    ReplayCache,
+    /** Ideal PSP (eADR/BBB): app-direct, no DRAM cache (Figure 10). */
+    EadrBbb,
+    /** Volatile DRAM-only system (Figure 9 reference). */
+    DramOnly,
+};
+
+/** Human-readable variant name. */
+const char *variantName(SystemVariant variant);
+
+/** Tweakable knobs for the sensitivity studies (Sections 7.6-7.11). */
+struct ExperimentKnobs
+{
+    unsigned threads = 0;     ///< 0 = profile default
+    unsigned wpqEntries = 16; ///< Figure 15
+    unsigned intPrf = 180;    ///< Figure 16
+    unsigned fpPrf = 168;     ///< Figure 16
+    unsigned csqEntries = 40; ///< Figure 17
+    double nvmWriteGbps = 2.3;///< Figure 18
+    bool l3Cache = false;     ///< Figure 14
+    /** WB write-combining window; 0 = no persist coalescing
+     *  (ablation of the Section 4.3 design choice). */
+    unsigned wbCoalesceWindow = 1024;
+    std::uint64_t instsPerCore = 200'000;
+    std::uint64_t seed = 42;
+    /**
+     * Fraction of the instruction budget used to warm the caches
+     * before measurement starts (the paper fast-forwards 5B
+     * instructions and then measures 1B in detail; the measured
+     * window must not be cold-cache dominated).
+     */
+    double warmupFraction = 0.4;
+};
+
+/** Everything a figure could want from one run. */
+struct RunStats
+{
+    std::string workload;
+    SystemVariant variant = SystemVariant::MemoryMode;
+    unsigned threads = 1;
+
+    /** Measured-window cycles (post-warmup; use for slowdowns). */
+    Cycle cycles = 0;
+    /** Whole-run cycles including warmup (use for stall ratios). */
+    Cycle totalCycles = 0;
+    std::uint64_t committedInsts = 0;
+    std::uint64_t committedStores = 0;
+    double ipc = 0.0;
+
+    // Region characteristics (PPA/Capri), aggregated over cores.
+    double avgRegionStores = 0.0;
+    double avgRegionOthers = 0.0;
+    std::uint64_t regionCount = 0;
+    std::uint64_t boundaryStallCycles = 0;
+    std::uint64_t renameStallNoRegCycles = 0;
+
+    // Memory-system behaviour.
+    std::uint64_t nvmWrites = 0;
+    std::uint64_t nvmReads = 0;
+    std::uint64_t nvmBytesWritten = 0;
+    std::uint64_t wpqStallCycles = 0;
+    double l2MissRatio = 0.0;
+    std::uint64_t coalescedStores = 0;
+    std::uint64_t persistOps = 0;
+
+    // Free-register CDFs (merged across cores; Figure 5).
+    stats::Histogram freeIntHist;
+    stats::Histogram freeFpHist;
+
+    /** Boundary-stall cycles as a fraction of all cycles (Fig. 11). */
+    double
+    boundaryStallRatio() const
+    {
+        return totalCycles
+                   ? static_cast<double>(boundaryStallCycles) /
+                         static_cast<double>(totalCycles)
+                   : 0.0;
+    }
+
+    /** Rename no-free-reg stalls as a fraction of cycles (Fig. 12). */
+    double
+    renameStallRatio() const
+    {
+        return totalCycles
+                   ? static_cast<double>(renameStallNoRegCycles) /
+                         static_cast<double>(totalCycles)
+                   : 0.0;
+    }
+};
+
+/** Build the SystemConfig for a (variant, knobs, threads) triple. */
+SystemConfig makeSystemConfig(SystemVariant variant,
+                              const ExperimentKnobs &knobs,
+                              unsigned threads);
+
+/**
+ * Run @p profile on @p variant and return its statistics.
+ * Multithreaded profiles run one stream per thread/core.
+ */
+RunStats runWorkload(const WorkloadProfile &profile,
+                     SystemVariant variant,
+                     const ExperimentKnobs &knobs = {});
+
+/** Cycle-count ratio of @p test to @p baseline ("slowdown"). */
+double slowdown(const RunStats &test, const RunStats &baseline);
+
+/** Geometric mean of a series of slowdowns. */
+double geomean(const std::vector<double> &values);
+
+} // namespace ppa
+
+#endif // PPA_SIM_EXPERIMENT_HH

@@ -1,0 +1,508 @@
+#include "workload/kernels.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+#include "isa/builder.hh"
+
+namespace ppa
+{
+namespace kernels
+{
+
+namespace
+{
+
+/** Check that @p v is a power of two (table sizes must be). */
+void
+requirePow2(std::uint64_t v, const char *what)
+{
+    PPA_ASSERT(v && (v & (v - 1)) == 0, what,
+               " must be a power of two, got ", v);
+}
+
+/** Emit an LCG advance: state = state * mulc + addc (mulc in rtmp). */
+void
+lcgAdvance(ProgramBuilder &b, ArchReg state, ArchReg rtmp)
+{
+    b.mul(state, state, rtmp);
+    b.addi(state, state, 0x9E3779B97F4A7C15ull & 0xFFFF);
+}
+
+} // namespace
+
+Program
+counterLoop(std::uint64_t iters, Addr base)
+{
+    ProgramBuilder b;
+    b.initMem(base, 0);
+
+    b.movi(0, iters);  // r0: loop counter
+    b.movi(1, base);   // r1: counter address
+    auto loop = b.label();
+    b.place(loop);
+    b.ld(2, 1, 0);
+    b.addi(2, 2, 1);
+    b.st(2, 1, 0);
+    b.subi(0, 0, 1);
+    b.brnz(0, loop);
+    b.halt();
+    return b.program();
+}
+
+Program
+hashTableUpdate(std::uint64_t ops, std::uint64_t slots, Addr table_base)
+{
+    requirePow2(slots, "hash table slots");
+    ProgramBuilder b;
+    for (std::uint64_t i = 0; i < slots; ++i)
+        b.initMem(table_base + i * 8, i);
+
+    b.movi(0, ops);               // r0: op counter
+    b.movi(1, table_base);        // r1: table base
+    b.movi(2, 0x243F6A88);        // r2: key state
+    b.movi(3, 2654435761ull);     // r3: hash multiplier
+    b.movi(8, (slots - 1) * 8);   // r8: byte mask for slot index
+
+    auto loop = b.label();
+    b.place(loop);
+    b.mul(4, 2, 3);               // hash = key * c
+    b.shri(5, 4, 16);
+    b.xor_(4, 4, 5);
+    b.shli(4, 4, 3);              // to byte offset
+    b.and_(5, 4, 8);              // mask into table
+    b.add(6, 1, 5);               // slot address
+    b.ld(7, 6, 0);
+    b.add(7, 7, 2);               // slot += key
+    b.st(7, 6, 0);
+    b.addi(2, 2, 0x9E37);         // next key
+    b.subi(0, 0, 1);
+    b.brnz(0, loop);
+    b.halt();
+    return b.program();
+}
+
+Program
+searchTreeWalk(std::uint64_t ops, std::uint64_t nodes, Addr tree_base)
+{
+    PPA_ASSERT(nodes >= 1, "tree needs at least one node");
+    ProgramBuilder b;
+
+    // Build a balanced BST over keys {1..nodes}: node i occupies
+    // 32 bytes at tree_base + i*32 with fields
+    // [key, value, left-addr, right-addr] (0 = no child).
+    struct BuildCtx
+    {
+        ProgramBuilder &b;
+        Addr base;
+        std::uint64_t next = 0;
+        Addr
+        build(std::uint64_t lo, std::uint64_t hi) // keys [lo, hi]
+        {
+            if (lo > hi)
+                return 0;
+            std::uint64_t mid = lo + (hi - lo) / 2;
+            Addr me = base + (next++) * 32;
+            Addr left = build(lo, mid - 1 < lo ? lo - 1 : mid - 1);
+            Addr right = build(mid + 1, hi);
+            b.initMem(me + 0, mid);   // key
+            b.initMem(me + 8, 0);     // value
+            b.initMem(me + 16, left);
+            b.initMem(me + 24, right);
+            return me;
+        }
+    } ctx{b, tree_base};
+    // Root is the first allocated node.
+    Addr root = ctx.build(1, nodes);
+
+    b.movi(0, ops);            // r0: op counter
+    b.movi(1, root);           // r1: root address
+    b.movi(2, 0x1234567);      // r2: key state
+    b.movi(12, 6364136223846793005ull); // r12: LCG multiplier
+    b.movi(13, nodes - 1);     // r13: key mask-ish bound
+
+    auto outer = b.label();
+    auto walk = b.label();
+    auto cont = b.label();
+    auto update = b.label();
+
+    b.place(outer);
+    lcgAdvance(b, 2, 12);
+    // probe key in [1, nodes]: key = (state & (pow2ceil-1)) % ... use
+    // division-free clamp: key = (state >> 8) & mask, then +1.
+    b.shri(3, 2, 8);
+    b.and_(3, 3, 13);
+    b.addi(3, 3, 1);           // r3: probe key
+    b.mov(4, 1);               // r4: cursor = root
+
+    b.place(walk);
+    b.ld(5, 4, 0);             // node key
+    b.cmplt(6, 3, 5);          // 1 -> go left
+    b.shli(7, 6, 3);           // 8 if left
+    b.movi(8, 24);
+    b.sub(8, 8, 7);            // 16 (left) or 24 (right)
+    b.add(9, 4, 8);
+    b.ld(10, 9, 0);            // child address
+    b.brnz(10, cont);
+    b.jmp(update);
+    b.place(cont);
+    b.mov(4, 10);
+    b.jmp(walk);
+
+    b.place(update);
+    b.ld(11, 4, 8);            // value
+    b.addi(11, 11, 1);
+    b.st(11, 4, 8);
+    b.subi(0, 0, 1);
+    b.brnz(0, outer);
+    b.halt();
+    return b.program();
+}
+
+Program
+arraySwap(std::uint64_t ops, std::uint64_t entries, Addr array_base)
+{
+    requirePow2(entries, "swap array entries");
+    ProgramBuilder b;
+    for (std::uint64_t i = 0; i < entries; ++i)
+        b.initMem(array_base + i * 8, i * 3 + 1);
+
+    b.movi(0, ops);
+    b.movi(1, array_base);
+    b.movi(2, 0xBADC0FFE);            // index state
+    b.movi(12, 6364136223846793005ull);
+    b.movi(13, (entries - 1) * 8);    // byte mask
+
+    auto loop = b.label();
+    b.place(loop);
+    lcgAdvance(b, 2, 12);
+    b.shri(3, 2, 5);
+    b.shli(3, 3, 3);
+    b.and_(3, 3, 13);
+    b.add(4, 1, 3);                   // addr i
+    b.shri(5, 2, 23);
+    b.shli(5, 5, 3);
+    b.and_(5, 5, 13);
+    b.add(6, 1, 5);                   // addr j
+    b.ld(7, 4, 0);
+    b.ld(8, 6, 0);
+    b.st(8, 4, 0);
+    b.st(7, 6, 0);
+    b.subi(0, 0, 1);
+    b.brnz(0, loop);
+    b.halt();
+    return b.program();
+}
+
+Program
+tatpUpdate(std::uint64_t txns, std::uint64_t subscribers,
+           Addr table_base)
+{
+    requirePow2(subscribers, "subscriber count");
+    ProgramBuilder b;
+    // Subscriber records: [id, location, version, pad], 32 B each.
+    for (std::uint64_t i = 0; i < subscribers; ++i) {
+        b.initMem(table_base + i * 32 + 0, i);
+        b.initMem(table_base + i * 32 + 8, 100 + i);
+        b.initMem(table_base + i * 32 + 16, 0);
+    }
+
+    b.movi(0, txns);
+    b.movi(1, table_base);
+    b.movi(2, 0x5151);                 // subscriber-id state
+    b.movi(12, 2654435761ull);
+    b.movi(13, (subscribers - 1));
+
+    auto loop = b.label();
+    b.place(loop);
+    lcgAdvance(b, 2, 12);
+    b.shri(3, 2, 7);
+    b.and_(3, 3, 13);
+    b.shli(3, 3, 5);                   // *32 record size
+    b.add(4, 1, 3);                    // record address
+    // location = subscriber-id state (any fresh value)
+    b.st(2, 4, 8);
+    b.ld(5, 4, 16);                    // version++
+    b.addi(5, 5, 1);
+    b.st(5, 4, 16);
+    b.subi(0, 0, 1);
+    b.brnz(0, loop);
+    b.halt();
+    return b.program();
+}
+
+Program
+tpccNewOrder(std::uint64_t txns, Addr district_base, Addr orders_base)
+{
+    ProgramBuilder b;
+    constexpr std::uint64_t orderSlots = 1024; // ring of order records
+    b.initMem(district_base + 0, 1); // next order id
+    b.initMem(district_base + 8, 0); // order counter
+
+    b.movi(0, txns);
+    b.movi(1, district_base);
+    b.movi(2, orders_base);
+    b.movi(13, (orderSlots - 1) * 32);
+
+    auto loop = b.label();
+    b.place(loop);
+    b.ld(3, 1, 0);                     // o_id = next order id
+    b.addi(4, 3, 1);
+    b.st(4, 1, 0);                     // next order id++
+    b.shli(5, 3, 5);                   // o_id * 32
+    b.and_(5, 5, 13);
+    b.add(6, 2, 5);                    // order record address
+    b.st(3, 6, 0);                     // o_id
+    b.movi(7, 42);
+    b.st(7, 6, 8);                     // c_id
+    b.st(3, 6, 16);                    // entry_d (reuse o_id)
+    b.movi(8, 5);
+    b.st(8, 6, 24);                    // ol_cnt
+    b.ld(9, 1, 8);                     // order counter++
+    b.addi(9, 9, 1);
+    b.st(9, 1, 8);
+    b.subi(0, 0, 1);
+    b.brnz(0, loop);
+    b.halt();
+    return b.program();
+}
+
+Program
+kvStore(std::uint64_t ops, unsigned read_pct, std::uint64_t buckets,
+        Addr base)
+{
+    requirePow2(buckets, "kv buckets");
+    PPA_ASSERT(read_pct <= 100, "read_pct must be 0..100");
+    ProgramBuilder b;
+    // Buckets: 16 words each: [key, value x8, pad x7].
+    for (std::uint64_t i = 0; i < buckets; ++i)
+        b.initMem(base + i * 128, i);
+
+    // One read every K ops approximates the read percentage.
+    std::uint64_t k = read_pct ? std::max<std::uint64_t>(
+                                     1, 100 / read_pct)
+                               : ops + 1;
+
+    b.movi(0, ops);
+    b.movi(1, base);
+    b.movi(2, 0xFACE);                 // key state
+    b.movi(9, 0);                      // read-side accumulator
+    b.movi(12, 2654435761ull);
+    b.movi(13, (buckets - 1));
+    b.movi(14, k);                     // read countdown reset value
+    b.movi(15, k);                     // countdown
+
+    auto loop = b.label();
+    auto write_path = b.label();
+    auto next = b.label();
+
+    b.place(loop);
+    lcgAdvance(b, 2, 12);
+    b.shri(3, 2, 9);
+    b.and_(3, 3, 13);
+    b.shli(3, 3, 7);                   // *128 bucket size
+    b.add(4, 1, 3);                    // bucket address
+
+    b.subi(15, 15, 1);
+    b.brnz(15, write_path);            // countdown not expired: set
+
+    // GET: load key and a few value words, fold into accumulator.
+    b.mov(15, 14);                     // reset countdown
+    b.ld(5, 4, 0);
+    b.ld(6, 4, 8);
+    b.ld(7, 4, 16);
+    b.add(5, 5, 6);
+    b.add(5, 5, 7);
+    b.add(9, 9, 5);
+    b.jmp(next);
+
+    // SET: write key and the 8-word value (sequential words on one
+    // or two lines: they coalesce in the write buffer).
+    b.place(write_path);
+    b.st(2, 4, 0);                     // key
+    for (Word off = 8; off <= 64; off += 8)
+        b.st(2, 4, off);               // value words
+    b.place(next);
+    b.subi(0, 0, 1);
+    b.brnz(0, loop);
+    b.halt();
+    return b.program();
+}
+
+Program
+stencil(std::uint64_t sweeps, std::uint64_t cells, Addr grid_base)
+{
+    PPA_ASSERT(cells >= 3, "stencil needs at least 3 cells");
+    ProgramBuilder b;
+    for (std::uint64_t i = 0; i < cells; ++i) {
+        // Non-linear initial field (a linear ramp is a fixed point of
+        // the smoothing kernel).
+        double v = static_cast<double>((i * 37) % 97) * 0.5;
+        b.initMem(grid_base + i * 8, std::bit_cast<Word>(v));
+    }
+    // FP coefficients live in memory; loaded once.
+    Addr coeff = grid_base + cells * 8 + 64;
+    b.initMem(coeff + 0, std::bit_cast<Word>(0.25));
+    b.initMem(coeff + 8, std::bit_cast<Word>(0.5));
+
+    b.movi(0, sweeps);
+    b.movi(3, coeff);
+    b.fld(8, 3, 0);                    // f8 = 0.25
+    b.fld(9, 3, 8);                    // f9 = 0.5
+
+    auto outer = b.label();
+    auto inner = b.label();
+    b.place(outer);
+    b.movi(1, grid_base);
+    b.movi(2, cells - 2);
+    b.place(inner);
+    b.fld(1, 1, 0);                    // f1 = g[i-1]
+    b.fld(2, 1, 8);                    // f2 = g[i]
+    b.fld(3, 1, 16);                   // f3 = g[i+1]
+    b.fmul(4, 1, 8);
+    b.fmul(5, 2, 9);
+    b.fmul(6, 3, 8);
+    b.fadd(4, 4, 5);
+    b.fadd(4, 4, 6);
+    b.fst(4, 1, 8);                    // g[i] = result
+    b.addi(1, 1, 8);
+    b.subi(2, 2, 1);
+    b.brnz(2, inner);
+    b.subi(0, 0, 1);
+    b.brnz(0, outer);
+    b.halt();
+    return b.program();
+}
+
+Program
+tableLookup(std::uint64_t ops, std::uint64_t entries, Addr table_base)
+{
+    requirePow2(entries, "lookup table entries");
+    ProgramBuilder b;
+    for (std::uint64_t i = 0; i < entries; ++i) {
+        double v = 1.0 + static_cast<double>(i % 13);
+        b.initMem(table_base + i * 8, std::bit_cast<Word>(v));
+    }
+    Addr result = table_base + entries * 8 + 64;
+    b.initMem(result, 0);
+
+    b.movi(0, ops);
+    b.movi(1, table_base);
+    b.movi(2, 0xC0DE);
+    b.movi(12, 6364136223846793005ull);
+    b.movi(13, (entries - 1) * 8);
+    b.movi(14, result);
+    b.movi(15, 16);                    // store accumulator every 16
+
+    auto loop = b.label();
+    auto skip = b.label();
+    b.place(loop);
+    lcgAdvance(b, 2, 12);
+    b.shri(3, 2, 11);
+    b.shli(3, 3, 3);
+    b.and_(3, 3, 13);
+    b.add(4, 1, 3);
+    b.fld(1, 4, 0);
+    b.fadd(0, 0, 1);                   // f0 accumulates
+    b.subi(15, 15, 1);
+    b.brnz(15, skip);
+    b.fst(0, 14, 0);                   // spill accumulator
+    b.movi(15, 16);
+    b.place(skip);
+    b.subi(0, 0, 1);
+    b.brnz(0, loop);
+    b.halt();
+    return b.program();
+}
+
+Program
+persistentLog(std::uint64_t records, Addr log_base)
+{
+    ProgramBuilder b;
+    // Layout: [head index][pad..] then 32-byte records
+    // (seq, payload, checksum, pad) starting at log_base + 64.
+    b.initMem(log_base, 0);
+
+    b.movi(0, records);        // r0: records remaining
+    b.movi(1, log_base);       // r1: log header address
+    b.movi(2, log_base + 64);  // r2: record area base
+    b.movi(3, 0x51ED);         // r3: payload state
+
+    auto loop = b.label();
+    b.place(loop);
+    b.ld(4, 1, 0);             // r4: head index
+    b.shli(5, 4, 5);           // *32 record size
+    b.add(5, 5, 2);            // r5: record address
+    b.addi(3, 3, 0x1234);      // next payload
+    b.st(4, 5, 0);             // seq
+    b.st(3, 5, 8);             // payload
+    b.xor_(6, 3, 4);           // checksum = payload ^ seq
+    b.st(6, 5, 16);            // checksum
+    b.addi(4, 4, 1);
+    b.st(4, 1, 0);             // persist the new head (commit point)
+    b.subi(0, 0, 1);
+    b.brnz(0, loop);
+    b.halt();
+    return b.program();
+}
+
+Program
+matrixMultiply(std::uint64_t n, Addr base)
+{
+    PPA_ASSERT(n >= 2, "matrix multiply needs n >= 2");
+    // A at base, B at base + n*n*8, C at base + 2*n*n*8.
+    Addr a_base = base;
+    Addr b_base = base + n * n * 8;
+    Addr c_base = base + 2 * n * n * 8;
+
+    ProgramBuilder b;
+    for (std::uint64_t i = 0; i < n * n; ++i) {
+        double av = 0.5 + static_cast<double>(i % 7);
+        double bv = 1.0 + static_cast<double>(i % 5);
+        b.initMem(a_base + i * 8, std::bit_cast<Word>(av));
+        b.initMem(b_base + i * 8, std::bit_cast<Word>(bv));
+    }
+
+    // Triple loop, k innermost: C[i][j] += A[i][k] * B[k][j].
+    b.movi(0, n);              // r0: i counter
+    b.movi(1, a_base);         // r1: A row cursor
+    b.movi(2, c_base);         // r2: C row cursor
+    auto loop_i = b.label();
+    auto loop_j = b.label();
+    auto loop_k = b.label();
+    b.place(loop_i);
+    b.movi(3, n);              // r3: j counter
+    b.mov(4, 2);               // r4: &C[i][j]
+    b.place(loop_j);
+    b.movi(5, n);              // r5: k counter
+    b.mov(6, 1);               // r6: &A[i][k]
+    // r7: &B[k][j] = b_base + j*8 initially; j = n - r3.
+    b.movi(8, n);
+    b.sub(8, 8, 3);            // j
+    b.shli(8, 8, 3);
+    b.movi(7, b_base);
+    b.add(7, 7, 8);
+    b.fld(2, 4, 0);            // f2: running C[i][j]
+    b.place(loop_k);
+    b.fld(0, 6, 0);            // f0 = A[i][k]
+    b.fld(1, 7, 0);            // f1 = B[k][j]
+    b.fmul(3, 0, 1);
+    b.fadd(2, 2, 3);
+    b.addi(6, 6, 8);           // next A element
+    b.addi(7, 7, static_cast<Word>(n * 8)); // next B row
+    b.subi(5, 5, 1);
+    b.brnz(5, loop_k);
+    b.fst(2, 4, 0);            // store C[i][j]
+    b.addi(4, 4, 8);
+    b.subi(3, 3, 1);
+    b.brnz(3, loop_j);
+    b.addi(1, 1, static_cast<Word>(n * 8)); // next A row
+    b.addi(2, 2, static_cast<Word>(n * 8)); // next C row
+    b.subi(0, 0, 1);
+    b.brnz(0, loop_i);
+    b.halt();
+    return b.program();
+}
+
+} // namespace kernels
+} // namespace ppa

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Functional micro-kernels built with the ProgramBuilder.
+ *
+ * Unlike the statistical stream generator, these are real programs
+ * with verifiable semantics. They model the WHISPER/Mini-app kernels
+ * the paper's Table 3 describes and are the workloads the
+ * crash-consistency property tests and the examples exercise:
+ *
+ *  - counterLoop      simple increment loop (quickstart)
+ *  - hashTableUpdate  hash-table slot updates (WHISPER "pc")
+ *  - searchTreeWalk   binary-search-tree style pointer chasing with
+ *                     node updates (WHISPER "rb" stand-in; rotations
+ *                     omitted, traversal+update preserved)
+ *  - arraySwap        random entry swaps (WHISPER "sps")
+ *  - tatpUpdate       update_location-style record field update
+ *  - tpccNewOrder     add_new_order-style multi-record transaction
+ *  - kvStore          memcached-like get/set mix at a read ratio
+ *  - stencil          FP 1-D stencil sweep (LULESH-like)
+ *  - tableLookup      random table lookups w/ FP accumulation
+ *                     (XSBench-like)
+ */
+
+#ifndef PPA_WORKLOAD_KERNELS_HH
+#define PPA_WORKLOAD_KERNELS_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+
+namespace ppa
+{
+namespace kernels
+{
+
+/** mem[base] incremented @p iters times; result is iters. */
+Program counterLoop(std::uint64_t iters, Addr base = 0x10000);
+
+/**
+ * Hash-table update kernel (WHISPER "pc"): for each of @p ops keys,
+ * compute a multiplicative hash, load the slot, add the key, store it
+ * back.
+ * @param slots table size in 8-byte slots (power of two)
+ */
+Program hashTableUpdate(std::uint64_t ops, std::uint64_t slots = 1024,
+                        Addr table_base = 0x100000);
+
+/**
+ * Binary-search-tree walk-and-update (WHISPER "rb" stand-in): nodes
+ * are (key, value, left, right) records; each op walks from the root
+ * following key comparisons and increments the value of the node it
+ * lands on.
+ * @param nodes number of pre-built tree nodes
+ */
+Program searchTreeWalk(std::uint64_t ops, std::uint64_t nodes = 255,
+                       Addr tree_base = 0x200000);
+
+/** Random entry swaps over an array (WHISPER "sps"). */
+Program arraySwap(std::uint64_t ops, std::uint64_t entries = 4096,
+                  Addr array_base = 0x300000);
+
+/**
+ * TATP update_location: hash a subscriber id, rewrite the location
+ * field and bump a version counter in the subscriber record.
+ */
+Program tatpUpdate(std::uint64_t txns, std::uint64_t subscribers = 512,
+                   Addr table_base = 0x400000);
+
+/**
+ * TPCC add_new_order: append an order record (4 fields), update the
+ * district next-order-id, and bump a global order counter.
+ */
+Program tpccNewOrder(std::uint64_t txns, Addr district_base = 0x500000,
+                     Addr orders_base = 0x510000);
+
+/**
+ * Memcached-like key-value store: @p ops operations, of which
+ * @p read_pct percent are gets (hash + chain load) and the rest sets
+ * (hash + 8-word value write, modeling the paper's 64 B keys / 1 KB
+ * values at reduced scale).
+ */
+Program kvStore(std::uint64_t ops, unsigned read_pct,
+                std::uint64_t buckets = 512, Addr base = 0x600000);
+
+/** 1-D FP stencil sweep (LULESH-like), @p sweeps passes over grid. */
+Program stencil(std::uint64_t sweeps, std::uint64_t cells = 2048,
+                Addr grid_base = 0x700000);
+
+/** Random read-mostly table lookups with FP accumulation
+ *  (XSBench-like). */
+Program tableLookup(std::uint64_t ops, std::uint64_t entries = 8192,
+                    Addr table_base = 0x800000);
+
+/**
+ * Persistent append-only log (journaling pattern): each record is
+ * (sequence, payload, checksum) appended at a head pointer that is
+ * itself persisted — the pattern write-ahead logs and message queues
+ * use on PMEM.
+ */
+Program persistentLog(std::uint64_t records, Addr log_base = 0x900000);
+
+/**
+ * Blocked dense matrix multiply C += A*B over n x n FP matrices —
+ * the classic compute-dense HPC kernel (high FP pressure, strided
+ * loads, accumulating stores).
+ */
+Program matrixMultiply(std::uint64_t n = 16, Addr base = 0xA00000);
+
+} // namespace kernels
+} // namespace ppa
+
+#endif // PPA_WORKLOAD_KERNELS_HH

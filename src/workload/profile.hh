@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Workload profiles: the statistical skeleton of each benchmark.
+ *
+ * The paper evaluates 41 applications from SPEC CPU2006/2017, SPLASH3,
+ * STAMP, WHISPER and the DOE Mini-apps. We model each application as a
+ * parameterized instruction-stream distribution whose knobs control
+ * exactly the properties the evaluation depends on:
+ *
+ *  - instruction mix (loads/stores/FP/branches/mul/div) — drives IPC,
+ *    PRF demand, and NVM write traffic;
+ *  - dependency-chain density — drives ILP and hence how much persist
+ *    latency the dynamically formed regions can hide;
+ *  - register pressure — drives free-PRF headroom (Figure 5) and
+ *    dynamic region length (Figure 13);
+ *  - working-set size and hot-set locality — drive L1/L2/DRAM-cache
+ *    miss rates (Figures 9, 10, 14) and baseline WPQ pressure;
+ *  - store spatial locality — drives persist-coalescing efficiency and
+ *    therefore NVM write bandwidth demand (Figures 15, 18);
+ *  - synchronization rate — drives region boundaries from sync
+ *    primitives in multithreaded suites (Figure 19).
+ *
+ * The parameter values are calibrated from each application's
+ * published character (see DESIGN.md): e.g. lbm/pc stream through
+ * large working sets with poor locality, rb exhibits high locality and
+ * little write traffic, bzip2/libquantum exert heavy register
+ * pressure, and water-ns/sp are store-dense.
+ */
+
+#ifndef PPA_WORKLOAD_PROFILE_HH
+#define PPA_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace ppa
+{
+
+/** Benchmark suite identifiers. */
+enum class Suite : std::uint8_t
+{
+    Cpu2006,
+    Cpu2017,
+    Splash3,
+    Whisper,
+    Stamp,
+    MiniApps,
+};
+
+/** Human-readable suite name. */
+const char *suiteName(Suite suite);
+
+/**
+ * Statistical profile of one application.
+ */
+struct WorkloadProfile
+{
+    std::string name;
+    Suite suite = Suite::Cpu2006;
+
+    // ---- instruction mix (fractions of the dynamic stream) ---------
+    double fracLoad = 0.22;
+    double fracStore = 0.10;
+    double fracBranch = 0.12;
+    /** Of the remaining ALU ops, fraction that are FP. */
+    double fracFpOps = 0.15;
+    double fracMul = 0.04;
+    double fracDiv = 0.004;
+
+    // ---- dataflow shape --------------------------------------------
+    /** Probability a source register was defined recently (longer
+     *  chains -> less ILP). */
+    double depChainProb = 0.45;
+    /**
+     * Register pressure in [0,1]: fraction of the architectural
+     * register file cycled through aggressively. High values redefine
+     * registers rapidly, holding many physical registers in flight.
+     */
+    double regPressure = 0.5;
+
+    // ---- memory behaviour -------------------------------------------
+    std::uint64_t workingSetBytes = 8 * MiB;
+    /** Fraction of accesses hitting the hot subset. */
+    double hotFraction = 0.9;
+    std::uint64_t hotSetBytes = 64 * KiB;
+    /** Probability a load/store continues a sequential stride run. */
+    double seqAccessProb = 0.6;
+    /** Probability a store lands near the previous store (same line,
+     *  driving persist coalescing). */
+    double storeSpatialLocality = 0.7;
+
+    // ---- control flow -----------------------------------------------
+    double branchTakenProb = 0.35;
+    /**
+     * Size of the hot code region the stream loops over; drives L1I
+     * behaviour and branch-predictor training. Most apps are
+     * L1I-resident; big-code apps (gcc, perlbench, omnetpp) are not.
+     */
+    std::uint64_t codeFootprintBytes = 24 * KiB;
+
+    // ---- multithreading ----------------------------------------------
+    /** Threads the suite runs with (1 = single-threaded SPEC). */
+    unsigned defaultThreads = 1;
+    /** Average instructions between sync primitives (0 = none). */
+    std::uint64_t syncEveryInsts = 0;
+    /** Fraction of sync primitives that are atomics (vs fences). */
+    double syncAtomicFraction = 0.8;
+
+    /** Approximate L2 miss ratio of the real app (for documentation
+     *  and the Figure 10 memory-intensive subset selection). */
+    double documentedL2Miss = 0.3;
+};
+
+/** All 41 application profiles, in suite order. */
+const std::vector<WorkloadProfile> &allProfiles();
+
+/** Look up a profile by name; fatal error when unknown. */
+const WorkloadProfile &profileByName(const std::string &name);
+
+/** Profiles belonging to @p suite. */
+std::vector<WorkloadProfile> profilesOfSuite(Suite suite);
+
+/** The memory-intensive subset used by Figures 10, 15 and 18. */
+std::vector<WorkloadProfile> memoryIntensiveProfiles();
+
+/** The multi-threaded subset used by Figure 19. */
+std::vector<WorkloadProfile> multithreadedProfiles();
+
+} // namespace ppa
+
+#endif // PPA_WORKLOAD_PROFILE_HH

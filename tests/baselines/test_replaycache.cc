@@ -1,0 +1,136 @@
+/** @file Tests for the ReplayCache baseline transform and mode. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/replaycache.hh"
+#include "sim/system.hh"
+#include "workload/kernels.hh"
+
+using namespace ppa;
+
+TEST(ReplayCacheTransform, InsertsClwbAfterEachStore)
+{
+    VectorSource inner;
+    DynInst st;
+    st.op = Opcode::Store;
+    st.srcs[0] = RegRef::intReg(0);
+    st.memAddr = 0x1000;
+    inner.push(st);
+    DynInst add;
+    add.op = Opcode::IntAdd;
+    add.dst = RegRef::intReg(1);
+    inner.push(add);
+
+    ReplayCacheTransform rc(inner, ReplayCacheParams{});
+    DynInst out;
+    ASSERT_TRUE(rc.next(out));
+    EXPECT_EQ(out.op, Opcode::Store);
+    ASSERT_TRUE(rc.next(out));
+    EXPECT_EQ(out.op, Opcode::Clwb);
+    EXPECT_EQ(out.memAddr, 0x1000u);
+    ASSERT_TRUE(rc.next(out));
+    EXPECT_EQ(out.op, Opcode::IntAdd);
+    EXPECT_EQ(rc.injectedClwbs(), 1u);
+}
+
+TEST(ReplayCacheTransform, InsertsFenceEveryRegion)
+{
+    VectorSource inner;
+    for (int i = 0; i < 30; ++i) {
+        DynInst add;
+        add.op = Opcode::IntAdd;
+        add.dst = RegRef::intReg(1);
+        inner.push(add);
+    }
+    ReplayCacheParams p;
+    p.regionInsts = 10;
+    ReplayCacheTransform rc(inner, p);
+    unsigned fences = 0, total = 0;
+    DynInst out;
+    while (rc.next(out)) {
+        ++total;
+        if (out.op == Opcode::Fence)
+            ++fences;
+    }
+    EXPECT_EQ(fences, 3u);
+    EXPECT_EQ(total, 33u);
+}
+
+TEST(ReplayCacheTransform, SyncResetsRegionWithoutExtraFence)
+{
+    VectorSource inner;
+    for (int i = 0; i < 9; ++i) {
+        DynInst add;
+        add.op = Opcode::IntAdd;
+        add.dst = RegRef::intReg(1);
+        inner.push(add);
+    }
+    DynInst fence;
+    fence.op = Opcode::Fence;
+    inner.push(fence);
+
+    ReplayCacheParams p;
+    p.regionInsts = 10;
+    ReplayCacheTransform rc(inner, p);
+    unsigned fences = 0;
+    DynInst out;
+    while (rc.next(out)) {
+        if (out.op == Opcode::Fence)
+            ++fences;
+    }
+    // The program's own fence serves as the boundary; no injected one.
+    EXPECT_EQ(fences, 1u);
+    EXPECT_EQ(rc.injectedFences(), 0u);
+}
+
+TEST(ReplayCacheMode, FunctionalCorrectnessPreserved)
+{
+    Program prog = kernels::hashTableUpdate(150);
+    ProgramExecutor golden(prog);
+    golden.totalLength();
+
+    SystemConfig sc;
+    sc.core.mode = PersistMode::ReplayCache;
+    System system(sc);
+    system.seedMemory(prog.initialMemory());
+    ProgramExecutor source(prog);
+    ReplayCacheTransform rc(source, ReplayCacheParams{});
+    system.bindSource(0, &rc);
+    system.run(40'000'000);
+    ASSERT_TRUE(system.allDone());
+    EXPECT_TRUE(system.memory().committed().sameContents(
+        golden.goldenMemory()));
+    // Every store was clwb'ed (plus the final drain): NVM matches.
+    EXPECT_TRUE(system.memory().nvmImage().sameContents(
+        golden.goldenMemory()));
+}
+
+TEST(ReplayCacheMode, SlowerThanPpa)
+{
+    // The motivation figure: ReplayCache's short regions and per-store
+    // clwb make it much slower than PPA on the same kernel.
+    Program prog = kernels::hashTableUpdate(250);
+
+    auto run_mode = [&](PersistMode mode) {
+        SystemConfig sc;
+        sc.core.mode = mode;
+        System system(sc);
+        system.seedMemory(prog.initialMemory());
+        ProgramExecutor source(prog);
+        std::unique_ptr<ReplayCacheTransform> rc;
+        if (mode == PersistMode::ReplayCache) {
+            rc = std::make_unique<ReplayCacheTransform>(
+                source, ReplayCacheParams{});
+            system.bindSource(0, rc.get());
+        } else {
+            system.bindSource(0, &source);
+        }
+        system.run(80'000'000);
+        EXPECT_TRUE(system.allDone());
+        return system.cycle();
+    };
+
+    Cycle rc_cycles = run_mode(PersistMode::ReplayCache);
+    Cycle ppa_cycles = run_mode(PersistMode::Ppa);
+    EXPECT_GT(rc_cycles, ppa_cycles);
+}

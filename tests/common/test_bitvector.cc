@@ -1,0 +1,103 @@
+/** @file Unit tests for BitVector. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitvector.hh"
+
+using namespace ppa;
+
+TEST(BitVector, StartsAllClear)
+{
+    BitVector bv(100);
+    EXPECT_EQ(bv.size(), 100u);
+    EXPECT_EQ(bv.count(), 0u);
+    EXPECT_TRUE(bv.none());
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_FALSE(bv.test(i));
+}
+
+TEST(BitVector, SetAndTest)
+{
+    BitVector bv(348); // MaskReg size from the paper
+    bv.set(0);
+    bv.set(63);
+    bv.set(64);
+    bv.set(347);
+    EXPECT_TRUE(bv.test(0));
+    EXPECT_TRUE(bv.test(63));
+    EXPECT_TRUE(bv.test(64));
+    EXPECT_TRUE(bv.test(347));
+    EXPECT_FALSE(bv.test(1));
+    EXPECT_FALSE(bv.test(346));
+    EXPECT_EQ(bv.count(), 4u);
+}
+
+TEST(BitVector, ResetClearsOneBit)
+{
+    BitVector bv(64);
+    bv.set(10);
+    bv.set(11);
+    bv.reset(10);
+    EXPECT_FALSE(bv.test(10));
+    EXPECT_TRUE(bv.test(11));
+    EXPECT_EQ(bv.count(), 1u);
+}
+
+TEST(BitVector, ClearAllEmptiesEverything)
+{
+    BitVector bv(200);
+    for (std::size_t i = 0; i < 200; i += 3)
+        bv.set(i);
+    EXPECT_GT(bv.count(), 0u);
+    bv.clearAll();
+    EXPECT_TRUE(bv.none());
+    EXPECT_EQ(bv.count(), 0u);
+}
+
+TEST(BitVector, ForEachSetVisitsAscending)
+{
+    BitVector bv(130);
+    std::vector<std::size_t> want = {3, 64, 65, 129};
+    for (auto i : want)
+        bv.set(i);
+    std::vector<std::size_t> got;
+    bv.forEachSet([&](std::size_t i) { got.push_back(i); });
+    EXPECT_EQ(got, want);
+}
+
+TEST(BitVector, SetIsIdempotent)
+{
+    BitVector bv(32);
+    bv.set(5);
+    bv.set(5);
+    EXPECT_EQ(bv.count(), 1u);
+}
+
+TEST(BitVector, RawRoundTrip)
+{
+    BitVector bv(128);
+    bv.set(7);
+    bv.set(127);
+    BitVector other(128);
+    other.restoreRaw(bv.raw());
+    EXPECT_EQ(bv, other);
+    EXPECT_TRUE(other.test(7));
+    EXPECT_TRUE(other.test(127));
+}
+
+TEST(BitVector, StorageBytesRoundsToWords)
+{
+    EXPECT_EQ(BitVector(1).storageBytes(), 8u);
+    EXPECT_EQ(BitVector(64).storageBytes(), 8u);
+    EXPECT_EQ(BitVector(65).storageBytes(), 16u);
+    EXPECT_EQ(BitVector(348).storageBytes(), 48u);
+}
+
+TEST(BitVector, EqualityComparesContents)
+{
+    BitVector a(64), b(64);
+    a.set(3);
+    EXPECT_FALSE(a == b);
+    b.set(3);
+    EXPECT_TRUE(a == b);
+}

@@ -1,0 +1,132 @@
+/** @file Unit tests for the statistics primitives. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace ppa::stats;
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, MeanMinMax)
+{
+    Average a;
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Average, EmptyIsZero)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Histogram, CdfIsMonotonic)
+{
+    Histogram h(10);
+    for (std::size_t v : {1u, 1u, 2u, 5u, 9u})
+        h.sample(v);
+    double prev = 0.0;
+    for (std::size_t v = 0; v <= 10; ++v) {
+        double c = h.cdf(v);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+    EXPECT_DOUBLE_EQ(h.cdf(10), 1.0);
+}
+
+TEST(Histogram, CdfValues)
+{
+    Histogram h(4);
+    h.sample(0);
+    h.sample(1);
+    h.sample(1);
+    h.sample(4);
+    EXPECT_DOUBLE_EQ(h.cdf(0), 0.25);
+    EXPECT_DOUBLE_EQ(h.cdf(1), 0.75);
+    EXPECT_DOUBLE_EQ(h.cdf(3), 0.75);
+    EXPECT_DOUBLE_EQ(h.cdf(4), 1.0);
+}
+
+TEST(Histogram, ClampsToTopBin)
+{
+    Histogram h(5);
+    h.sample(100);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.cdf(5), 1.0);
+    EXPECT_DOUBLE_EQ(h.cdf(4), 0.0);
+}
+
+TEST(Histogram, PercentileFindsThreshold)
+{
+    Histogram h(100);
+    for (std::size_t i = 1; i <= 100; ++i)
+        h.sample(i);
+    EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 50.0, 1.0);
+    EXPECT_NEAR(static_cast<double>(h.percentile(0.9)), 90.0, 1.0);
+}
+
+TEST(Histogram, MeanOfUniform)
+{
+    Histogram h(10);
+    for (std::size_t i = 0; i <= 10; ++i)
+        h.sample(i);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(Histogram, MergeCombinesCounts)
+{
+    Histogram a(4), b(4);
+    a.sample(1);
+    b.sample(3);
+    b.sample(3);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.cdf(1), 1.0 / 3.0);
+}
+
+TEST(Histogram, CdfSeriesCoversAllValues)
+{
+    Histogram h(3);
+    h.sample(0);
+    h.sample(2);
+    auto series = h.cdfSeries();
+    ASSERT_EQ(series.size(), 4u);
+    EXPECT_DOUBLE_EQ(series[0].second, 0.5);
+    EXPECT_DOUBLE_EQ(series[3].second, 1.0);
+}
+
+TEST(Group, NamedCountersAreIndependent)
+{
+    Group g;
+    g.counter("a").inc(2);
+    g.counter("b").inc(5);
+    EXPECT_EQ(g.counterValue("a"), 2u);
+    EXPECT_EQ(g.counterValue("b"), 5u);
+    EXPECT_EQ(g.counterValue("missing"), 0u);
+}
+
+TEST(Group, NamedAverages)
+{
+    Group g;
+    g.average("x").sample(1.0);
+    g.average("x").sample(3.0);
+    EXPECT_DOUBLE_EQ(g.averageValue("x"), 2.0);
+    EXPECT_DOUBLE_EQ(g.averageValue("missing"), 0.0);
+}

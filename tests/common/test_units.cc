@@ -1,0 +1,64 @@
+/** @file Unit tests for clock-domain conversions and TextTable. */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+#include "common/units.hh"
+
+using namespace ppa;
+
+TEST(ClockDomain, NsToCyclesAt2GHz)
+{
+    ClockDomain clk(2e9);
+    EXPECT_EQ(clk.nsToCycles(1.0), 2u);
+    EXPECT_EQ(clk.nsToCycles(175.0), 350u); // NVM read latency
+    EXPECT_EQ(clk.nsToCycles(90.0), 180u);  // NVM write latency
+    EXPECT_EQ(clk.nsToCycles(0.4), 1u);     // rounds up
+}
+
+TEST(ClockDomain, CyclesToNsRoundTrip)
+{
+    ClockDomain clk(2e9);
+    EXPECT_DOUBLE_EQ(clk.cyclesToNs(350), 175.0);
+    EXPECT_DOUBLE_EQ(clk.cyclesToNs(2), 1.0);
+}
+
+TEST(ClockDomain, BandwidthCycles)
+{
+    ClockDomain clk(2e9);
+    // 64 B at 2.3 GB/s: 27.8 ns -> 56 cycles (rounded up).
+    Cycle c = clk.bandwidthCycles(64, 2.3);
+    EXPECT_GE(c, 55u);
+    EXPECT_LE(c, 57u);
+    // Double the bandwidth halves the time.
+    Cycle c2 = clk.bandwidthCycles(64, 4.6);
+    EXPECT_NEAR(static_cast<double>(c) / 2.0,
+                static_cast<double>(c2), 1.0);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({"app", "slowdown"});
+    t.addRow({"mcf", "1.02x"});
+    t.addRow({"libquantum", "1.05x"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("app"), std::string::npos);
+    EXPECT_NE(s.find("libquantum"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(s.find("|--"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(1.234, 2), "1.23");
+    EXPECT_EQ(TextTable::factor(1.26), "1.26x");
+    EXPECT_EQ(TextTable::percent(0.021), "2.1%");
+    EXPECT_EQ(TextTable::percent(0.00005, 3), "0.005%");
+}
+
+TEST(UnitConstants, ByteSizes)
+{
+    EXPECT_EQ(KiB, 1024u);
+    EXPECT_EQ(MiB, 1024u * 1024u);
+    EXPECT_EQ(GiB, 1024ull * 1024 * 1024);
+}

@@ -1,0 +1,207 @@
+/** @file Core pipeline tests: functional correctness vs golden model. */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "sim/system.hh"
+#include "workload/kernels.hh"
+
+using namespace ppa;
+
+namespace
+{
+
+/** Run @p prog on a 1-core system in @p mode; verify vs golden. */
+void
+runAndVerify(const Program &prog, PersistMode mode,
+             Cycle max_cycles = 2'000'000)
+{
+    ProgramExecutor golden(prog);
+    golden.totalLength();
+
+    SystemConfig sc;
+    sc.core.mode = mode;
+    System system(sc);
+    system.seedMemory(prog.initialMemory());
+    ProgramExecutor source(prog);
+    system.bindSource(0, &source);
+    system.run(max_cycles);
+
+    ASSERT_TRUE(system.allDone()) << "pipeline wedged";
+    EXPECT_TRUE(system.memory().committed().sameContents(
+        golden.goldenMemory()));
+    EXPECT_EQ(system.core(0).architecturalState(), golden.goldenState());
+    // Whole-system drain leaves NVM equal to committed memory.
+    EXPECT_TRUE(system.memory().nvmImage().sameContents(
+        golden.goldenMemory()));
+}
+
+} // namespace
+
+TEST(CoreBasic, CounterLoopVolatile)
+{
+    runAndVerify(kernels::counterLoop(100), PersistMode::Volatile);
+}
+
+TEST(CoreBasic, CounterLoopPpa)
+{
+    runAndVerify(kernels::counterLoop(100), PersistMode::Ppa);
+}
+
+TEST(CoreBasic, HashTableVolatile)
+{
+    runAndVerify(kernels::hashTableUpdate(300), PersistMode::Volatile);
+}
+
+TEST(CoreBasic, HashTablePpa)
+{
+    runAndVerify(kernels::hashTableUpdate(300), PersistMode::Ppa);
+}
+
+TEST(CoreBasic, TreeWalkPpa)
+{
+    runAndVerify(kernels::searchTreeWalk(200), PersistMode::Ppa);
+}
+
+TEST(CoreBasic, ArraySwapPpa)
+{
+    runAndVerify(kernels::arraySwap(200), PersistMode::Ppa);
+}
+
+TEST(CoreBasic, TatpPpa)
+{
+    runAndVerify(kernels::tatpUpdate(150), PersistMode::Ppa);
+}
+
+TEST(CoreBasic, TpccPpa)
+{
+    runAndVerify(kernels::tpccNewOrder(100), PersistMode::Ppa);
+}
+
+TEST(CoreBasic, KvStorePpa)
+{
+    runAndVerify(kernels::kvStore(150, 20), PersistMode::Ppa);
+}
+
+TEST(CoreBasic, StencilPpa)
+{
+    runAndVerify(kernels::stencil(3, 256), PersistMode::Ppa);
+}
+
+TEST(CoreBasic, TableLookupPpa)
+{
+    runAndVerify(kernels::tableLookup(300, 1024), PersistMode::Ppa);
+}
+
+TEST(CoreBasic, StoreToLoadForwarding)
+{
+    // st then immediate ld of the same address must see the new value
+    // even before the store merges into the cache.
+    ProgramBuilder b;
+    b.movi(1, 0x1000);
+    b.movi(2, 55);
+    b.st(2, 1, 0);
+    b.ld(3, 1, 0);
+    b.addi(3, 3, 1);
+    b.st(3, 1, 8);
+    b.halt();
+    runAndVerify(b.program(), PersistMode::Ppa);
+}
+
+TEST(CoreBasic, FenceDrainsStores)
+{
+    ProgramBuilder b;
+    b.movi(1, 0x1000);
+    b.movi(2, 7);
+    b.st(2, 1, 0);
+    b.fence();
+    b.ld(3, 1, 0);
+    b.st(3, 1, 8);
+    b.halt();
+    runAndVerify(b.program(), PersistMode::Ppa);
+    runAndVerify(b.program(), PersistMode::Volatile);
+}
+
+TEST(CoreBasic, AtomicRmwReturnsOldValue)
+{
+    ProgramBuilder b;
+    b.initMem(0x2000, 10);
+    b.movi(1, 0x2000);
+    b.movi(2, 5);
+    b.amoadd(3, 2, 1, 0);  // r3 = 10, mem = 15
+    b.st(3, 1, 8);         // mem[0x2008] = 10
+    b.halt();
+    runAndVerify(b.program(), PersistMode::Ppa);
+    runAndVerify(b.program(), PersistMode::Volatile);
+}
+
+TEST(CoreBasic, DependentChainComputesCorrectly)
+{
+    ProgramBuilder b;
+    b.movi(0, 1);
+    for (int i = 0; i < 40; ++i)
+        b.addi(0, 0, 2);
+    b.movi(1, 0x100);
+    b.st(0, 1, 0);
+    b.halt();
+    runAndVerify(b.program(), PersistMode::Ppa);
+}
+
+TEST(CoreBasic, IpcIsReasonableForIndependentOps)
+{
+    // A stream of independent adds should achieve IPC well above 1
+    // on the 4-wide core.
+    ProgramBuilder b;
+    b.movi(0, 200);
+    auto loop = b.label();
+    b.place(loop);
+    for (ArchReg r = 1; r <= 8; ++r)
+        b.addi(r, r, 1);
+    b.subi(0, 0, 1);
+    b.brnz(0, loop);
+    b.halt();
+
+    SystemConfig sc;
+    System system(sc);
+    ProgramExecutor source(b.program());
+    system.bindSource(0, &source);
+    system.run(1'000'000);
+    ASSERT_TRUE(system.allDone());
+    double ipc = static_cast<double>(system.core(0).committedInsts()) /
+                 static_cast<double>(system.cycle());
+    EXPECT_GT(ipc, 1.0);
+}
+
+TEST(CoreBasic, LcpcTracksLastCommit)
+{
+    ProgramBuilder b;
+    b.movi(0, 1);
+    b.movi(1, 2);
+    b.halt();
+    SystemConfig sc;
+    sc.core.mode = PersistMode::Ppa;
+    System system(sc);
+    ProgramExecutor source(b.program());
+    system.bindSource(0, &source);
+    system.run(100'000);
+    ASSERT_TRUE(system.allDone());
+    EXPECT_TRUE(system.core(0).anyCommitted());
+    EXPECT_EQ(system.core(0).lastCommittedIndex(), 2u); // the halt
+}
+
+TEST(CoreBasic, DoneRequiresDrainedStores)
+{
+    ProgramBuilder b;
+    b.movi(1, 0x1000);
+    b.movi(2, 3);
+    b.st(2, 1, 0);
+    b.halt();
+    SystemConfig sc;
+    sc.core.mode = PersistMode::Ppa;
+    System system(sc);
+    ProgramExecutor source(b.program());
+    system.bindSource(0, &source);
+    system.run(100'000);
+    ASSERT_TRUE(system.allDone());
+    EXPECT_EQ(system.core(0).committedStores(), 1u);
+}

@@ -1,0 +1,183 @@
+/** @file Tests for the front end: branch predictor and L1I model. */
+
+#include <gtest/gtest.h>
+
+#include "core/branch_predictor.hh"
+#include "isa/semantics.hh"
+#include "isa/builder.hh"
+#include "sim/system.hh"
+#include "workload/generator.hh"
+
+using namespace ppa;
+
+TEST(BranchPredictor, LearnsStableBranch)
+{
+    BranchPredictor bp(64);
+    for (int i = 0; i < 20; ++i)
+        bp.update(0x100, true);
+    EXPECT_TRUE(bp.predict(0x100));
+    EXPECT_GT(bp.accuracy(), 0.85);
+}
+
+TEST(BranchPredictor, AdaptsToDirectionChange)
+{
+    BranchPredictor bp(64);
+    for (int i = 0; i < 10; ++i)
+        bp.update(0x200, true);
+    EXPECT_TRUE(bp.predict(0x200));
+    for (int i = 0; i < 3; ++i)
+        bp.update(0x200, false);
+    EXPECT_FALSE(bp.predict(0x200));
+}
+
+TEST(BranchPredictor, TwoBitHysteresis)
+{
+    BranchPredictor bp(64);
+    for (int i = 0; i < 10; ++i)
+        bp.update(0x300, true);
+    // A single not-taken must not flip a strongly-taken counter.
+    bp.update(0x300, false);
+    EXPECT_TRUE(bp.predict(0x300));
+}
+
+TEST(BranchPredictor, DistinctPcsIndependent)
+{
+    BranchPredictor bp(1024);
+    for (int i = 0; i < 8; ++i) {
+        bp.update(0x400, true);
+        bp.update(0x404, false);
+    }
+    EXPECT_TRUE(bp.predict(0x400));
+    EXPECT_FALSE(bp.predict(0x404));
+}
+
+TEST(BranchPredictor, LoopBranchNearPerfect)
+{
+    // A loop-closing branch: taken N-1 times, not-taken once per trip.
+    BranchPredictor bp(64);
+    for (int trip = 0; trip < 50; ++trip) {
+        for (int i = 0; i < 9; ++i)
+            bp.update(0x500, true);
+        bp.update(0x500, false);
+    }
+    EXPECT_GT(bp.accuracy(), 0.85);
+}
+
+TEST(FrontEnd, LoopProgramTrainsPredictor)
+{
+    // The counter loop's back edge is taken 199/200 times: after
+    // simulation, the core's predictor should be highly accurate.
+    ProgramBuilder b;
+    b.movi(0, 200);
+    auto loop = b.label();
+    b.place(loop);
+    b.addi(1, 1, 1);
+    b.subi(0, 0, 1);
+    b.brnz(0, loop);
+    b.halt();
+
+    SystemConfig sc;
+    System system(sc);
+    ProgramExecutor source(b.program());
+    system.bindSource(0, &source);
+    system.run(10'000'000);
+    ASSERT_TRUE(system.allDone());
+    EXPECT_GT(system.core(0).branchPredictor().accuracy(), 0.9);
+}
+
+TEST(FrontEnd, MispredictionCostsCycles)
+{
+    // Same instruction count, opposite predictability: alternating
+    // branches mistrain a bimodal predictor.
+    auto run_with_flips = [](bool alternating) {
+        VectorSource src;
+        for (int i = 0; i < 4000; ++i) {
+            DynInst d;
+            d.pc = 0x4000'0000 + (i % 64) * 4;
+            if (i % 4 == 3) {
+                d.op = Opcode::Branch;
+                d.taken = alternating ? (i / 4) % 2 == 0 : true;
+            } else {
+                d.op = Opcode::IntAdd;
+                d.dst = RegRef::intReg(1);
+                d.srcs[0] = RegRef::intReg(1);
+                d.imm = 1;
+            }
+            src.push(d);
+        }
+        SystemConfig sc;
+        System system(sc);
+        system.bindSource(0, &src);
+        system.run(10'000'000);
+        EXPECT_TRUE(system.allDone());
+        return system.cycle();
+    };
+    EXPECT_GT(run_with_flips(true), run_with_flips(false));
+}
+
+TEST(FrontEnd, ICacheMissesStallFetch)
+{
+    // A huge code footprint streams through the L1I; a tiny one is
+    // resident. Identical instruction mixes otherwise.
+    auto run_with_code = [](std::uint64_t code_bytes) {
+        WorkloadProfile p = profileByName("gcc");
+        p.codeFootprintBytes = code_bytes;
+        p.syncEveryInsts = 0;
+        SystemConfig sc;
+        System system(sc);
+        StreamGenerator gen(p, 0, 5, 15000);
+        system.bindSource(0, &gen);
+        system.run(50'000'000);
+        EXPECT_TRUE(system.allDone());
+        return system.cycle();
+    };
+    Cycle small_code = run_with_code(8 * KiB);
+    Cycle huge_code = run_with_code(4 * MiB);
+    EXPECT_GT(huge_code, small_code);
+}
+
+TEST(FrontEnd, ICacheModelCanBeDisabled)
+{
+    WorkloadProfile p = profileByName("gcc");
+    p.codeFootprintBytes = 4 * MiB;
+    p.syncEveryInsts = 0;
+    auto run = [&](bool model_icache) {
+        SystemConfig sc;
+        sc.core.modelICache = model_icache;
+        System system(sc);
+        StreamGenerator gen(p, 0, 5, 10000);
+        system.bindSource(0, &gen);
+        system.run(50'000'000);
+        EXPECT_TRUE(system.allDone());
+        return system.cycle();
+    };
+    EXPECT_GT(run(true), run(false));
+}
+
+TEST(FrontEnd, RecoveryWithFrontEndModels)
+{
+    // Crash consistency must hold with prediction + L1I stalls in the
+    // mix (they perturb timing, never correctness).
+    WorkloadProfile p = profileByName("gcc");
+    StreamGenerator golden_gen(p, 0, 77, 3000);
+    std::vector<DynInst> stream;
+    DynInst d;
+    while (golden_gen.next(d))
+        stream.push_back(d);
+    MemImage init;
+    auto golden = runGolden(stream, init);
+
+    SystemConfig sc;
+    sc.core.mode = PersistMode::Ppa;
+    System system(sc);
+    StreamGenerator source(p, 0, 77, 3000);
+    system.bindSource(0, &source);
+    system.runUntilCycle(2000);
+    if (!system.allDone()) {
+        auto images = system.powerFail();
+        system.recover(images);
+    }
+    system.run(50'000'000);
+    ASSERT_TRUE(system.allDone());
+    EXPECT_TRUE(system.memory().nvmImage().sameContents(golden.mem));
+}

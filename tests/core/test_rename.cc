@@ -1,0 +1,83 @@
+/** @file Unit tests for renaming structures (PRF/free list/RAT). */
+
+#include <gtest/gtest.h>
+
+#include "core/rename.hh"
+
+using namespace ppa;
+
+TEST(PhysRegFile, WriteMakesReady)
+{
+    PhysRegFile prf(8);
+    EXPECT_FALSE(prf.isReady(0));
+    prf.write(0, 42);
+    EXPECT_TRUE(prf.isReady(0));
+    EXPECT_EQ(prf.value(0), 42u);
+}
+
+TEST(PhysRegFile, MarkPendingClearsReady)
+{
+    PhysRegFile prf(8);
+    prf.write(3, 1);
+    prf.markPending(3);
+    EXPECT_FALSE(prf.isReady(3));
+}
+
+TEST(FreeList, FillAllocateFree)
+{
+    FreeList fl;
+    fl.fill(0, 4);
+    EXPECT_EQ(fl.size(), 4u);
+    PhysReg a = fl.allocate();
+    PhysReg b = fl.allocate();
+    EXPECT_NE(a, b);
+    EXPECT_EQ(fl.size(), 2u);
+    fl.free(a);
+    EXPECT_EQ(fl.size(), 3u);
+}
+
+TEST(FreeList, FifoOrder)
+{
+    FreeList fl;
+    fl.fill(0, 3);
+    EXPECT_EQ(fl.allocate(), 0);
+    EXPECT_EQ(fl.allocate(), 1);
+    fl.free(7);
+    EXPECT_EQ(fl.allocate(), 2);
+    EXPECT_EQ(fl.allocate(), 7);
+}
+
+TEST(FreeList, EmptyDetection)
+{
+    FreeList fl;
+    fl.fill(0, 1);
+    EXPECT_FALSE(fl.empty());
+    fl.allocate();
+    EXPECT_TRUE(fl.empty());
+}
+
+TEST(RenameTable, StartsInvalid)
+{
+    RenameTable rt(16);
+    for (ArchReg a = 0; a < 16; ++a)
+        EXPECT_EQ(rt.lookup(a), invalidPhysReg);
+}
+
+TEST(RenameTable, UpdateAndLookup)
+{
+    RenameTable rt(16);
+    rt.update(3, 77);
+    EXPECT_EQ(rt.lookup(3), 77);
+    EXPECT_EQ(rt.lookup(4), invalidPhysReg);
+}
+
+TEST(RenameTable, RawRoundTrip)
+{
+    RenameTable a(8), b(8);
+    a.update(1, 10);
+    a.update(7, 20);
+    b.restoreRaw(a.raw());
+    EXPECT_EQ(b.lookup(1), 10);
+    EXPECT_EQ(b.lookup(7), 20);
+    EXPECT_EQ(b.lookup(0), invalidPhysReg);
+}

@@ -1,0 +1,125 @@
+/** @file Tests for the hardware cost / energy model (Tables 4-5). */
+
+#include <gtest/gtest.h>
+
+#include "energy/cost_model.hh"
+
+using namespace ppa::energy;
+
+TEST(SramCostModel, Table4AreaMagnitudes)
+{
+    auto costs = ppaStructureCosts();
+    ASSERT_EQ(costs.size(), 3u);
+    // LCPC ~12.2 um^2, MaskReg ~74 um^2, CSQ ~548 um^2 (Table 4).
+    // The analytical model must land within 35% of CACTI's numbers.
+    EXPECT_NEAR(costs[0].second.areaUm2, 12.20, 12.20 * 0.35);
+    EXPECT_NEAR(costs[1].second.areaUm2, 74.03, 74.03 * 0.35);
+    EXPECT_NEAR(costs[2].second.areaUm2, 547.84, 547.84 * 0.35);
+}
+
+TEST(SramCostModel, Table4LatencySubNanosecond)
+{
+    for (const auto &[s, c] : ppaStructureCosts()) {
+        EXPECT_GT(c.accessLatencyNs, 0.03) << s.name;
+        EXPECT_LT(c.accessLatencyNs, 0.12) << s.name;
+    }
+}
+
+TEST(SramCostModel, Table4EnergyIsFemtojouleScale)
+{
+    // Table 4: 0.00034 / 0.00029 / 0.00025 pJ per dynamic access.
+    auto costs = ppaStructureCosts();
+    EXPECT_NEAR(costs[0].second.dynamicAccessPj, 0.00034,
+                0.00034 * 0.35);
+    EXPECT_NEAR(costs[1].second.dynamicAccessPj, 0.00029,
+                0.00029 * 0.35);
+    EXPECT_NEAR(costs[2].second.dynamicAccessPj, 0.00025,
+                0.00025 * 0.35);
+    // The trend is mildly decreasing with structure size.
+    EXPECT_GT(costs[0].second.dynamicAccessPj,
+              costs[2].second.dynamicAccessPj);
+}
+
+TEST(SramCostModel, AreaGrowsWithBits)
+{
+    SramCostModel m(22.0);
+    auto small = m.estimate({"a", 64, 1});
+    auto big = m.estimate({"b", 640, 1});
+    EXPECT_GT(big.areaUm2, small.areaUm2 * 5);
+}
+
+TEST(AreaRatio, PpaIsFiveThousandthsPercentOfCore)
+{
+    // Section 7.12: 0.005% of an 11.85 mm^2 Xeon core.
+    double ratio = ppaAreaRatio();
+    EXPECT_GT(ratio, 0.00002);
+    EXPECT_LT(ratio, 0.0001);
+}
+
+TEST(Backup, PpaNeedsMicrojoules)
+{
+    auto req = backupForBytes(1838); // the paper's worst case
+    // 1838 B * 11.839 nJ/B = 21.76 uJ (Table 5's 21.7 uJ).
+    EXPECT_NEAR(req.energyJ, 21.7e-6, 0.3e-6);
+    // 0.06 mm^3 supercapacitor / 0.0006 mm^3 Li-thin.
+    EXPECT_NEAR(req.superCapMm3, 0.06, 0.01);
+    EXPECT_NEAR(req.liThinMm3, 0.0006, 0.0001);
+    EXPECT_NEAR(req.superCapRatioToCore, 0.005, 0.001);
+}
+
+TEST(Backup, CapriNeedsMillijouleScale)
+{
+    auto req = backupForBytes(capriFlushBytes());
+    // 54 KB * 11.839 nJ/B = 0.65 mJ (Table 5 reports 0.6 mJ).
+    EXPECT_NEAR(req.energyJ, 0.6e-3, 0.1e-3);
+    EXPECT_NEAR(req.superCapMm3, 1.57, 0.35);
+}
+
+TEST(Backup, LightPcNeedsHundredsOfMillijoules)
+{
+    auto req = backupForBytes(lightPcFlushBytes());
+    // ~16.07 MB * 11.839 nJ/B = 199 mJ (Table 5 reports 189 mJ).
+    EXPECT_NEAR(req.energyJ, 0.189, 0.025);
+    EXPECT_NEAR(req.superCapMm3, 527.8, 70.0);
+}
+
+TEST(Backup, OrderingAcrossSchemes)
+{
+    double ppa = backupForBytes(ppaWorstCaseCheckpointBytes()).energyJ;
+    double capri = backupForBytes(capriFlushBytes()).energyJ;
+    double lightpc = backupForBytes(lightPcFlushBytes()).energyJ;
+    EXPECT_LT(ppa, capri);
+    EXPECT_LT(capri, lightpc);
+    EXPECT_LT(lightpc, eadrEnergyJ());
+    // BBB sits between PPA and Capri.
+    EXPECT_GT(bbbEnergyJ(), ppa);
+    EXPECT_LT(ppa * 30, bbbEnergyJ()); // paper: 36.5x larger
+}
+
+TEST(CheckpointTiming, MatchesSection713)
+{
+    auto t = checkpointTiming(1838, 2.0, 2.3);
+    // 1838 B / 8 B-per-cycle at 2 GHz = ~115 ns.
+    EXPECT_NEAR(t.readTimeNs, 114.9, 2.0);
+    // 1838 B at 2.3 GB/s = 0.80 us; the paper reports 0.91 us
+    // including controller overheads.
+    EXPECT_GT(t.flushTimeUs, 0.7);
+    EXPECT_LT(t.flushTimeUs, 1.0);
+}
+
+TEST(CheckpointTiming, ScalesWithBytes)
+{
+    auto a = checkpointTiming(1000);
+    auto b = checkpointTiming(2000);
+    EXPECT_NEAR(b.readTimeNs / a.readTimeNs, 2.0, 0.05);
+    EXPECT_NEAR(b.flushTimeUs / a.flushTimeUs, 2.0, 0.05);
+}
+
+TEST(WorstCase, CheckpointBytesNearPaperValue)
+{
+    // The paper reports 1838 B; our packing arithmetic lands within
+    // a few percent.
+    auto bytes = ppaWorstCaseCheckpointBytes();
+    EXPECT_GT(bytes, 1700u);
+    EXPECT_LT(bytes, 1950u);
+}

@@ -1,0 +1,195 @@
+/** @file Unit tests for Program / ProgramBuilder / ProgramExecutor. */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/program.hh"
+
+using namespace ppa;
+
+TEST(ProgramBuilder, StraightLineProgram)
+{
+    ProgramBuilder b;
+    b.movi(0, 5);
+    b.movi(1, 7);
+    b.add(2, 0, 1);
+    b.halt();
+
+    ProgramExecutor ex(b.program());
+    EXPECT_EQ(ex.totalLength(), 4u);
+    EXPECT_EQ(ex.goldenState().read(RegClass::Int, 2), 12u);
+}
+
+TEST(ProgramBuilder, LoopExecutesExpectedIterations)
+{
+    ProgramBuilder b;
+    b.movi(0, 10); // counter
+    b.movi(1, 0);  // accumulator
+    auto loop = b.label();
+    b.place(loop);
+    b.addi(1, 1, 3);
+    b.subi(0, 0, 1);
+    b.brnz(0, loop);
+    b.halt();
+
+    ProgramExecutor ex(b.program());
+    ex.totalLength();
+    EXPECT_EQ(ex.goldenState().read(RegClass::Int, 1), 30u);
+}
+
+TEST(ProgramBuilder, LoadStoreRoundTrip)
+{
+    ProgramBuilder b;
+    b.initMem(0x100, 41);
+    b.movi(1, 0x100);
+    b.ld(2, 1, 0);
+    b.addi(2, 2, 1);
+    b.st(2, 1, 8);
+    b.halt();
+
+    ProgramExecutor ex(b.program());
+    ex.totalLength();
+    EXPECT_EQ(ex.goldenMemory().read(0x108), 42u);
+}
+
+TEST(ProgramBuilder, BranchNotTakenFallsThrough)
+{
+    ProgramBuilder b;
+    b.movi(0, 0);     // condition = 0: not taken
+    auto skip = b.label();
+    b.brnz(0, skip);
+    b.movi(1, 111);
+    b.place(skip);
+    b.halt();
+
+    ProgramExecutor ex(b.program());
+    ex.totalLength();
+    EXPECT_EQ(ex.goldenState().read(RegClass::Int, 1), 111u);
+}
+
+TEST(ProgramBuilder, JumpSkipsCode)
+{
+    ProgramBuilder b;
+    auto over = b.label();
+    b.jmp(over);
+    b.movi(1, 111); // skipped
+    b.place(over);
+    b.movi(2, 222);
+    b.halt();
+
+    ProgramExecutor ex(b.program());
+    ex.totalLength();
+    EXPECT_EQ(ex.goldenState().read(RegClass::Int, 1), 0u);
+    EXPECT_EQ(ex.goldenState().read(RegClass::Int, 2), 222u);
+}
+
+TEST(ProgramExecutor, StreamHasResolvedAddresses)
+{
+    ProgramBuilder b;
+    b.movi(1, 0x4000);
+    b.st(1, 1, 16);
+    b.halt();
+
+    ProgramExecutor ex(b.program());
+    DynInst di;
+    ASSERT_TRUE(ex.next(di)); // movi
+    ASSERT_TRUE(ex.next(di)); // st
+    EXPECT_EQ(di.op, Opcode::Store);
+    EXPECT_EQ(di.memAddr, 0x4010u);
+}
+
+TEST(ProgramExecutor, TakenBranchesAreMarked)
+{
+    ProgramBuilder b;
+    b.movi(0, 2);
+    auto loop = b.label();
+    b.place(loop);
+    b.subi(0, 0, 1);
+    b.brnz(0, loop);
+    b.halt();
+
+    ProgramExecutor ex(b.program());
+    std::vector<DynInst> branches;
+    DynInst di;
+    while (ex.next(di)) {
+        if (di.isBranch())
+            branches.push_back(di);
+    }
+    ASSERT_EQ(branches.size(), 2u);
+    EXPECT_TRUE(branches[0].taken);  // loop back once
+    EXPECT_FALSE(branches[1].taken); // exit
+}
+
+TEST(ProgramExecutor, SeekToRepositionsStream)
+{
+    ProgramBuilder b;
+    b.movi(0, 1);
+    b.movi(1, 2);
+    b.movi(2, 3);
+    b.halt();
+
+    ProgramExecutor ex(b.program());
+    DynInst di;
+    ASSERT_TRUE(ex.next(di));
+    ASSERT_TRUE(ex.next(di));
+    EXPECT_EQ(di.index, 1u);
+    ex.seekTo(0);
+    ASSERT_TRUE(ex.next(di));
+    EXPECT_EQ(di.index, 0u);
+    ex.seekTo(3);
+    ASSERT_TRUE(ex.next(di));
+    EXPECT_EQ(di.op, Opcode::Halt);
+    EXPECT_FALSE(ex.next(di));
+}
+
+TEST(ProgramExecutor, RespectsMaxInstBound)
+{
+    ProgramBuilder b;
+    b.movi(0, 1); // r0 != 0 forever
+    auto loop = b.label();
+    b.place(loop);
+    b.addi(1, 1, 1);
+    b.brnz(0, loop); // infinite loop
+    ProgramExecutor ex(b.program(), 1000);
+    EXPECT_EQ(ex.totalLength(), 1000u);
+}
+
+TEST(ProgramBuilder, FpPipeline)
+{
+    ProgramBuilder b;
+    b.initMem(0x100, std::bit_cast<Word>(2.0));
+    b.initMem(0x108, std::bit_cast<Word>(3.0));
+    b.movi(1, 0x100);
+    b.fld(0, 1, 0);
+    b.fld(1, 1, 8);
+    b.fmul(2, 0, 1);
+    b.fst(2, 1, 16);
+    b.halt();
+
+    ProgramExecutor ex(b.program());
+    ex.totalLength();
+    EXPECT_DOUBLE_EQ(
+        std::bit_cast<double>(ex.goldenMemory().read(0x110)), 6.0);
+}
+
+TEST(ProgramBuilder, AtomicRmw)
+{
+    ProgramBuilder b;
+    b.initMem(0x200, 100);
+    b.movi(1, 0x200);
+    b.movi(2, 7);
+    b.amoadd(3, 2, 1, 0);
+    b.halt();
+
+    ProgramExecutor ex(b.program());
+    ex.totalLength();
+    EXPECT_EQ(ex.goldenMemory().read(0x200), 107u);
+    EXPECT_EQ(ex.goldenState().read(RegClass::Int, 3), 100u);
+}
+
+TEST(Program, UnplacedLabelIsFatalOnUse)
+{
+    Program p;
+    Label l = p.newLabel();
+    EXPECT_DEATH({ p.labelPc(l); }, "unplaced");
+}

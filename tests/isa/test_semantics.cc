@@ -1,0 +1,165 @@
+/** @file Unit tests for the shared functional semantics. */
+
+#include <bit>
+#include <gtest/gtest.h>
+
+#include "isa/semantics.hh"
+
+using namespace ppa;
+
+TEST(AluCompute, IntegerOps)
+{
+    EXPECT_EQ(aluCompute(Opcode::IntAdd, 2, 3, 4), 9u);
+    EXPECT_EQ(aluCompute(Opcode::IntSub, 10, 3, 0), 7u);
+    EXPECT_EQ(aluCompute(Opcode::IntMul, 6, 7, 0), 42u);
+    EXPECT_EQ(aluCompute(Opcode::IntDiv, 42, 6, 0), 7u);
+    EXPECT_EQ(aluCompute(Opcode::IntAnd, 0b1100, 0b1010, 0), 0b1000u);
+    EXPECT_EQ(aluCompute(Opcode::IntOr, 0b1100, 0b1010, 0), 0b1110u);
+    EXPECT_EQ(aluCompute(Opcode::IntXor, 0b1100, 0b1010, 0), 0b0110u);
+    EXPECT_EQ(aluCompute(Opcode::IntShl, 1, 0, 4), 16u);
+    EXPECT_EQ(aluCompute(Opcode::IntShr, 16, 0, 4), 1u);
+    EXPECT_EQ(aluCompute(Opcode::IntMov, 5, 0, 7), 12u);
+    EXPECT_EQ(aluCompute(Opcode::IntCmpLt, 3, 5, 0), 1u);
+    EXPECT_EQ(aluCompute(Opcode::IntCmpLt, 5, 3, 0), 0u);
+}
+
+TEST(AluCompute, DivideByZeroIsGuarded)
+{
+    EXPECT_EQ(aluCompute(Opcode::IntDiv, 42, 0, 0), 42u);
+}
+
+TEST(AluCompute, FloatingPointOps)
+{
+    auto w = [](double d) { return std::bit_cast<Word>(d); };
+    auto d = [](Word v) { return std::bit_cast<double>(v); };
+    EXPECT_DOUBLE_EQ(d(aluCompute(Opcode::FpAdd, w(1.5), w(2.5), 0)),
+                     4.0);
+    EXPECT_DOUBLE_EQ(d(aluCompute(Opcode::FpMul, w(3.0), w(4.0), 0)),
+                     12.0);
+    EXPECT_DOUBLE_EQ(d(aluCompute(Opcode::FpDiv, w(9.0), w(2.0), 0)),
+                     4.5);
+    EXPECT_DOUBLE_EQ(d(aluCompute(Opcode::FpCvt, 7, 0, 0)), 7.0);
+    EXPECT_DOUBLE_EQ(d(aluCompute(Opcode::FpMov, w(2.25), 0, 0)), 2.25);
+}
+
+TEST(ApplyDynInst, StoreWritesMemory)
+{
+    ArchState st;
+    MemImage mem;
+    st.write(RegClass::Int, 2, 99);
+
+    DynInst di;
+    di.op = Opcode::Store;
+    di.srcs[0] = RegRef::intReg(2);
+    di.memAddr = 0x1000;
+    applyDynInst(di, st, mem);
+    EXPECT_EQ(mem.read(0x1000), 99u);
+}
+
+TEST(ApplyDynInst, LoadReadsMemory)
+{
+    ArchState st;
+    MemImage mem;
+    mem.write(0x2000, 1234);
+
+    DynInst di;
+    di.op = Opcode::Load;
+    di.dst = RegRef::intReg(5);
+    di.memAddr = 0x2000;
+    applyDynInst(di, st, mem);
+    EXPECT_EQ(st.read(RegClass::Int, 5), 1234u);
+}
+
+TEST(ApplyDynInst, AtomicRmwReturnsOldValue)
+{
+    ArchState st;
+    MemImage mem;
+    mem.write(0x3000, 10);
+    st.write(RegClass::Int, 1, 5);
+
+    DynInst di;
+    di.op = Opcode::AtomicRmw;
+    di.dst = RegRef::intReg(2);
+    di.srcs[0] = RegRef::intReg(1);
+    di.memAddr = 0x3000;
+    applyDynInst(di, st, mem);
+    EXPECT_EQ(mem.read(0x3000), 15u);
+    EXPECT_EQ(st.read(RegClass::Int, 2), 10u);
+}
+
+TEST(ApplyDynInst, BranchAndFenceHaveNoArchEffect)
+{
+    ArchState st;
+    MemImage mem;
+    DynInst br;
+    br.op = Opcode::Branch;
+    br.srcs[0] = RegRef::intReg(0);
+    br.taken = true;
+    applyDynInst(br, st, mem);
+    DynInst fe;
+    fe.op = Opcode::Fence;
+    applyDynInst(fe, st, mem);
+    EXPECT_EQ(st, ArchState{});
+    EXPECT_EQ(mem.footprintWords(), 0u);
+}
+
+TEST(ApplyDynInst, MovWithNoSourceUsesZero)
+{
+    ArchState st;
+    MemImage mem;
+    DynInst di;
+    di.op = Opcode::IntMov;
+    di.dst = RegRef::intReg(3);
+    di.imm = 77;
+    applyDynInst(di, st, mem);
+    EXPECT_EQ(st.read(RegClass::Int, 3), 77u);
+}
+
+TEST(RunGolden, CountsInstsAndStores)
+{
+    std::vector<DynInst> stream;
+    DynInst mov;
+    mov.op = Opcode::IntMov;
+    mov.dst = RegRef::intReg(0);
+    mov.imm = 3;
+    stream.push_back(mov);
+    DynInst st;
+    st.op = Opcode::Store;
+    st.srcs[0] = RegRef::intReg(0);
+    st.memAddr = 0x10;
+    stream.push_back(st);
+
+    MemImage init;
+    auto result = runGolden(stream, init);
+    EXPECT_EQ(result.instCount, 2u);
+    EXPECT_EQ(result.storeCount, 1u);
+    EXPECT_EQ(result.mem.read(0x10), 3u);
+}
+
+TEST(OpInfo, ClassificationFlags)
+{
+    EXPECT_TRUE(opInfo(Opcode::Load).isLoad);
+    EXPECT_TRUE(opInfo(Opcode::Store).isStore);
+    EXPECT_TRUE(opInfo(Opcode::AtomicRmw).isStore);
+    EXPECT_TRUE(opInfo(Opcode::AtomicRmw).isLoad);
+    EXPECT_TRUE(opInfo(Opcode::AtomicRmw).isSync);
+    EXPECT_TRUE(opInfo(Opcode::Fence).isSync);
+    EXPECT_TRUE(opInfo(Opcode::Branch).isBranch);
+    EXPECT_FALSE(opInfo(Opcode::Clwb).isStore);
+    EXPECT_TRUE(opInfo(Opcode::FpAdd).writesFpReg);
+    EXPECT_TRUE(opInfo(Opcode::IntAdd).writesIntReg);
+    EXPECT_EQ(destClass(Opcode::FpLoad), RegClass::Fp);
+    EXPECT_EQ(destClass(Opcode::Load), RegClass::Int);
+}
+
+TEST(DynInst, StoreDataRegConvention)
+{
+    DynInst st;
+    st.op = Opcode::Store;
+    st.srcs[0] = RegRef::intReg(4);
+    EXPECT_EQ(st.storeDataReg(), RegRef::intReg(4));
+
+    DynInst ld;
+    ld.op = Opcode::Load;
+    EXPECT_FALSE(ld.storeDataReg().valid());
+}

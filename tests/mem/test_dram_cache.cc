@@ -1,0 +1,100 @@
+/** @file Unit tests for the direct-mapped DRAM cache (memory mode). */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram_cache.hh"
+
+using namespace ppa;
+
+namespace
+{
+
+DramCacheParams
+smallDramCache()
+{
+    DramCacheParams p;
+    p.sizeBytes = 64 * 1024; // 1024 lines
+    p.lineBytes = 64;
+    p.hitLatency = 100;
+    return p;
+}
+
+} // namespace
+
+TEST(DramCache, WarmStartAbsorbsFirstTouch)
+{
+    // Default warmStart: a never-allocated set counts as a hit (the
+    // 5B-instruction fast-forward warmed the DRAM cache).
+    DramCache d(smallDramCache());
+    EXPECT_TRUE(d.access(0x1000, false).hit);
+    EXPECT_TRUE(d.access(0x1000, false).hit);
+    EXPECT_EQ(d.hits(), 2u);
+    EXPECT_EQ(d.misses(), 0u);
+}
+
+TEST(DramCache, ColdMissThenHitWithoutWarmStart)
+{
+    DramCacheParams p = smallDramCache();
+    p.warmStart = false;
+    DramCache d(p);
+    EXPECT_FALSE(d.access(0x1000, false).hit);
+    EXPECT_TRUE(d.access(0x1000, false).hit);
+    EXPECT_EQ(d.hits(), 1u);
+    EXPECT_EQ(d.misses(), 1u);
+}
+
+TEST(DramCache, DirectMappedConflict)
+{
+    DramCache d(smallDramCache());
+    Addr a = 0x0;
+    Addr b = 64 * 1024; // same set, different tag
+    d.access(a, true);
+    auto r = d.access(b, false);
+    EXPECT_FALSE(r.hit);
+    ASSERT_TRUE(r.dirtyVictim.has_value());
+    EXPECT_EQ(*r.dirtyVictim, a);
+    EXPECT_FALSE(d.contains(a));
+    EXPECT_TRUE(d.contains(b));
+}
+
+TEST(DramCache, CleanVictimNotReported)
+{
+    DramCache d(smallDramCache());
+    d.access(0x0, false);
+    auto r = d.access(64 * 1024, false);
+    EXPECT_FALSE(r.dirtyVictim.has_value());
+}
+
+TEST(DramCache, UpdateIfPresentCleansLine)
+{
+    DramCache d(smallDramCache());
+    d.access(0x40, true);
+    EXPECT_EQ(d.dirtyLines().size(), 1u);
+    d.updateIfPresent(0x48); // persist wrote NVM: copy now clean
+    EXPECT_TRUE(d.dirtyLines().empty());
+    EXPECT_TRUE(d.contains(0x40));
+}
+
+TEST(DramCache, UpdateIfPresentIgnoresAbsentLine)
+{
+    DramCache d(smallDramCache());
+    d.updateIfPresent(0x40);
+    EXPECT_FALSE(d.contains(0x40));
+}
+
+TEST(DramCache, InvalidateAllDropsEverything)
+{
+    DramCache d(smallDramCache());
+    d.access(0x0, true);
+    d.access(0x40, false);
+    d.invalidateAll();
+    EXPECT_FALSE(d.contains(0x0));
+    EXPECT_FALSE(d.contains(0x40));
+    EXPECT_TRUE(d.dirtyLines().empty());
+}
+
+TEST(DramCache, HitLatencyConfigured)
+{
+    DramCache d(smallDramCache());
+    EXPECT_EQ(d.hitLatency(), 100u);
+}

@@ -1,0 +1,195 @@
+/** @file Integration tests for the full memory hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+
+using namespace ppa;
+
+namespace
+{
+
+MemSystemParams
+testMemParams()
+{
+    MemSystemParams p;
+    // Shrink for tests: 4 KiB L1D, 64 KiB L2, 256 KiB DRAM cache.
+    p.l1d = CacheParams{4 * 1024, 8, 64, 4};
+    p.l2 = CacheParams{64 * 1024, 16, 64, 44};
+    p.dramCache.sizeBytes = 256 * 1024;
+    return p;
+}
+
+struct HierFixture : ::testing::Test
+{
+    ClockDomain clk{2e9};
+    MemHierarchy mem{testMemParams(), 2, clk};
+};
+
+} // namespace
+
+TEST_F(HierFixture, ColdLoadHitsWarmDramCache)
+{
+    // warmStart (default): the fast-forwarded DRAM cache absorbs the
+    // first touch; the access pays L1 (4) + L2 (44) + DRAM$ (100).
+    Cycle done = mem.load(0, 0x10000, 0);
+    EXPECT_EQ(done, 4u + 44u + 100u);
+    EXPECT_EQ(mem.nvm().readCount(), 0u);
+}
+
+TEST(HierarchyCold, ColdLoadGoesToNvmWithoutWarmStart)
+{
+    MemSystemParams p = testMemParams();
+    p.dramCache.warmStart = false;
+    ClockDomain clk(2e9);
+    MemHierarchy mem(p, 1, clk);
+    Cycle done = mem.load(0, 0x10000, 0);
+    // L1 (4) + L2 (44) + DRAM$ (100) + NVM read (350).
+    EXPECT_GE(done, 350u);
+    EXPECT_EQ(mem.nvm().readCount(), 1u);
+}
+
+TEST(HierarchyCold, WarmStartStillConflictMisses)
+{
+    MemSystemParams p = testMemParams();
+    ClockDomain clk(2e9);
+    MemHierarchy mem(p, 1, clk);
+    // Two addresses aliasing in the 256 KiB direct-mapped DRAM$.
+    mem.load(0, 0x10000, 0);
+    Cycle done = mem.load(0, 0x10000 + 256 * 1024, 10);
+    EXPECT_GE(done - 10, 350u); // conflict miss -> NVM read
+    EXPECT_EQ(mem.nvm().readCount(), 1u);
+}
+
+TEST_F(HierFixture, WarmLoadHitsL1)
+{
+    mem.load(0, 0x10000, 0);
+    Cycle done = mem.load(0, 0x10000, 1000);
+    EXPECT_EQ(done, 1004u);
+}
+
+TEST_F(HierFixture, PrivateL1sSharedL2)
+{
+    mem.load(0, 0x10000, 0);
+    // Core 1 misses its own L1 but hits the shared L2.
+    Cycle done = mem.load(1, 0x10000, 1000);
+    EXPECT_EQ(done, 1000u + 4 + 44);
+}
+
+TEST_F(HierFixture, BaselineStoreDirtiesLine)
+{
+    auto r = mem.storeMerge(0, 0x20000, 42, 0, /*persist=*/false);
+    EXPECT_TRUE(r.accepted);
+    EXPECT_EQ(mem.committed().read(0x20000), 42u);
+    EXPECT_EQ(mem.l1d(0).dirtyLines().size(), 1u);
+    // Nothing persisted yet.
+    EXPECT_EQ(mem.nvmImage().read(0x20000), 0u);
+}
+
+TEST_F(HierFixture, PpaStoreLeavesLineCleanAndPersists)
+{
+    auto r = mem.storeMerge(0, 0x20000, 42, 0, /*persist=*/true);
+    EXPECT_TRUE(r.accepted);
+    EXPECT_TRUE(mem.l1d(0).dirtyLines().empty());
+    EXPECT_GT(mem.outstandingPersists(0, 0), 0u);
+
+    // Tick until the persist drains.
+    Cycle t = 0;
+    while (mem.outstandingPersists(0, t) > 0) {
+        mem.tick(t);
+        ++t;
+        ASSERT_LT(t, 100000u);
+    }
+    EXPECT_EQ(mem.nvmImage().read(0x20000), 42u);
+}
+
+TEST_F(HierFixture, DrainAllFlushesBaselineDirtyData)
+{
+    mem.storeMerge(0, 0x20000, 7, 0, false);
+    mem.storeMerge(1, 0x30000, 8, 0, false);
+    mem.drainAll(10);
+    EXPECT_EQ(mem.nvmImage().read(0x20000), 7u);
+    EXPECT_EQ(mem.nvmImage().read(0x30000), 8u);
+}
+
+TEST_F(HierFixture, PowerFailLosesVolatileState)
+{
+    mem.storeMerge(0, 0x20000, 7, 0, false); // dirty in L1D only
+    mem.powerFail();
+    EXPECT_FALSE(mem.l1d(0).contains(0x20000));
+    // The dirty data never reached NVM: lost, as in real hardware.
+    EXPECT_EQ(mem.nvmImage().read(0x20000), 0u);
+}
+
+TEST_F(HierFixture, RecoveryWriteUpdatesBothImages)
+{
+    mem.recoveryWrite(0x1234, 99);
+    EXPECT_EQ(mem.nvmImage().read(0x1234), 99u);
+    EXPECT_EQ(mem.committed().read(0x1234), 99u);
+}
+
+TEST_F(HierFixture, InitializeSeedsBothImages)
+{
+    mem.initializeWord(0x10, 5);
+    EXPECT_EQ(mem.committed().read(0x10), 5u);
+    EXPECT_EQ(mem.nvmImage().read(0x10), 5u);
+}
+
+TEST_F(HierFixture, ClwbPersistsTheLine)
+{
+    mem.storeMerge(0, 0x20000, 7, 0, false);
+    Cycle ack = mem.clwbLine(0, 0x20000, 10);
+    EXPECT_GT(ack, 10u);
+    EXPECT_EQ(mem.nvmImage().read(0x20000), 7u);
+    EXPECT_TRUE(mem.l1d(0).dirtyLines().empty());
+}
+
+TEST_F(HierFixture, AtomicPersistWriteIsImmediatelyDurable)
+{
+    Cycle ack = mem.atomicPersistWrite(0, 0x40000, 77, 5);
+    EXPECT_GT(ack, 5u);
+    EXPECT_EQ(mem.nvmImage().read(0x40000), 77u);
+    EXPECT_EQ(mem.committed().read(0x40000), 77u);
+}
+
+TEST(Hierarchy, DramOnlyNeverTouchesNvm)
+{
+    MemSystemParams p = testMemParams();
+    p.dramOnly = true;
+    ClockDomain clk(2e9);
+    MemHierarchy mem(p, 1, clk);
+    mem.load(0, 0x10000, 0);
+    mem.storeMerge(0, 0x20000, 1, 0, false);
+    mem.drainAll(100);
+    EXPECT_EQ(mem.nvm().readCount(), 0u);
+    EXPECT_EQ(mem.nvm().writeCount(), 0u);
+}
+
+TEST(Hierarchy, AppDirectSkipsDramCache)
+{
+    MemSystemParams p = testMemParams();
+    p.dramCache.enabled = false; // eADR/BBB ideal-PSP configuration
+    ClockDomain clk(2e9);
+    MemHierarchy mem(p, 1, clk);
+    Cycle done = mem.load(0, 0x10000, 0);
+    // L1 (4) + L2 (44) + NVM (350) but no DRAM-cache 100 cycles.
+    EXPECT_GE(done, 350u);
+    EXPECT_LT(done, 440u);
+}
+
+TEST(Hierarchy, L3AddsALevel)
+{
+    MemSystemParams p = testMemParams();
+    p.l3Enabled = true;
+    p.l3 = CacheParams{128 * 1024, 16, 64, 44};
+    p.l2 = CacheParams{32 * 1024, 16, 64, 14};
+    ClockDomain clk(2e9);
+    MemHierarchy mem(p, 1, clk);
+    mem.load(0, 0x10000, 0); // cold fill through all levels
+    // Evict from L1+L2 by thrashing, then re-access: should hit L3.
+    for (Addr a = 0; a < 96 * 1024; a += 64)
+        mem.load(0, 0x100000 + a, 1);
+    Cycle before_reads = mem.nvm().readCount();
+    mem.load(0, 0x10000, 2);
+    EXPECT_EQ(mem.nvm().readCount(), before_reads);
+}

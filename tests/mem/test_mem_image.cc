@@ -1,0 +1,92 @@
+/** @file Unit tests for the word-granularity memory image. */
+
+#include <gtest/gtest.h>
+
+#include "mem/mem_image.hh"
+
+using namespace ppa;
+
+TEST(MemImage, UnwrittenWordsReadZero)
+{
+    MemImage m;
+    EXPECT_EQ(m.read(0x1234), 0u);
+    EXPECT_EQ(m.footprintWords(), 0u);
+}
+
+TEST(MemImage, WordAlignment)
+{
+    EXPECT_EQ(MemImage::wordAlign(0x1007), 0x1000u);
+    EXPECT_EQ(MemImage::wordAlign(0x1008), 0x1008u);
+    MemImage m;
+    m.write(0x1001, 5);
+    EXPECT_EQ(m.read(0x1000), 5u);
+    EXPECT_EQ(m.read(0x1007), 5u);
+    EXPECT_EQ(m.read(0x1008), 0u);
+}
+
+TEST(MemImage, OverwriteKeepsLatest)
+{
+    MemImage m;
+    m.write(0x10, 1);
+    m.write(0x10, 2);
+    EXPECT_EQ(m.read(0x10), 2u);
+    EXPECT_EQ(m.footprintWords(), 1u);
+}
+
+TEST(MemImage, CopyLineFromTransfersWholeLine)
+{
+    MemImage src, dst;
+    for (Addr off = 0; off < 64; off += 8)
+        src.write(0x1000 + off, off + 1);
+    src.write(0x1040, 99); // next line: must not copy
+
+    dst.copyLineFrom(src, 0x1010, 63);
+    for (Addr off = 0; off < 64; off += 8)
+        EXPECT_EQ(dst.read(0x1000 + off), off + 1);
+    EXPECT_EQ(dst.read(0x1040), 0u);
+}
+
+TEST(MemImage, SameContentsTreatsMissingAsZero)
+{
+    MemImage a, b;
+    a.write(0x8, 0);
+    EXPECT_TRUE(a.sameContents(b));
+    b.write(0x10, 3);
+    EXPECT_FALSE(a.sameContents(b));
+    a.write(0x10, 3);
+    EXPECT_TRUE(a.sameContents(b));
+}
+
+TEST(MemImage, DiffAddrsReportsMismatches)
+{
+    MemImage a, b;
+    a.write(0x20, 1);
+    b.write(0x20, 2);
+    b.write(0x30, 9);
+    auto diffs = a.diffAddrs(b);
+    EXPECT_EQ(diffs.size(), 2u);
+}
+
+TEST(MemImage, ForEachWordVisitsAll)
+{
+    MemImage m;
+    m.write(0x8, 1);
+    m.write(0x10, 2);
+    std::size_t n = 0;
+    Word sum = 0;
+    m.forEachWord([&](Addr, Word v) {
+        ++n;
+        sum += v;
+    });
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(sum, 3u);
+}
+
+TEST(MemImage, ClearEmptiesImage)
+{
+    MemImage m;
+    m.write(0x8, 1);
+    m.clear();
+    EXPECT_EQ(m.footprintWords(), 0u);
+    EXPECT_EQ(m.read(0x8), 0u);
+}

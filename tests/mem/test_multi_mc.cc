@@ -1,0 +1,129 @@
+/** @file
+ * Multiple-memory-controller tests (paper Section 6, "Multiple Memory
+ * Controller (MC) Support"): region-level persistence makes crash
+ * consistency independent of how lines interleave across controllers
+ * — a younger store to a near MC cannot out-persist an older store to
+ * a far MC across a region boundary, and stores within one region are
+ * replayed together anyway.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "sim/system.hh"
+
+using namespace ppa;
+
+namespace
+{
+
+/**
+ * Alternate stores across two lines that map to different memory
+ * controllers (line-interleaved), with data dependencies forcing a
+ * strict program order.
+ */
+Program
+crossMcStores(std::uint64_t pairs)
+{
+    ProgramBuilder b;
+    b.movi(0, pairs);
+    b.movi(1, 0x10000); // line 0 -> MC0
+    b.movi(2, 0x10040); // line 1 -> MC1
+    b.movi(3, 1);
+    auto loop = b.label();
+    b.place(loop);
+    b.st(3, 1, 0);      // older store, MC0
+    b.addi(3, 3, 1);
+    b.st(3, 2, 0);      // younger store, MC1
+    b.addi(3, 3, 1);
+    b.subi(0, 0, 1);
+    b.brnz(0, loop);
+    b.halt();
+    return b.program();
+}
+
+} // namespace
+
+TEST(MultiMc, LinesInterleaveAcrossControllers)
+{
+    ClockDomain clk(2e9);
+    NvmParams p;
+    p.numControllers = 4;
+    Nvm nvm(p, clk);
+    EXPECT_EQ(nvm.controllerOf(0x0), 0u);
+    EXPECT_EQ(nvm.controllerOf(0x40), 1u);
+    EXPECT_EQ(nvm.controllerOf(0x80), 2u);
+    EXPECT_EQ(nvm.controllerOf(0xC0), 3u);
+    EXPECT_EQ(nvm.controllerOf(0x100), 0u);
+}
+
+TEST(MultiMc, ControllersServeIndependently)
+{
+    ClockDomain clk(2e9);
+    NvmParams p;
+    p.numControllers = 2;
+    Nvm nvm(p, clk);
+    auto t0 = nvm.enqueueWrite(0x0, 64, 0);
+    auto t1 = nvm.enqueueWrite(0x40, 64, 0); // other controller
+    // Different controllers do not serialize against each other.
+    EXPECT_EQ(t0.ackCycle, t1.ackCycle);
+    auto t2 = nvm.enqueueWrite(0x0, 64, 0); // same controller as t0
+    EXPECT_GT(t2.ackCycle, t0.ackCycle);
+}
+
+TEST(MultiMc, RecoveryCorrectAcrossControllerCounts)
+{
+    Program prog = crossMcStores(60);
+    ProgramExecutor golden(prog);
+    golden.totalLength();
+
+    for (unsigned mcs : {1u, 2u, 4u, 8u}) {
+        for (Cycle fail : {300u, 1200u, 5000u}) {
+            SystemConfig sc;
+            sc.core.mode = PersistMode::Ppa;
+            sc.mem.nvm.numControllers = mcs;
+            System system(sc);
+            system.seedMemory(prog.initialMemory());
+            ProgramExecutor source(prog);
+            system.bindSource(0, &source);
+            system.runUntilCycle(fail);
+            if (!system.allDone()) {
+                auto images = system.powerFail();
+                system.recover(images);
+            }
+            system.run(40'000'000);
+            ASSERT_TRUE(system.allDone())
+                << "mcs=" << mcs << " fail=" << fail;
+            EXPECT_TRUE(system.memory().nvmImage().sameContents(
+                golden.goldenMemory()))
+                << "mcs=" << mcs << " fail=" << fail;
+        }
+    }
+}
+
+TEST(MultiMc, OlderFarStoreNeverLostBehindYoungNearStore)
+{
+    // The Section 6 scenario: after any failure + recovery, whenever
+    // the younger (MC1) store's latest value is present, the older
+    // (MC0) value from the same iteration is too.
+    Program prog = crossMcStores(400);
+    SystemConfig sc;
+    sc.core.mode = PersistMode::Ppa;
+    System system(sc);
+    system.seedMemory(prog.initialMemory());
+    ProgramExecutor source(prog);
+    system.bindSource(0, &source);
+    system.runUntilCycle(600);
+    ASSERT_FALSE(system.allDone());
+    auto images = system.powerFail();
+    system.recover(images);
+
+    const MemImage &nvm = system.memory().nvmImage();
+    Word near_val = nvm.read(0x10040); // younger (2,4,6,...)
+    Word far_val = nvm.read(0x10000);  // older   (1,3,5,...)
+    if (near_val != 0) {
+        // The recovered image reflects a consistent prefix: the older
+        // store of the same pair (value = younger-1) must be present.
+        EXPECT_EQ(far_val, near_val - 1);
+    }
+}

@@ -1,0 +1,123 @@
+/** @file Unit tests for the NVM / WPQ device model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/nvm.hh"
+
+using namespace ppa;
+
+namespace
+{
+
+ClockDomain clk2GHz(2e9);
+
+NvmParams
+defaultNvm()
+{
+    return NvmParams{}; // Table 2: 175/90 ns, 16-entry WPQ, 2.3 GB/s
+}
+
+} // namespace
+
+TEST(Nvm, ReadLatencyMatchesTable2)
+{
+    Nvm nvm(defaultNvm(), clk2GHz);
+    // 175 ns at 2 GHz = 350 cycles.
+    EXPECT_EQ(nvm.readLatency(1000), 1350u);
+    EXPECT_EQ(nvm.readCount(), 1u);
+}
+
+TEST(Nvm, WriteAcceptedImmediatelyWhenEmpty)
+{
+    Nvm nvm(defaultNvm(), clk2GHz);
+    auto t = nvm.enqueueWrite(0x0, 64, 100);
+    EXPECT_EQ(t.acceptCycle, 100u);
+    EXPECT_GT(t.ackCycle, t.acceptCycle);
+    EXPECT_EQ(nvm.writeCount(), 1u);
+    EXPECT_EQ(nvm.bytesWritten(), 64u);
+}
+
+TEST(Nvm, WriteLatencyFloor)
+{
+    Nvm nvm(defaultNvm(), clk2GHz);
+    auto t = nvm.enqueueWrite(0x0, 64, 0);
+    // At least the 90 ns device write latency (180 cycles).
+    EXPECT_GE(t.ackCycle, 180u);
+}
+
+TEST(Nvm, BandwidthSerializesWrites)
+{
+    Nvm nvm(defaultNvm(), clk2GHz);
+    auto t1 = nvm.enqueueWrite(0x0, 64, 0);
+    auto t2 = nvm.enqueueWrite(0x0, 64, 0); // same controller
+    EXPECT_GT(t2.ackCycle, t1.ackCycle);
+    // Per-controller service: 64 B at 1.15 GB/s ~= 112 cycles.
+    Cycle service = t2.ackCycle - t1.ackCycle;
+    EXPECT_GE(service, 100u);
+    EXPECT_LE(service, 125u);
+}
+
+TEST(Nvm, ControllersInterleaveByLine)
+{
+    Nvm nvm(defaultNvm(), clk2GHz);
+    EXPECT_NE(nvm.controllerOf(0x0), nvm.controllerOf(0x40));
+    EXPECT_EQ(nvm.controllerOf(0x0), nvm.controllerOf(0x80));
+}
+
+TEST(Nvm, WpqFullDelaysAcceptance)
+{
+    NvmParams p = defaultNvm();
+    p.wpqEntries = 4;
+    p.numControllers = 1;
+    Nvm nvm(p, clk2GHz);
+    NvmWriteTicket last{};
+    for (int i = 0; i < 4; ++i)
+        last = nvm.enqueueWrite(0x0, 64, 0);
+    EXPECT_FALSE(nvm.writeAcceptable(0x0, 0));
+    auto t = nvm.enqueueWrite(0x0, 64, 0);
+    EXPECT_GT(t.acceptCycle, 0u);
+    EXPECT_GT(nvm.wpqStallCycles(), 0u);
+    (void)last;
+}
+
+TEST(Nvm, WriteAcceptableProbeHasNoSideEffects)
+{
+    Nvm nvm(defaultNvm(), clk2GHz);
+    EXPECT_TRUE(nvm.writeAcceptable(0x0, 0));
+    EXPECT_TRUE(nvm.writeAcceptable(0x0, 0));
+    EXPECT_EQ(nvm.writeCount(), 0u);
+    EXPECT_EQ(nvm.wpqOccupancy(0, 0), 0u);
+}
+
+TEST(Nvm, OccupancyDrainsOverTime)
+{
+    NvmParams p = defaultNvm();
+    p.numControllers = 1;
+    Nvm nvm(p, clk2GHz);
+    auto t = nvm.enqueueWrite(0x0, 64, 0);
+    EXPECT_EQ(nvm.wpqOccupancy(0, 0), 1u);
+    EXPECT_EQ(nvm.wpqOccupancy(0, t.ackCycle), 0u);
+}
+
+TEST(Nvm, HigherBandwidthShortensService)
+{
+    NvmParams slow = defaultNvm();
+    slow.writeBwGBps = 1.0;
+    NvmParams fast = defaultNvm();
+    fast.writeBwGBps = 6.0;
+    Nvm a(slow, clk2GHz), b(fast, clk2GHz);
+    a.enqueueWrite(0x0, 64, 0);
+    b.enqueueWrite(0x0, 64, 0);
+    auto t_slow = a.enqueueWrite(0x0, 64, 0);
+    auto t_fast = b.enqueueWrite(0x0, 64, 0);
+    EXPECT_GT(t_slow.ackCycle, t_fast.ackCycle);
+}
+
+TEST(Nvm, DrainAllByTracksLatestAck)
+{
+    Nvm nvm(defaultNvm(), clk2GHz);
+    EXPECT_EQ(nvm.drainAllBy(), 0u);
+    auto t1 = nvm.enqueueWrite(0x0, 64, 0);
+    auto t2 = nvm.enqueueWrite(0x40, 64, 0); // other controller
+    EXPECT_EQ(nvm.drainAllBy(), std::max(t1.ackCycle, t2.ackCycle));
+}

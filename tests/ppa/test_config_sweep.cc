@@ -1,0 +1,140 @@
+/** @file
+ * Parameterized configuration sweeps: the crash-consistency and
+ * store-integrity invariants must hold for EVERY hardware
+ * configuration the paper's sensitivity studies explore — PRF size
+ * (Fig. 16), CSQ size (Fig. 17), WPQ size (Fig. 15), write-buffer
+ * tuning, and the Section 6 value-CSQ variant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+#include "workload/kernels.hh"
+
+using namespace ppa;
+
+namespace
+{
+
+struct SweepConfig
+{
+    const char *label;
+    unsigned intPrf;
+    unsigned fpPrf;
+    unsigned csqEntries;
+    unsigned wpqEntries;
+    unsigned wbEntries;
+    unsigned wbWindow;
+    bool csqCarriesValues;
+};
+
+std::ostream &
+operator<<(std::ostream &os, const SweepConfig &c)
+{
+    return os << c.label;
+}
+
+class ConfigSweep : public ::testing::TestWithParam<SweepConfig>
+{
+  protected:
+    SystemConfig
+    makeConfig() const
+    {
+        const SweepConfig &c = GetParam();
+        SystemConfig sc;
+        sc.core.mode = PersistMode::Ppa;
+        sc.core.intPrfEntries = c.intPrf;
+        sc.core.fpPrfEntries = c.fpPrf;
+        sc.core.csqEntries = c.csqEntries;
+        sc.core.csqCarriesValues = c.csqCarriesValues;
+        sc.mem.nvm.wpqEntries = c.wpqEntries;
+        sc.mem.writeBufferEntries = c.wbEntries;
+        sc.mem.wbCoalesceWindow = c.wbWindow;
+        return sc;
+    }
+};
+
+} // namespace
+
+TEST_P(ConfigSweep, CrashRecoveryExact)
+{
+    Program prog = kernels::tpccNewOrder(60);
+    ProgramExecutor golden(prog);
+    golden.totalLength();
+
+    SystemConfig sc = makeConfig();
+    System system(sc);
+    system.seedMemory(prog.initialMemory());
+    ProgramExecutor source(prog);
+    system.bindSource(0, &source);
+
+    for (Cycle fail : {400u, 1500u, 5000u}) {
+        system.runUntilCycle(fail);
+        if (system.allDone())
+            break;
+        auto images = system.powerFail();
+        ASSERT_TRUE(images[0].valid);
+        system.recover(images);
+    }
+    system.run(80'000'000);
+    ASSERT_TRUE(system.allDone());
+    EXPECT_TRUE(system.memory().nvmImage().sameContents(
+        golden.goldenMemory()));
+    EXPECT_EQ(system.core(0).architecturalState(),
+              golden.goldenState());
+}
+
+TEST_P(ConfigSweep, FailureFreeRunMatchesGolden)
+{
+    Program prog = kernels::hashTableUpdate(200);
+    ProgramExecutor golden(prog);
+    golden.totalLength();
+
+    SystemConfig sc = makeConfig();
+    System system(sc);
+    system.seedMemory(prog.initialMemory());
+    ProgramExecutor source(prog);
+    system.bindSource(0, &source);
+    system.run(80'000'000);
+    ASSERT_TRUE(system.allDone());
+    EXPECT_TRUE(system.memory().nvmImage().sameContents(
+        golden.goldenMemory()));
+}
+
+TEST_P(ConfigSweep, CheckpointStaysTiny)
+{
+    // Whatever the configuration, the JIT checkpoint stays within
+    // the same order as the paper's 1838-byte worst case (scaled by
+    // the CSQ size for the value-carrying variant).
+    Program prog = kernels::arraySwap(150);
+    SystemConfig sc = makeConfig();
+    System system(sc);
+    system.seedMemory(prog.initialMemory());
+    ProgramExecutor source(prog);
+    system.bindSource(0, &source);
+    system.runUntilCycle(2500);
+    auto images = system.powerFail();
+    ASSERT_TRUE(images[0].valid);
+    EXPECT_LE(images[0].sizeBytes(), 4096u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HardwareConfigs, ConfigSweep,
+    ::testing::Values(
+        SweepConfig{"table2_default", 180, 168, 40, 16, 16, 1024,
+                    false},
+        SweepConfig{"prf_80_80", 80, 80, 40, 16, 16, 1024, false},
+        SweepConfig{"prf_100_100", 100, 100, 40, 16, 16, 1024, false},
+        SweepConfig{"prf_icelake", 280, 224, 40, 16, 16, 1024, false},
+        SweepConfig{"csq_10", 180, 168, 10, 16, 16, 1024, false},
+        SweepConfig{"csq_50", 180, 168, 50, 16, 16, 1024, false},
+        SweepConfig{"wpq_4", 180, 168, 40, 4, 16, 1024, false},
+        SweepConfig{"wpq_24", 180, 168, 40, 24, 16, 1024, false},
+        SweepConfig{"tiny_wb", 180, 168, 40, 16, 2, 1024, false},
+        SweepConfig{"no_coalescing", 180, 168, 40, 16, 16, 0, false},
+        SweepConfig{"value_csq", 180, 168, 40, 16, 16, 1024, true},
+        SweepConfig{"value_csq_small", 100, 100, 12, 8, 4, 0, true},
+        SweepConfig{"everything_small", 64, 64, 8, 4, 2, 0, false}),
+    [](const ::testing::TestParamInfo<SweepConfig> &info) {
+        return info.param.label;
+    });

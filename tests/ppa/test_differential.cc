@@ -1,0 +1,133 @@
+/** @file
+ * Randomized differential tests: structured random programs must
+ * produce identical final state on the golden model and on the
+ * pipeline — in every persistence mode, and under power failures at
+ * randomized points. This is the widest net in the suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/replaycache.hh"
+#include "support/random_program.hh"
+#include "sim/system.hh"
+
+using namespace ppa;
+using namespace ppa::testsupport;
+
+namespace
+{
+
+void
+expectMatchesGolden(const Program &prog, System &system,
+                    std::uint64_t seed)
+{
+    ProgramExecutor golden(prog);
+    golden.totalLength();
+    EXPECT_TRUE(system.memory().nvmImage().sameContents(
+        golden.goldenMemory()))
+        << "seed=" << seed;
+    EXPECT_EQ(system.core(0).architecturalState(), golden.goldenState())
+        << "seed=" << seed;
+}
+
+class DifferentialSeed : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+} // namespace
+
+TEST_P(DifferentialSeed, VolatileModeMatchesGolden)
+{
+    std::uint64_t seed = GetParam();
+    Program prog = makeRandomProgram(seed);
+    SystemConfig sc;
+    System system(sc);
+    system.seedMemory(prog.initialMemory());
+    ProgramExecutor source(prog);
+    system.bindSource(0, &source);
+    system.run(80'000'000);
+    ASSERT_TRUE(system.allDone());
+    expectMatchesGolden(prog, system, seed);
+}
+
+TEST_P(DifferentialSeed, PpaModeMatchesGolden)
+{
+    std::uint64_t seed = GetParam();
+    Program prog = makeRandomProgram(seed);
+    SystemConfig sc;
+    sc.core.mode = PersistMode::Ppa;
+    System system(sc);
+    system.seedMemory(prog.initialMemory());
+    ProgramExecutor source(prog);
+    system.bindSource(0, &source);
+    system.run(80'000'000);
+    ASSERT_TRUE(system.allDone());
+    expectMatchesGolden(prog, system, seed);
+}
+
+TEST_P(DifferentialSeed, PpaSurvivesRandomFailurePoints)
+{
+    std::uint64_t seed = GetParam();
+    Program prog = makeRandomProgram(seed);
+    Rng rng(seed ^ 0xF00D);
+
+    SystemConfig sc;
+    sc.core.mode = PersistMode::Ppa;
+    System system(sc);
+    system.seedMemory(prog.initialMemory());
+    ProgramExecutor source(prog);
+    system.bindSource(0, &source);
+
+    // Three failures at random, increasing points.
+    Cycle at = 0;
+    for (int k = 0; k < 3; ++k) {
+        at += rng.range(50, 2500);
+        system.runUntilCycle(at);
+        if (system.allDone())
+            break;
+        auto images = system.powerFail();
+        system.recover(images);
+    }
+    system.run(80'000'000);
+    ASSERT_TRUE(system.allDone());
+    expectMatchesGolden(prog, system, seed);
+}
+
+TEST_P(DifferentialSeed, ReplayCacheModeMatchesGolden)
+{
+    std::uint64_t seed = GetParam();
+    Program prog = makeRandomProgram(seed);
+    SystemConfig sc;
+    sc.core.mode = PersistMode::ReplayCache;
+    System system(sc);
+    system.seedMemory(prog.initialMemory());
+    ProgramExecutor source(prog);
+    ReplayCacheTransform rc(source, ReplayCacheParams{});
+    system.bindSource(0, &rc);
+    system.run(160'000'000);
+    ASSERT_TRUE(system.allDone());
+    expectMatchesGolden(prog, system, seed);
+}
+
+TEST_P(DifferentialSeed, CapriModeMatchesGolden)
+{
+    std::uint64_t seed = GetParam();
+    Program prog = makeRandomProgram(seed);
+    SystemConfig sc;
+    sc.core.mode = PersistMode::Capri;
+    System system(sc);
+    system.seedMemory(prog.initialMemory());
+    ProgramExecutor source(prog);
+    system.bindSource(0, &source);
+    system.run(160'000'000);
+    ASSERT_TRUE(system.allDone());
+    expectMatchesGolden(prog, system, seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSeed,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u,
+                                           21u, 34u, 55u, 89u),
+                         [](const auto &info) {
+                             return "seed" +
+                                    std::to_string(info.param);
+                         });

@@ -1,0 +1,210 @@
+/** @file
+ * Tests for the paper's Section 6 extensions: the value-carrying CSQ
+ * (in-order cores / ROB-style renaming) and the JIT-checkpoint
+ * controller timing model, plus recovery on synthetic streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/semantics.hh"
+#include "ppa/jit_controller.hh"
+#include "sim/system.hh"
+#include "workload/generator.hh"
+#include "workload/kernels.hh"
+
+using namespace ppa;
+
+namespace
+{
+
+/** Crash-and-verify helper on an arbitrary core configuration. */
+void
+crashAndVerify(const Program &prog, const CoreParams &core_params,
+               const std::vector<Cycle> &fail_at)
+{
+    ProgramExecutor golden(prog);
+    golden.totalLength();
+
+    SystemConfig sc;
+    sc.core = core_params;
+    System system(sc);
+    system.seedMemory(prog.initialMemory());
+    ProgramExecutor source(prog);
+    system.bindSource(0, &source);
+
+    for (Cycle target : fail_at) {
+        system.runUntilCycle(target);
+        if (system.allDone())
+            break;
+        auto images = system.powerFail();
+        system.recover(images);
+    }
+    system.run(40'000'000);
+    ASSERT_TRUE(system.allDone());
+    EXPECT_TRUE(system.memory().nvmImage().sameContents(
+        golden.goldenMemory()));
+    EXPECT_EQ(system.core(0).architecturalState(),
+              golden.goldenState());
+}
+
+} // namespace
+
+TEST(ValueCsq, PushValueCarriesData)
+{
+    Csq csq(4);
+    csq.pushValue(0x100, 42);
+    ASSERT_EQ(csq.size(), 1u);
+    EXPECT_TRUE(csq.contents()[0].carriesValue);
+    EXPECT_EQ(csq.contents()[0].value, 42u);
+    EXPECT_EQ(csq.contents()[0].physRegIndex, csqZeroRegIndex);
+}
+
+TEST(ValueCsq, RecoveryWorksWithInlineValues)
+{
+    CoreParams params;
+    params.mode = PersistMode::Ppa;
+    params.csqCarriesValues = true;
+    crashAndVerify(kernels::hashTableUpdate(150), params,
+                   {500, 3000, 9000});
+}
+
+TEST(ValueCsq, MaskRegStaysEmpty)
+{
+    // Section 6: with inline values, no register needs pinning, so
+    // the checkpoint carries no masked-register values from the CSQ.
+    Program prog = kernels::tpccNewOrder(60);
+    SystemConfig sc;
+    sc.core.mode = PersistMode::Ppa;
+    sc.core.csqCarriesValues = true;
+    System system(sc);
+    system.seedMemory(prog.initialMemory());
+    ProgramExecutor source(prog);
+    system.bindSource(0, &source);
+    system.runUntilCycle(3000);
+    auto images = system.powerFail();
+    ASSERT_TRUE(images[0].valid);
+    EXPECT_TRUE(images[0].maskBits.none());
+    for (const auto &e : images[0].csq)
+        EXPECT_TRUE(e.carriesValue);
+}
+
+TEST(ValueCsq, WiderEntriesLargerCheckpointOfCsq)
+{
+    // The extension trades MaskReg pins for wider CSQ entries; the
+    // overall checkpoint stays within the same order of magnitude.
+    Program prog = kernels::tpccNewOrder(60);
+    auto checkpoint_size = [&](bool carries_values) {
+        SystemConfig sc;
+        sc.core.mode = PersistMode::Ppa;
+        sc.core.csqCarriesValues = carries_values;
+        System system(sc);
+        system.seedMemory(prog.initialMemory());
+        ProgramExecutor source(prog);
+        system.bindSource(0, &source);
+        system.runUntilCycle(3000);
+        return system.powerFail()[0].sizeBytes();
+    };
+    EXPECT_GT(checkpoint_size(true), 0u);
+    EXPECT_GT(checkpoint_size(false), 0u);
+    EXPECT_LE(checkpoint_size(true), 2500u);
+}
+
+TEST(JitController, EntryCountRoundsToEightBytes)
+{
+    CheckpointImage img;
+    img.valid = true;
+    img.lcpc = 5;
+    // 8 bytes LCPC only.
+    EXPECT_EQ(JitController::entryCount(img), 1u);
+    img.csq.push_back({0, 0x100, 0, false});
+    EXPECT_EQ(JitController::entryCount(img), 2u);
+}
+
+TEST(JitController, ReadTimeMatchesSection713Scale)
+{
+    // 1838-byte worst case: ~115 ns at 8 B/cycle, 2 GHz.
+    ClockDomain clk(2e9);
+    JitController ctrl(clk, 2.3);
+    CheckpointImage img;
+    img.valid = true;
+    // Build an image of the paper's worst-case size: 88 regs, 40 CSQ
+    // entries, 48 CRT entries, MaskReg, LCPC.
+    for (unsigned i = 0; i < 40; ++i)
+        img.csq.push_back({i, i * 8, 0, false});
+    img.crtInt.assign(16, 0);
+    img.crtFp.assign(32, 0);
+    img.maskBits = BitVector(384);
+    for (unsigned i = 0; i < 88; ++i)
+        img.physRegValues[i] = i;
+    double read_ns = ctrl.readTimeNs(img);
+    EXPECT_GT(read_ns, 90.0);
+    EXPECT_LT(read_ns, 150.0);
+    double flush_ns = ctrl.flushTimeNs(img);
+    EXPECT_GT(flush_ns, 500.0);  // ~0.8 us
+    EXPECT_LT(flush_ns, 1200.0);
+    EXPECT_GT(ctrl.totalTimeNs(img), read_ns);
+}
+
+TEST(SyntheticRecovery, GeneratorStreamSurvivesFailures)
+{
+    // Crash consistency on a statistical stream: the generator's
+    // seekTo regenerates deterministically, so recovery resumes
+    // exactly after LCPC.
+    const auto &profile = profileByName("gcc");
+    for (Cycle fail : {700u, 4000u, 15000u}) {
+        StreamGenerator golden_gen(profile, 0, 99, 4000);
+        std::vector<DynInst> stream;
+        DynInst d;
+        while (golden_gen.next(d))
+            stream.push_back(d);
+        MemImage init;
+        auto golden = runGolden(stream, init);
+
+        SystemConfig sc;
+        sc.core.mode = PersistMode::Ppa;
+        System system(sc);
+        StreamGenerator source(profile, 0, 99, 4000);
+        system.bindSource(0, &source);
+        system.runUntilCycle(fail);
+        if (!system.allDone()) {
+            auto images = system.powerFail();
+            system.recover(images);
+        }
+        system.run(40'000'000);
+        ASSERT_TRUE(system.allDone()) << "fail=" << fail;
+        EXPECT_TRUE(system.memory().nvmImage().sameContents(golden.mem))
+            << "fail=" << fail;
+        EXPECT_EQ(system.core(0).architecturalState(), golden.state)
+            << "fail=" << fail;
+    }
+}
+
+TEST(SyntheticRecovery, StoreHeavyProfileManySeeds)
+{
+    // Property sweep across seeds on a store-dense profile.
+    const auto &profile = profileByName("lbm");
+    for (std::uint64_t seed : {1ull, 7ull, 123ull, 9999ull}) {
+        StreamGenerator golden_gen(profile, 0, seed, 2500);
+        std::vector<DynInst> stream;
+        DynInst d;
+        while (golden_gen.next(d))
+            stream.push_back(d);
+        MemImage init;
+        auto golden = runGolden(stream, init);
+
+        SystemConfig sc;
+        sc.core.mode = PersistMode::Ppa;
+        System system(sc);
+        StreamGenerator source(profile, 0, seed, 2500);
+        system.bindSource(0, &source);
+        system.runUntilCycle(1500 + seed % 1000);
+        if (!system.allDone()) {
+            auto images = system.powerFail();
+            system.recover(images);
+        }
+        system.run(40'000'000);
+        ASSERT_TRUE(system.allDone()) << "seed=" << seed;
+        EXPECT_TRUE(system.memory().nvmImage().sameContents(golden.mem))
+            << "seed=" << seed;
+    }
+}

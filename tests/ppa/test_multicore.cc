@@ -1,0 +1,193 @@
+/** @file
+ * Multi-core whole-system persistence tests (paper Section 6).
+ *
+ * DRF programs: each core writes a disjoint data slice; shared state
+ * is touched only through atomic RMWs (commutative adds), so final
+ * values are schedule-independent and verifiable. Recovery replays
+ * the cores' CSQs in arbitrary order.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "sim/system.hh"
+
+using namespace ppa;
+
+namespace
+{
+
+/** Per-core program: update a private array, bump shared counters. */
+Program
+drfWorker(unsigned core_id, std::uint64_t iters, Addr shared_base)
+{
+    Addr priv = 0x100000 + Addr{core_id} * 0x100000;
+    ProgramBuilder b;
+    b.movi(0, iters);
+    b.movi(1, priv);
+    b.movi(2, core_id + 1);  // private payload
+    b.movi(3, shared_base);
+    b.movi(4, 1);            // atomic increment amount
+    auto loop = b.label();
+    b.place(loop);
+    b.st(2, 1, 0);
+    b.addi(2, 2, 3);
+    b.st(2, 1, 8);
+    b.addi(1, 1, 16);
+    b.amoadd(5, 4, 3, 0);    // shared counter += 1
+    b.subi(0, 0, 1);
+    b.brnz(0, loop);
+    b.halt();
+    return b.program();
+}
+
+} // namespace
+
+TEST(Multicore, DrfRunMatchesPerCoreGolden)
+{
+    constexpr unsigned cores = 4;
+    constexpr std::uint64_t iters = 60;
+    constexpr Addr shared = 0x50000;
+
+    SystemConfig sc;
+    sc.core.mode = PersistMode::Ppa;
+    sc.numCores = cores;
+    System system(sc);
+
+    std::vector<Program> progs;
+    std::vector<std::unique_ptr<ProgramExecutor>> sources;
+    for (unsigned c = 0; c < cores; ++c) {
+        progs.push_back(drfWorker(c, iters, shared));
+        system.seedMemory(progs.back().initialMemory());
+    }
+    for (unsigned c = 0; c < cores; ++c) {
+        sources.push_back(
+            std::make_unique<ProgramExecutor>(progs[c]));
+        system.bindSource(c, sources[c].get());
+    }
+    system.run(40'000'000);
+    ASSERT_TRUE(system.allDone());
+
+    // Shared counter: sum of all cores' atomic increments.
+    EXPECT_EQ(system.memory().nvmImage().read(shared), cores * iters);
+
+    // Private slices: each core's golden values.
+    for (unsigned c = 0; c < cores; ++c) {
+        ProgramExecutor golden(progs[c]);
+        golden.totalLength();
+        Addr priv = 0x100000 + Addr{c} * 0x100000;
+        for (std::uint64_t i = 0; i < iters; ++i) {
+            EXPECT_EQ(system.memory().nvmImage().read(priv + i * 16),
+                      golden.goldenMemory().read(priv + i * 16));
+        }
+    }
+}
+
+TEST(Multicore, PowerFailureRecoversAllCores)
+{
+    constexpr unsigned cores = 4;
+    constexpr std::uint64_t iters = 50;
+    constexpr Addr shared = 0x60000;
+
+    for (Cycle fail : {500u, 3000u, 12000u}) {
+        SystemConfig sc;
+        sc.core.mode = PersistMode::Ppa;
+        sc.numCores = cores;
+        System system(sc);
+
+        std::vector<Program> progs;
+        std::vector<std::unique_ptr<ProgramExecutor>> sources;
+        for (unsigned c = 0; c < cores; ++c) {
+            progs.push_back(drfWorker(c, iters, shared));
+            system.seedMemory(progs.back().initialMemory());
+        }
+        for (unsigned c = 0; c < cores; ++c) {
+            sources.push_back(
+                std::make_unique<ProgramExecutor>(progs[c]));
+            system.bindSource(c, sources[c].get());
+        }
+
+        system.runUntilCycle(fail);
+        if (!system.allDone()) {
+            auto images = system.powerFail();
+            ASSERT_EQ(images.size(), cores);
+            system.recover(images);
+        }
+        system.run(40'000'000);
+        ASSERT_TRUE(system.allDone()) << "fail=" << fail;
+
+        EXPECT_EQ(system.memory().nvmImage().read(shared),
+                  cores * iters)
+            << "fail=" << fail;
+        for (unsigned c = 0; c < cores; ++c) {
+            ProgramExecutor golden(progs[c]);
+            golden.totalLength();
+            Addr priv = 0x100000 + Addr{c} * 0x100000;
+            for (std::uint64_t i = 0; i < iters; ++i) {
+                ASSERT_EQ(
+                    system.memory().nvmImage().read(priv + i * 16),
+                    golden.goldenMemory().read(priv + i * 16))
+                    << "core " << c << " i=" << i << " fail=" << fail;
+            }
+        }
+    }
+}
+
+TEST(Multicore, RecoveryOrderIsIrrelevant)
+{
+    // Recover the cores in reversed order: DRF disjointness makes the
+    // result identical (Section 6's argument).
+    constexpr unsigned cores = 3;
+    SystemConfig sc;
+    sc.core.mode = PersistMode::Ppa;
+    sc.numCores = cores;
+    System system(sc);
+
+    std::vector<Program> progs;
+    std::vector<std::unique_ptr<ProgramExecutor>> sources;
+    for (unsigned c = 0; c < cores; ++c) {
+        progs.push_back(drfWorker(c, 40, 0x70000));
+        system.seedMemory(progs.back().initialMemory());
+    }
+    for (unsigned c = 0; c < cores; ++c) {
+        sources.push_back(std::make_unique<ProgramExecutor>(progs[c]));
+        system.bindSource(c, sources[c].get());
+    }
+    system.runUntilCycle(2000);
+    ASSERT_FALSE(system.allDone());
+    auto images = system.powerFail();
+
+    // Reverse-order per-core recovery.
+    for (int c = static_cast<int>(cores) - 1; c >= 0; --c)
+        system.core(static_cast<unsigned>(c))
+            .recover(images[static_cast<std::size_t>(c)]);
+    system.run(40'000'000);
+    ASSERT_TRUE(system.allDone());
+    EXPECT_EQ(system.memory().nvmImage().read(0x70000), cores * 40u);
+}
+
+TEST(Multicore, SharedWpqContention)
+{
+    // More cores competing for the shared WPQ must not break
+    // persistence (Figures 15/19's stress axis).
+    constexpr unsigned cores = 8;
+    SystemConfig sc;
+    sc.core.mode = PersistMode::Ppa;
+    sc.numCores = cores;
+    sc.mem.nvm.wpqEntries = 4;
+    System system(sc);
+
+    std::vector<Program> progs;
+    std::vector<std::unique_ptr<ProgramExecutor>> sources;
+    for (unsigned c = 0; c < cores; ++c) {
+        progs.push_back(drfWorker(c, 30, 0x80000));
+        system.seedMemory(progs.back().initialMemory());
+    }
+    for (unsigned c = 0; c < cores; ++c) {
+        sources.push_back(std::make_unique<ProgramExecutor>(progs[c]));
+        system.bindSource(c, sources[c].get());
+    }
+    system.run(80'000'000);
+    ASSERT_TRUE(system.allDone());
+    EXPECT_EQ(system.memory().nvmImage().read(0x80000), cores * 30u);
+}

@@ -1,0 +1,127 @@
+/** @file Unit tests for PPA's hardware structures: MaskReg and CSQ. */
+
+#include <gtest/gtest.h>
+
+#include "ppa/csq.hh"
+#include "ppa/mask_reg.hh"
+
+using namespace ppa;
+
+TEST(PhysRegIndexer, FlattensIntThenFp)
+{
+    PhysRegIndexer idx(180, 168);
+    EXPECT_EQ(idx.total(), 348u); // the paper's MaskReg is 348 bits
+    EXPECT_EQ(idx.flatten(RegClass::Int, 0), 0u);
+    EXPECT_EQ(idx.flatten(RegClass::Int, 179), 179u);
+    EXPECT_EQ(idx.flatten(RegClass::Fp, 0), 180u);
+    EXPECT_EQ(idx.flatten(RegClass::Fp, 167), 347u);
+}
+
+TEST(PhysRegIndexer, RoundTrips)
+{
+    PhysRegIndexer idx(180, 168);
+    for (unsigned g : {0u, 5u, 179u, 180u, 200u, 347u}) {
+        RegClass cls = idx.classOf(g);
+        PhysReg p = idx.indexOf(g);
+        EXPECT_EQ(idx.flatten(cls, p), g);
+    }
+}
+
+TEST(MaskReg, MaskAndQuery)
+{
+    MaskReg mr(PhysRegIndexer(180, 168));
+    EXPECT_TRUE(mr.empty());
+    mr.mask(RegClass::Int, 5);
+    mr.mask(RegClass::Fp, 7);
+    EXPECT_TRUE(mr.isMasked(RegClass::Int, 5));
+    EXPECT_TRUE(mr.isMasked(RegClass::Fp, 7));
+    EXPECT_FALSE(mr.isMasked(RegClass::Int, 7));
+    EXPECT_FALSE(mr.isMasked(RegClass::Fp, 5));
+    EXPECT_EQ(mr.maskedCount(), 2u);
+}
+
+TEST(MaskReg, ClearAllAtRegionBoundary)
+{
+    MaskReg mr(PhysRegIndexer(16, 16));
+    mr.mask(RegClass::Int, 1);
+    mr.mask(RegClass::Int, 2);
+    mr.clearAll();
+    EXPECT_TRUE(mr.empty());
+    EXPECT_FALSE(mr.isMasked(RegClass::Int, 1));
+}
+
+TEST(MaskReg, ForEachMaskedReportsClassAndIndex)
+{
+    MaskReg mr(PhysRegIndexer(4, 4));
+    mr.mask(RegClass::Int, 3);
+    mr.mask(RegClass::Fp, 0);
+    std::vector<std::pair<RegClass, PhysReg>> got;
+    mr.forEachMasked(
+        [&](RegClass cls, PhysReg p) { got.emplace_back(cls, p); });
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], (std::pair{RegClass::Int, PhysReg{3}}));
+    EXPECT_EQ(got[1], (std::pair{RegClass::Fp, PhysReg{0}}));
+}
+
+TEST(MaskReg, CheckpointRestoreRoundTrip)
+{
+    PhysRegIndexer idx(16, 16);
+    MaskReg a(idx), b(idx);
+    a.mask(RegClass::Int, 9);
+    b.restore(a.raw());
+    EXPECT_TRUE(b.isMasked(RegClass::Int, 9));
+}
+
+TEST(Csq, FifoOrderPreserved)
+{
+    Csq csq(4);
+    csq.push(1, 0x100);
+    csq.push(2, 0x200);
+    csq.push(3, 0x300);
+    ASSERT_EQ(csq.size(), 3u);
+    EXPECT_EQ(csq.contents()[0].physRegIndex, 1u);
+    EXPECT_EQ(csq.contents()[1].addr, 0x200u);
+    EXPECT_EQ(csq.contents()[2].physRegIndex, 3u);
+}
+
+TEST(Csq, FullDetection)
+{
+    Csq csq(2);
+    EXPECT_FALSE(csq.full());
+    csq.push(0, 0);
+    csq.push(1, 8);
+    EXPECT_TRUE(csq.full());
+}
+
+TEST(Csq, OverflowPanics)
+{
+    Csq csq(1);
+    csq.push(0, 0);
+    EXPECT_DEATH({ csq.push(1, 8); }, "CSQ overflow");
+}
+
+TEST(Csq, ClearAtRegionBoundary)
+{
+    Csq csq(4);
+    csq.push(0, 0);
+    csq.clear();
+    EXPECT_TRUE(csq.empty());
+    EXPECT_FALSE(csq.full());
+}
+
+TEST(Csq, RestoreFromCheckpoint)
+{
+    Csq a(4), b(4);
+    a.push(5, 0x50);
+    a.push(6, 0x60);
+    b.restore(a.contents());
+    ASSERT_EQ(b.size(), 2u);
+    EXPECT_EQ(b.contents()[0].physRegIndex, 5u);
+    EXPECT_EQ(b.contents()[1].addr, 0x60u);
+}
+
+TEST(Csq, DefaultCapacityIsForty)
+{
+    Csq csq;
+    EXPECT_EQ(csq.entryCapacity(), 40u); // Table 2
+}

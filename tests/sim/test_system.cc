@@ -1,0 +1,135 @@
+/** @file Tests for the System driver and experiment runner. */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "workload/kernels.hh"
+
+using namespace ppa;
+
+TEST(System, RunStopsAtCycleCap)
+{
+    Program prog = kernels::counterLoop(100000);
+    SystemConfig sc;
+    System system(sc);
+    system.seedMemory(prog.initialMemory());
+    ProgramExecutor source(prog);
+    system.bindSource(0, &source);
+    system.run(/*max_cycles=*/1000);
+    EXPECT_GE(system.cycle(), 1000u);
+    EXPECT_FALSE(system.allDone());
+}
+
+TEST(System, TotalCommittedSumsCores)
+{
+    SystemConfig sc;
+    sc.numCores = 2;
+    System system(sc);
+    Program p0 = kernels::counterLoop(10, 0x10000);
+    Program p1 = kernels::counterLoop(20, 0x20000);
+    system.seedMemory(p0.initialMemory());
+    system.seedMemory(p1.initialMemory());
+    ProgramExecutor s0(p0), s1(p1);
+    system.bindSource(0, &s0);
+    system.bindSource(1, &s1);
+    system.run(10'000'000);
+    ASSERT_TRUE(system.allDone());
+    EXPECT_EQ(system.totalCommitted(), s0.generated().size() +
+                                           s1.generated().size());
+}
+
+TEST(Experiment, VariantConfigsDiffer)
+{
+    ExperimentKnobs knobs;
+    auto base = makeSystemConfig(SystemVariant::MemoryMode, knobs, 1);
+    auto ppa = makeSystemConfig(SystemVariant::Ppa, knobs, 1);
+    auto eadr = makeSystemConfig(SystemVariant::EadrBbb, knobs, 1);
+    auto dram = makeSystemConfig(SystemVariant::DramOnly, knobs, 1);
+    auto capri = makeSystemConfig(SystemVariant::Capri, knobs, 1);
+
+    EXPECT_EQ(base.core.mode, PersistMode::Volatile);
+    EXPECT_TRUE(base.mem.dramCache.enabled);
+    EXPECT_EQ(ppa.core.mode, PersistMode::Ppa);
+    EXPECT_FALSE(eadr.mem.dramCache.enabled);
+    EXPECT_TRUE(dram.mem.dramOnly);
+    EXPECT_EQ(capri.core.mode, PersistMode::Capri);
+}
+
+TEST(Experiment, KnobsPropagate)
+{
+    ExperimentKnobs knobs;
+    knobs.wpqEntries = 8;
+    knobs.intPrf = 100;
+    knobs.fpPrf = 90;
+    knobs.csqEntries = 20;
+    knobs.nvmWriteGbps = 6.0;
+    knobs.l3Cache = true;
+    auto sc = makeSystemConfig(SystemVariant::Ppa, knobs, 1);
+    EXPECT_EQ(sc.mem.nvm.wpqEntries, 8u);
+    EXPECT_EQ(sc.core.intPrfEntries, 100u);
+    EXPECT_EQ(sc.core.fpPrfEntries, 90u);
+    EXPECT_EQ(sc.core.csqEntries, 20u);
+    EXPECT_DOUBLE_EQ(sc.mem.nvm.writeBwGBps, 6.0);
+    EXPECT_TRUE(sc.mem.l3Enabled);
+}
+
+TEST(Experiment, ThreadScalingGrowsSharedResources)
+{
+    ExperimentKnobs knobs;
+    auto sc8 = makeSystemConfig(SystemVariant::Ppa, knobs, 8);
+    auto sc32 = makeSystemConfig(SystemVariant::Ppa, knobs, 32);
+    EXPECT_EQ(sc32.mem.l2.sizeBytes, sc8.mem.l2.sizeBytes * 4);
+    EXPECT_EQ(sc32.mem.nvm.wpqEntries, sc8.mem.nvm.wpqEntries * 4);
+}
+
+TEST(Experiment, RunWorkloadProducesStats)
+{
+    ExperimentKnobs knobs;
+    knobs.instsPerCore = 5000;
+    auto rs = runWorkload(profileByName("gcc"), SystemVariant::Ppa,
+                          knobs);
+    EXPECT_EQ(rs.threads, 1u);
+    EXPECT_GT(rs.cycles, 0u);
+    EXPECT_GE(rs.committedInsts, 5000u);
+    EXPECT_GT(rs.committedStores, 0u);
+    EXPECT_GT(rs.ipc, 0.0);
+    EXPECT_GT(rs.freeIntHist.count(), 0u);
+}
+
+TEST(Experiment, PpaOverheadIsBounded)
+{
+    ExperimentKnobs knobs;
+    knobs.instsPerCore = 8000;
+    auto base = runWorkload(profileByName("gcc"),
+                            SystemVariant::MemoryMode, knobs);
+    auto ppa = runWorkload(profileByName("gcc"), SystemVariant::Ppa,
+                           knobs);
+    double s = slowdown(ppa, base);
+    EXPECT_GE(s, 0.95);
+    EXPECT_LT(s, 1.6); // sane even at this tiny scale
+}
+
+TEST(Experiment, MultithreadedProfileUsesEightCores)
+{
+    ExperimentKnobs knobs;
+    knobs.instsPerCore = 2000;
+    auto rs = runWorkload(profileByName("barnes"), SystemVariant::Ppa,
+                          knobs);
+    EXPECT_EQ(rs.threads, 8u);
+    EXPECT_GE(rs.committedInsts, 8u * 2000u);
+}
+
+TEST(Experiment, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(geomean({1.0, 1.0, 1.0}), 1.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Experiment, VariantNames)
+{
+    EXPECT_STREQ(variantName(SystemVariant::Ppa), "PPA");
+    EXPECT_STREQ(variantName(SystemVariant::MemoryMode),
+                 "memory-mode");
+    EXPECT_STREQ(variantName(SystemVariant::EadrBbb), "eADR/BBB");
+}

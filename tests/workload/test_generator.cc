@@ -1,0 +1,201 @@
+/** @file Tests for profiles and the synthetic stream generator. */
+
+#include <gtest/gtest.h>
+
+#include "isa/semantics.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+using namespace ppa;
+
+TEST(Profiles, FortyOneApplications)
+{
+    EXPECT_EQ(allProfiles().size(), 41u);
+}
+
+TEST(Profiles, SuiteBreakdownMatchesPaper)
+{
+    EXPECT_EQ(profilesOfSuite(Suite::Splash3).size(), 7u);
+    EXPECT_EQ(profilesOfSuite(Suite::Whisper).size(), 7u);
+    EXPECT_EQ(profilesOfSuite(Suite::Stamp).size(), 5u);
+    EXPECT_EQ(profilesOfSuite(Suite::MiniApps).size(), 2u);
+}
+
+TEST(Profiles, LookupByName)
+{
+    const auto &p = profileByName("lbm");
+    EXPECT_EQ(p.suite, Suite::Cpu2006);
+    EXPECT_GT(p.documentedL2Miss, 0.9);
+    EXPECT_DEATH({ profileByName("nonexistent"); }, "unknown workload");
+}
+
+TEST(Profiles, MultithreadedSuitesRunEightThreads)
+{
+    for (const auto &p : multithreadedProfiles()) {
+        EXPECT_EQ(p.defaultThreads, 8u) << p.name;
+        EXPECT_GT(p.syncEveryInsts, 0u) << p.name;
+    }
+    // SPEC profiles are single-threaded.
+    EXPECT_EQ(profileByName("gcc").defaultThreads, 1u);
+}
+
+TEST(Profiles, MemoryIntensiveSubsetIsNonTrivial)
+{
+    auto subset = memoryIntensiveProfiles();
+    EXPECT_GT(subset.size(), 10u);
+    EXPECT_LT(subset.size(), allProfiles().size());
+    for (const auto &p : subset)
+        EXPECT_GE(p.documentedL2Miss, 0.18);
+}
+
+TEST(Generator, DeterministicForSameSeed)
+{
+    const auto &p = profileByName("gcc");
+    StreamGenerator a(p, 0, 7, 1000), b(p, 0, 7, 1000);
+    DynInst da, db;
+    while (a.next(da)) {
+        ASSERT_TRUE(b.next(db));
+        EXPECT_EQ(da.op, db.op);
+        EXPECT_EQ(da.memAddr, db.memAddr);
+        EXPECT_EQ(da.dst, db.dst);
+        EXPECT_EQ(da.imm, db.imm);
+    }
+    EXPECT_FALSE(b.next(db));
+}
+
+TEST(Generator, SeekToReproducesSuffix)
+{
+    const auto &p = profileByName("mcf");
+    StreamGenerator a(p, 0, 9, 500);
+    std::vector<DynInst> all;
+    DynInst d;
+    while (a.next(d))
+        all.push_back(d);
+    ASSERT_EQ(all.size(), 500u);
+
+    StreamGenerator b(p, 0, 9, 500);
+    b.seekTo(250);
+    for (std::size_t i = 250; i < 500; ++i) {
+        ASSERT_TRUE(b.next(d));
+        EXPECT_EQ(d.op, all[i].op) << "at " << i;
+        EXPECT_EQ(d.memAddr, all[i].memAddr) << "at " << i;
+        EXPECT_EQ(d.index, all[i].index) << "at " << i;
+    }
+}
+
+TEST(Generator, SeekBackwardAlsoWorks)
+{
+    const auto &p = profileByName("astar");
+    StreamGenerator g(p, 0, 3, 100);
+    DynInst first;
+    ASSERT_TRUE(g.next(first));
+    DynInst d;
+    for (int i = 0; i < 50; ++i)
+        g.next(d);
+    g.seekTo(0);
+    ASSERT_TRUE(g.next(d));
+    EXPECT_EQ(d.op, first.op);
+    EXPECT_EQ(d.memAddr, first.memAddr);
+}
+
+TEST(Generator, MixApproximatesProfile)
+{
+    const auto &p = profileByName("gcc");
+    StreamGenerator g(p, 0, 11, 50000);
+    std::uint64_t loads = 0, stores = 0, branches = 0, total = 0;
+    DynInst d;
+    while (g.next(d)) {
+        ++total;
+        if (d.isLoad() && !d.isStore())
+            ++loads;
+        if (d.isStore() && !d.isSync())
+            ++stores;
+        if (d.isBranch())
+            ++branches;
+    }
+    EXPECT_NEAR(static_cast<double>(loads) / total, p.fracLoad, 0.03);
+    EXPECT_NEAR(static_cast<double>(stores) / total, p.fracStore, 0.03);
+    EXPECT_NEAR(static_cast<double>(branches) / total, p.fracBranch,
+                0.03);
+}
+
+TEST(Generator, ThreadsGetDisjointPrivateSlices)
+{
+    const auto &p = profileByName("ocean");
+    StreamGenerator g0(p, 0, 5, 2000), g1(p, 1, 5, 2000);
+    EXPECT_NE(g0.privateBase(), g1.privateBase());
+    DynInst d;
+    while (g0.next(d)) {
+        if (d.isMem() && !d.isSync()) {
+            EXPECT_GE(d.memAddr, g0.privateBase());
+            EXPECT_LT(d.memAddr, g1.privateBase());
+        }
+    }
+}
+
+TEST(Generator, SyncedProfilesEmitSyncOps)
+{
+    const auto &p = profileByName("water-ns");
+    StreamGenerator g(p, 0, 13, 20000);
+    std::uint64_t syncs = 0;
+    DynInst d;
+    while (g.next(d)) {
+        if (d.isSync())
+            ++syncs;
+    }
+    // ~one sync per syncEveryInsts instructions.
+    EXPECT_GT(syncs, 20000 / p.syncEveryInsts / 2);
+    EXPECT_LT(syncs, 20000 * 3 / p.syncEveryInsts);
+}
+
+TEST(Generator, SyncAddressesAreShared)
+{
+    const auto &p = profileByName("genome");
+    StreamGenerator g(p, 2, 17, 30000);
+    DynInst d;
+    bool saw_atomic = false;
+    while (g.next(d)) {
+        if (d.op == Opcode::AtomicRmw) {
+            saw_atomic = true;
+            EXPECT_GE(d.memAddr, StreamGenerator::sharedSyncBase);
+            EXPECT_LT(d.memAddr,
+                      StreamGenerator::sharedSyncBase + 16 * 64);
+        }
+    }
+    EXPECT_TRUE(saw_atomic);
+}
+
+TEST(Generator, StreamIsFunctionallyExecutable)
+{
+    // The golden model must run any generated stream without tripping
+    // assertions (all register references valid, addresses aligned).
+    const auto &p = profileByName("lulesh");
+    StreamGenerator g(p, 0, 23, 5000);
+    std::vector<DynInst> stream;
+    DynInst d;
+    while (g.next(d))
+        stream.push_back(d);
+    MemImage init;
+    auto result = runGolden(stream, init);
+    EXPECT_EQ(result.instCount, 5000u);
+    EXPECT_GT(result.storeCount, 0u);
+}
+
+TEST(Generator, HighLocalityProfileReusesHotSet)
+{
+    const auto &rb = profileByName("rb");
+    StreamGenerator g(rb, 0, 29, 20000);
+    std::uint64_t in_hot = 0, mem_ops = 0;
+    DynInst d;
+    while (g.next(d)) {
+        if (d.isMem() && !d.isSync()) {
+            ++mem_ops;
+            if (d.memAddr <
+                g.privateBase() + rb.hotSetBytes + rb.workingSetBytes *
+                                                       0.001)
+                ++in_hot;
+        }
+    }
+    // Most accesses land in the hot set for a 97%-hot profile.
+    EXPECT_GT(static_cast<double>(in_hot) / mem_ops, 0.6);
+}

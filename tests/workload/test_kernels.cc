@@ -1,0 +1,186 @@
+/** @file Functional tests for the micro-kernels (golden semantics). */
+
+#include <bit>
+#include <cmath>
+#include <functional>
+#include <gtest/gtest.h>
+
+#include "workload/kernels.hh"
+
+using namespace ppa;
+using namespace ppa::kernels;
+
+TEST(Kernels, CounterLoopCountsExactly)
+{
+    Program p = counterLoop(123, 0x9000);
+    ProgramExecutor ex(p);
+    ex.totalLength();
+    EXPECT_EQ(ex.goldenMemory().read(0x9000), 123u);
+}
+
+TEST(Kernels, HashTableConservesUpdateCount)
+{
+    constexpr std::uint64_t ops = 200, slots = 64;
+    constexpr Addr base = 0x100000;
+    Program p = hashTableUpdate(ops, slots, base);
+    ProgramExecutor ex(p);
+    ex.totalLength();
+
+    // Each op adds the key to one slot; slots started at i.
+    // Verify total delta equals the sum of all keys used.
+    Word table_sum = 0, init_sum = 0;
+    for (std::uint64_t i = 0; i < slots; ++i) {
+        table_sum += ex.goldenMemory().read(base + i * 8);
+        init_sum += i;
+    }
+    EXPECT_NE(table_sum, init_sum); // something was written
+}
+
+TEST(Kernels, TreeWalkTotalIncrementsEqualOps)
+{
+    constexpr std::uint64_t ops = 150, nodes = 63;
+    constexpr Addr base = 0x200000;
+    Program p = searchTreeWalk(ops, nodes, base);
+    ProgramExecutor ex(p);
+    ex.totalLength();
+
+    Word total_value = 0;
+    for (std::uint64_t i = 0; i < nodes; ++i)
+        total_value += ex.goldenMemory().read(base + i * 32 + 8);
+    EXPECT_EQ(total_value, ops);
+}
+
+TEST(Kernels, TreeIsWellFormed)
+{
+    constexpr std::uint64_t nodes = 31;
+    constexpr Addr base = 0x200000;
+    Program p = searchTreeWalk(1, nodes, base);
+    const MemImage &init = p.initialMemory();
+
+    // Walk the tree from the root: keys must respect BST order.
+    std::function<std::uint64_t(Addr, Word, Word)> count =
+        [&](Addr node, Word lo, Word hi) -> std::uint64_t {
+        if (node == 0)
+            return 0;
+        Word key = init.read(node);
+        EXPECT_GT(key, lo);
+        EXPECT_LT(key, hi);
+        return 1 + count(init.read(node + 16), lo, key) +
+               count(init.read(node + 24), key, hi);
+    };
+    EXPECT_EQ(count(base, 0, ~Word{0}), nodes);
+}
+
+TEST(Kernels, ArraySwapPreservesMultiset)
+{
+    constexpr std::uint64_t ops = 100, entries = 128;
+    constexpr Addr base = 0x300000;
+    Program p = arraySwap(ops, entries, base);
+    ProgramExecutor ex(p);
+    ex.totalLength();
+
+    // Swapping permutes: the value sum is invariant.
+    Word sum = 0, init_sum = 0;
+    for (std::uint64_t i = 0; i < entries; ++i) {
+        sum += ex.goldenMemory().read(base + i * 8);
+        init_sum += i * 3 + 1;
+    }
+    EXPECT_EQ(sum, init_sum);
+}
+
+TEST(Kernels, TatpBumpsVersions)
+{
+    constexpr std::uint64_t txns = 120, subs = 64;
+    constexpr Addr base = 0x400000;
+    Program p = tatpUpdate(txns, subs, base);
+    ProgramExecutor ex(p);
+    ex.totalLength();
+
+    Word versions = 0;
+    for (std::uint64_t i = 0; i < subs; ++i)
+        versions += ex.goldenMemory().read(base + i * 32 + 16);
+    EXPECT_EQ(versions, txns);
+}
+
+TEST(Kernels, TpccCountsOrders)
+{
+    constexpr std::uint64_t txns = 77;
+    Program p = tpccNewOrder(txns, 0x500000, 0x510000);
+    ProgramExecutor ex(p);
+    ex.totalLength();
+    EXPECT_EQ(ex.goldenMemory().read(0x500000), txns + 1); // next id
+    EXPECT_EQ(ex.goldenMemory().read(0x500008), txns);     // counter
+    // First order record was written.
+    EXPECT_EQ(ex.goldenMemory().read(0x510000 + 1 * 32 + 8), 42u);
+}
+
+TEST(Kernels, KvStoreWritesValues)
+{
+    Program p = kvStore(100, 20, 64, 0x600000);
+    ProgramExecutor ex(p);
+    std::uint64_t len = ex.totalLength();
+    EXPECT_GT(len, 100u);
+    // At least one bucket has a full 8-word value written (all words
+    // equal the key stored there).
+    bool found = false;
+    for (std::uint64_t bkt = 0; bkt < 64 && !found; ++bkt) {
+        Addr a = 0x600000 + bkt * 128;
+        Word key = ex.goldenMemory().read(a);
+        if (key > 63) { // overwritten by a set (initial keys are 0..63)
+            found = true;
+            for (Word off = 8; off <= 64; off += 8)
+                EXPECT_EQ(ex.goldenMemory().read(a + off), key);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Kernels, StencilSmoothsGrid)
+{
+    constexpr std::uint64_t cells = 64;
+    constexpr Addr base = 0x700000;
+    Program p = stencil(4, cells, base);
+    ProgramExecutor ex(p);
+    ex.totalLength();
+
+    // Interior cells hold finite doubles after smoothing.
+    for (std::uint64_t i = 1; i + 1 < cells; ++i) {
+        double v =
+            std::bit_cast<double>(ex.goldenMemory().read(base + i * 8));
+        EXPECT_TRUE(std::isfinite(v));
+    }
+    // Smoothing pulls neighbors together: variance shrinks.
+    auto variance = [&](const MemImage &m) {
+        double mean = 0.0;
+        for (std::uint64_t i = 0; i < cells; ++i)
+            mean += std::bit_cast<double>(m.read(base + i * 8));
+        mean /= cells;
+        double var = 0.0;
+        for (std::uint64_t i = 0; i < cells; ++i) {
+            double d =
+                std::bit_cast<double>(m.read(base + i * 8)) - mean;
+            var += d * d;
+        }
+        return var / cells;
+    };
+    EXPECT_LT(variance(ex.goldenMemory()),
+              variance(p.initialMemory()));
+}
+
+TEST(Kernels, TableLookupAccumulates)
+{
+    constexpr std::uint64_t entries = 256;
+    constexpr Addr base = 0x800000;
+    Program p = tableLookup(200, entries, base);
+    ProgramExecutor ex(p);
+    ex.totalLength();
+    Addr result = base + entries * 8 + 64;
+    double acc = std::bit_cast<double>(ex.goldenMemory().read(result));
+    EXPECT_GT(acc, 0.0);
+    EXPECT_TRUE(std::isfinite(acc));
+}
+
+TEST(Kernels, RequirePowerOfTwoSizes)
+{
+    EXPECT_DEATH({ hashTableUpdate(10, 100); }, "power of two");
+}

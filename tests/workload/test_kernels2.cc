@@ -1,0 +1,136 @@
+/** @file Tests for the journaling and matrix-multiply kernels. */
+
+#include <bit>
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+#include "workload/kernels.hh"
+
+using namespace ppa;
+using namespace ppa::kernels;
+
+namespace
+{
+
+constexpr Addr logBase = 0x900000;
+
+} // namespace
+
+TEST(PersistentLog, AppendsRecordsWithChecksums)
+{
+    constexpr std::uint64_t records = 60;
+    Program p = persistentLog(records, logBase);
+    ProgramExecutor ex(p);
+    ex.totalLength();
+    const MemImage &mem = ex.goldenMemory();
+
+    EXPECT_EQ(mem.read(logBase), records); // head index
+    for (std::uint64_t i = 0; i < records; ++i) {
+        Addr rec = logBase + 64 + i * 32;
+        EXPECT_EQ(mem.read(rec), i); // sequence
+        Word payload = mem.read(rec + 8);
+        EXPECT_EQ(mem.read(rec + 16), payload ^ i); // checksum
+    }
+}
+
+TEST(PersistentLog, ReplayRepairsCrashInconsistency)
+{
+    // The paper's Section 2.4 scenario, live: at the failure instant
+    // the NVM image inside the interrupted region may be arbitrarily
+    // out of order (a younger store — the log head — can be persisted
+    // while an older one — a record's checksum — is not). PPA's CSQ
+    // replay is what repairs it. We count such raw inconsistencies
+    // before replay and require exactness after recovery.
+    constexpr std::uint64_t records = 50;
+    Program p = persistentLog(records, logBase);
+    ProgramExecutor golden(p);
+    golden.totalLength();
+
+    auto broken_records = [&](const MemImage &nvm) {
+        Word head = nvm.read(logBase);
+        std::uint64_t broken = 0;
+        for (Word i = 0; i < head; ++i) {
+            Addr rec = logBase + 64 + i * 32;
+            if (nvm.read(rec + 16) != (nvm.read(rec + 8) ^ i))
+                ++broken;
+        }
+        return broken;
+    };
+
+    for (Cycle fail : {200u, 800u, 2000u}) {
+        SystemConfig sc;
+        sc.core.mode = PersistMode::Ppa;
+        System system(sc);
+        system.seedMemory(p.initialMemory());
+        ProgramExecutor source(p);
+        system.bindSource(0, &source);
+        system.runUntilCycle(fail);
+        if (!system.allDone()) {
+            auto images = system.powerFail();
+            // Pre-replay the image may be inconsistent; that is
+            // expected and exactly what recovery must repair.
+            (void)broken_records(system.memory().nvmImage());
+            system.recover(images);
+            // Post-replay: every record below the head is whole.
+            EXPECT_EQ(broken_records(system.memory().nvmImage()), 0u)
+                << "fail=" << fail;
+        }
+        system.run(20'000'000);
+        ASSERT_TRUE(system.allDone());
+        EXPECT_TRUE(system.memory().nvmImage().sameContents(
+            golden.goldenMemory()));
+    }
+}
+
+TEST(MatrixMultiply, MatchesHostArithmetic)
+{
+    constexpr std::uint64_t n = 6;
+    constexpr Addr base = 0xA00000;
+    Program p = matrixMultiply(n, base);
+    ProgramExecutor ex(p);
+    ex.totalLength();
+
+    // Recompute on the host from the same initial values.
+    auto a = [&](std::uint64_t i, std::uint64_t k) {
+        return 0.5 + static_cast<double>((i * n + k) % 7);
+    };
+    auto bm = [&](std::uint64_t k, std::uint64_t j) {
+        return 1.0 + static_cast<double>((k * n + j) % 5);
+    };
+    for (std::uint64_t i = 0; i < n; ++i) {
+        for (std::uint64_t j = 0; j < n; ++j) {
+            double want = 0.0;
+            for (std::uint64_t k = 0; k < n; ++k)
+                want += a(i, k) * bm(k, j);
+            Addr c = base + 2 * n * n * 8 + (i * n + j) * 8;
+            EXPECT_DOUBLE_EQ(
+                std::bit_cast<double>(ex.goldenMemory().read(c)), want)
+                << "C[" << i << "][" << j << "]";
+        }
+    }
+}
+
+TEST(MatrixMultiply, RunsOnPpaCoreWithRecovery)
+{
+    Program p = matrixMultiply(8);
+    ProgramExecutor golden(p);
+    golden.totalLength();
+
+    SystemConfig sc;
+    sc.core.mode = PersistMode::Ppa;
+    System system(sc);
+    system.seedMemory(p.initialMemory());
+    ProgramExecutor source(p);
+    system.bindSource(0, &source);
+    system.runUntilCycle(3000);
+    if (!system.allDone()) {
+        auto images = system.powerFail();
+        system.recover(images);
+    }
+    system.run(40'000'000);
+    ASSERT_TRUE(system.allDone());
+    EXPECT_TRUE(system.memory().nvmImage().sameContents(
+        golden.goldenMemory()));
+    EXPECT_EQ(system.core(0).architecturalState(),
+              golden.goldenState());
+}

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * ppa_cli — command-line driver for the simulator.
+ *
+ * Run any of the 41 modeled applications on any system variant and
+ * print a full statistics report, optionally side by side with the
+ * memory-mode baseline:
+ *
+ *   ppa_cli --list
+ *   ppa_cli --app gcc --variant ppa --insts 50000 --compare
+ *   ppa_cli --app rb --variant ppa --wpq 8 --bw 1.0
+ *   ppa_cli --app water-sp --variant capri --threads 16
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/table.hh"
+#include "sim/experiment.hh"
+
+using namespace ppa;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: ppa_cli [options]\n"
+        "  --list              list the modeled applications\n"
+        "  --app NAME          application to run (required unless "
+        "--list)\n"
+        "  --variant V         memory-mode | ppa | capri | "
+        "replaycache | eadr-bbb | dram-only (default: ppa)\n"
+        "  --insts N           committed instructions per core "
+        "(default 50000)\n"
+        "  --threads N         thread/core count (default: profile)\n"
+        "  --csq N             CSQ entries (default 40)\n"
+        "  --int-prf N         integer PRF entries (default 180)\n"
+        "  --fp-prf N          FP PRF entries (default 168)\n"
+        "  --wpq N             WPQ entries per controller (default "
+        "16)\n"
+        "  --bw G              NVM write bandwidth GB/s (default "
+        "2.3)\n"
+        "  --l3                add an L3 between L2 and DRAM cache\n"
+        "  --seed N            workload seed (default 42)\n"
+        "  --compare           also run the memory-mode baseline and "
+        "report the slowdown\n");
+}
+
+SystemVariant
+parseVariant(const std::string &name)
+{
+    if (name == "memory-mode")
+        return SystemVariant::MemoryMode;
+    if (name == "ppa")
+        return SystemVariant::Ppa;
+    if (name == "capri")
+        return SystemVariant::Capri;
+    if (name == "replaycache")
+        return SystemVariant::ReplayCache;
+    if (name == "eadr-bbb")
+        return SystemVariant::EadrBbb;
+    if (name == "dram-only")
+        return SystemVariant::DramOnly;
+    std::fprintf(stderr, "unknown variant '%s'\n", name.c_str());
+    std::exit(1);
+}
+
+void
+printStats(const RunStats &rs)
+{
+    TextTable t({"metric", "value"});
+    t.addRow({"workload", rs.workload});
+    t.addRow({"variant", variantName(rs.variant)});
+    t.addRow({"threads", std::to_string(rs.threads)});
+    t.addRow({"measured cycles", std::to_string(rs.cycles)});
+    t.addRow({"total cycles (with warmup)",
+              std::to_string(rs.totalCycles)});
+    t.addRow({"committed instructions",
+              std::to_string(rs.committedInsts)});
+    t.addRow({"committed stores", std::to_string(rs.committedStores)});
+    t.addRow({"system IPC", TextTable::num(rs.ipc, 2)});
+    t.addRow({"L2 miss ratio", TextTable::percent(rs.l2MissRatio)});
+    t.addRow({"NVM reads", std::to_string(rs.nvmReads)});
+    t.addRow({"NVM writes", std::to_string(rs.nvmWrites)});
+    t.addRow({"NVM bytes written", std::to_string(rs.nvmBytesWritten)});
+    if (rs.regionCount) {
+        t.addRow({"regions", std::to_string(rs.regionCount)});
+        t.addRow({"stores / region",
+                  TextTable::num(rs.avgRegionStores, 1)});
+        t.addRow({"others / region",
+                  TextTable::num(rs.avgRegionOthers, 1)});
+        t.addRow({"boundary stall cycles",
+                  std::to_string(rs.boundaryStallCycles)});
+        t.addRow({"boundary stall ratio",
+                  TextTable::percent(rs.boundaryStallRatio(), 2)});
+        t.addRow({"persist ops", std::to_string(rs.persistOps)});
+        t.addRow({"coalesced stores",
+                  std::to_string(rs.coalescedStores)});
+    }
+    t.addRow({"rename no-free-reg stall",
+              TextTable::percent(rs.renameStallRatio(), 2)});
+    std::printf("%s", t.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string app;
+    std::string variant_name = "ppa";
+    ExperimentKnobs knobs;
+    knobs.instsPerCore = 50'000;
+    bool compare = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            TextTable t({"app", "suite", "threads", "store frac",
+                         "working set (MiB)"});
+            for (const auto &p : allProfiles()) {
+                t.addRow({p.name, suiteName(p.suite),
+                          std::to_string(p.defaultThreads),
+                          TextTable::percent(p.fracStore),
+                          TextTable::num(
+                              static_cast<double>(p.workingSetBytes) /
+                                  (1024.0 * 1024.0),
+                              1)});
+            }
+            std::printf("%s", t.render().c_str());
+            return 0;
+        } else if (arg == "--app") {
+            app = next();
+        } else if (arg == "--variant") {
+            variant_name = next();
+        } else if (arg == "--insts") {
+            knobs.instsPerCore = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--threads") {
+            knobs.threads =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--csq") {
+            knobs.csqEntries =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--int-prf") {
+            knobs.intPrf =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--fp-prf") {
+            knobs.fpPrf =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--wpq") {
+            knobs.wpqEntries =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--bw") {
+            knobs.nvmWriteGbps = std::strtod(next(), nullptr);
+        } else if (arg == "--l3") {
+            knobs.l3Cache = true;
+        } else if (arg == "--seed") {
+            knobs.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--compare") {
+            compare = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage();
+            return 1;
+        }
+    }
+
+    if (app.empty()) {
+        usage();
+        return 1;
+    }
+
+    const WorkloadProfile &profile = profileByName(app);
+    SystemVariant variant = parseVariant(variant_name);
+
+    RunStats rs = runWorkload(profile, variant, knobs);
+    printStats(rs);
+
+    if (compare && variant != SystemVariant::MemoryMode) {
+        RunStats base =
+            runWorkload(profile, SystemVariant::MemoryMode, knobs);
+        std::printf("\nslowdown vs memory-mode baseline: %s\n",
+                    TextTable::factor(slowdown(rs, base)).c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * ppa_trace — record and replay committed-path traces.
+ *
+ * Record a workload or kernel's committed path once, then sweep
+ * configurations against the identical input:
+ *
+ *   ppa_trace record --app gcc --insts 100000 --out gcc.ppatrace
+ *   ppa_trace record --kernel tpcc --ops 2000 --out tpcc.ppatrace
+ *   ppa_trace replay --in gcc.ppatrace --variant ppa
+ *   ppa_trace info --in gcc.ppatrace
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "isa/trace_io.hh"
+#include "sim/experiment.hh"
+#include "workload/generator.hh"
+#include "workload/kernels.hh"
+
+using namespace ppa;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage:\n"
+        "  ppa_trace record --app NAME  --insts N --out FILE "
+        "[--seed S]\n"
+        "  ppa_trace record --kernel K --ops N   --out FILE\n"
+        "     kernels: counter hash tree swap tatp tpcc kv stencil "
+        "lookup log matmul\n"
+        "  ppa_trace replay --in FILE [--variant V]\n"
+        "  ppa_trace info   --in FILE\n");
+}
+
+Program
+kernelByName(const std::string &name, std::uint64_t ops)
+{
+    if (name == "counter")
+        return kernels::counterLoop(ops);
+    if (name == "hash")
+        return kernels::hashTableUpdate(ops);
+    if (name == "tree")
+        return kernels::searchTreeWalk(ops);
+    if (name == "swap")
+        return kernels::arraySwap(ops);
+    if (name == "tatp")
+        return kernels::tatpUpdate(ops);
+    if (name == "tpcc")
+        return kernels::tpccNewOrder(ops);
+    if (name == "kv")
+        return kernels::kvStore(ops, 20);
+    if (name == "stencil")
+        return kernels::stencil(ops);
+    if (name == "lookup")
+        return kernels::tableLookup(ops);
+    if (name == "log")
+        return kernels::persistentLog(ops);
+    if (name == "matmul")
+        return kernels::matrixMultiply(std::max<std::uint64_t>(2, ops));
+    std::fprintf(stderr, "unknown kernel '%s'\n", name.c_str());
+    std::exit(1);
+}
+
+int
+cmdRecord(const std::map<std::string, std::string> &opts)
+{
+    auto out = opts.find("--out");
+    if (out == opts.end()) {
+        usage();
+        return 1;
+    }
+
+    std::vector<DynInst> stream;
+    if (auto app = opts.find("--app"); app != opts.end()) {
+        std::uint64_t insts = 100'000;
+        if (auto n = opts.find("--insts"); n != opts.end())
+            insts = std::strtoull(n->second.c_str(), nullptr, 10);
+        std::uint64_t seed = 42;
+        if (auto s = opts.find("--seed"); s != opts.end())
+            seed = std::strtoull(s->second.c_str(), nullptr, 10);
+        StreamGenerator gen(profileByName(app->second), 0, seed, insts);
+        DynInst d;
+        while (gen.next(d))
+            stream.push_back(d);
+    } else if (auto k = opts.find("--kernel"); k != opts.end()) {
+        std::uint64_t ops = 1000;
+        if (auto n = opts.find("--ops"); n != opts.end())
+            ops = std::strtoull(n->second.c_str(), nullptr, 10);
+        Program prog = kernelByName(k->second, ops);
+        ProgramExecutor ex(prog);
+        ex.totalLength();
+        stream = ex.generated();
+        std::printf("note: kernel traces do not carry initial memory; "
+                    "replay measures timing only\n");
+    } else {
+        usage();
+        return 1;
+    }
+
+    writeTrace(out->second, stream);
+    std::printf("wrote %zu instructions to %s\n", stream.size(),
+                out->second.c_str());
+    return 0;
+}
+
+int
+cmdReplay(const std::map<std::string, std::string> &opts)
+{
+    auto in = opts.find("--in");
+    if (in == opts.end()) {
+        usage();
+        return 1;
+    }
+    std::string variant = "ppa";
+    if (auto v = opts.find("--variant"); v != opts.end())
+        variant = v->second;
+
+    SystemVariant sys_variant = SystemVariant::Ppa;
+    if (variant == "memory-mode")
+        sys_variant = SystemVariant::MemoryMode;
+    else if (variant == "dram-only")
+        sys_variant = SystemVariant::DramOnly;
+    else if (variant == "eadr-bbb")
+        sys_variant = SystemVariant::EadrBbb;
+    else if (variant != "ppa") {
+        std::fprintf(stderr, "replay supports memory-mode | ppa | "
+                             "dram-only | eadr-bbb\n");
+        return 1;
+    }
+
+    ExperimentKnobs knobs;
+    SystemConfig sc = makeSystemConfig(sys_variant, knobs, 1);
+    System system(sc);
+    TraceFileSource source(in->second);
+    system.bindSource(0, &source);
+    system.run(/*max cycles*/ 0);
+
+    std::printf("replayed %llu instructions in %llu cycles "
+                "(IPC %.2f) on %s\n",
+                static_cast<unsigned long long>(
+                    system.core(0).committedInsts()),
+                static_cast<unsigned long long>(system.cycle()),
+                static_cast<double>(system.core(0).committedInsts()) /
+                    static_cast<double>(system.cycle()),
+                variantName(sys_variant));
+    return 0;
+}
+
+int
+cmdInfo(const std::map<std::string, std::string> &opts)
+{
+    auto in = opts.find("--in");
+    if (in == opts.end()) {
+        usage();
+        return 1;
+    }
+    auto stream = readTrace(in->second);
+    std::uint64_t loads = 0, stores = 0, branches = 0, syncs = 0;
+    for (const auto &d : stream) {
+        if (d.isLoad() && !d.isStore())
+            ++loads;
+        if (d.isStore() && !d.isSync())
+            ++stores;
+        if (d.isBranch())
+            ++branches;
+        if (d.isSync())
+            ++syncs;
+    }
+    std::printf("%s: %zu instructions\n", in->second.c_str(),
+                stream.size());
+    if (!stream.empty()) {
+        double n = static_cast<double>(stream.size());
+        std::printf("  loads    %8llu (%.1f%%)\n",
+                    (unsigned long long)loads, 100.0 * loads / n);
+        std::printf("  stores   %8llu (%.1f%%)\n",
+                    (unsigned long long)stores, 100.0 * stores / n);
+        std::printf("  branches %8llu (%.1f%%)\n",
+                    (unsigned long long)branches, 100.0 * branches / n);
+        std::printf("  syncs    %8llu (%.2f%%)\n",
+                    (unsigned long long)syncs, 100.0 * syncs / n);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    std::string cmd = argv[1];
+    std::map<std::string, std::string> opts;
+    for (int i = 2; i + 1 < argc; i += 2)
+        opts[argv[i]] = argv[i + 1];
+
+    if (cmd == "record")
+        return cmdRecord(opts);
+    if (cmd == "replay")
+        return cmdReplay(opts);
+    if (cmd == "info")
+        return cmdInfo(opts);
+    usage();
+    return 1;
+}
