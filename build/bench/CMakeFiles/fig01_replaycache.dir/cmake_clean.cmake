@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_replaycache.dir/fig01_replaycache.cc.o"
+  "CMakeFiles/fig01_replaycache.dir/fig01_replaycache.cc.o.d"
+  "fig01_replaycache"
+  "fig01_replaycache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_replaycache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_dram_only.dir/fig09_dram_only.cc.o"
+  "CMakeFiles/fig09_dram_only.dir/fig09_dram_only.cc.o.d"
+  "fig09_dram_only"
+  "fig09_dram_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_dram_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

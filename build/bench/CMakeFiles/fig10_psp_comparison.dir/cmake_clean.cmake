@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_psp_comparison.dir/fig10_psp_comparison.cc.o"
+  "CMakeFiles/fig10_psp_comparison.dir/fig10_psp_comparison.cc.o.d"
+  "fig10_psp_comparison"
+  "fig10_psp_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_psp_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_region_stalls.dir/fig11_region_stalls.cc.o"
+  "CMakeFiles/fig11_region_stalls.dir/fig11_region_stalls.cc.o.d"
+  "fig11_region_stalls"
+  "fig11_region_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_region_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

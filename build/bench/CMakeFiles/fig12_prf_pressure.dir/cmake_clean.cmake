@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_prf_pressure.dir/fig12_prf_pressure.cc.o"
+  "CMakeFiles/fig12_prf_pressure.dir/fig12_prf_pressure.cc.o.d"
+  "fig12_prf_pressure"
+  "fig12_prf_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_prf_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

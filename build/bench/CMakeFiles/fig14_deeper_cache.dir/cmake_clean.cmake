@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_deeper_cache.dir/fig14_deeper_cache.cc.o"
+  "CMakeFiles/fig14_deeper_cache.dir/fig14_deeper_cache.cc.o.d"
+  "fig14_deeper_cache"
+  "fig14_deeper_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_deeper_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_wpq_sweep.dir/fig15_wpq_sweep.cc.o"
+  "CMakeFiles/fig15_wpq_sweep.dir/fig15_wpq_sweep.cc.o.d"
+  "fig15_wpq_sweep"
+  "fig15_wpq_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_wpq_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_prf_sweep.dir/fig16_prf_sweep.cc.o"
+  "CMakeFiles/fig16_prf_sweep.dir/fig16_prf_sweep.cc.o.d"
+  "fig16_prf_sweep"
+  "fig16_prf_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_prf_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_csq_sweep.dir/fig17_csq_sweep.cc.o"
+  "CMakeFiles/fig17_csq_sweep.dir/fig17_csq_sweep.cc.o.d"
+  "fig17_csq_sweep"
+  "fig17_csq_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_csq_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_thread_sweep.dir/fig19_thread_sweep.cc.o"
+  "CMakeFiles/fig19_thread_sweep.dir/fig19_thread_sweep.cc.o.d"
+  "fig19_thread_sweep"
+  "fig19_thread_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_thread_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

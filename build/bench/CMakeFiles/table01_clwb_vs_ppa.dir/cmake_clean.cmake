@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_clwb_vs_ppa.dir/table01_clwb_vs_ppa.cc.o"
+  "CMakeFiles/table01_clwb_vs_ppa.dir/table01_clwb_vs_ppa.cc.o.d"
+  "table01_clwb_vs_ppa"
+  "table01_clwb_vs_ppa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_clwb_vs_ppa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

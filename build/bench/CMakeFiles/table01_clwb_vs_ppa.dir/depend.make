@@ -1,0 +1,2 @@
+# Empty dependencies file for table01_clwb_vs_ppa.
+# This may be replaced when dependencies are built.

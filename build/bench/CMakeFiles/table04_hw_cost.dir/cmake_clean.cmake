@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_hw_cost.dir/table04_hw_cost.cc.o"
+  "CMakeFiles/table04_hw_cost.dir/table04_hw_cost.cc.o.d"
+  "table04_hw_cost"
+  "table04_hw_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_hw_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

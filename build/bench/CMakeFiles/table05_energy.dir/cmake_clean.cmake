@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_energy.dir/table05_energy.cc.o"
+  "CMakeFiles/table05_energy.dir/table05_energy.cc.o.d"
+  "table05_energy"
+  "table05_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

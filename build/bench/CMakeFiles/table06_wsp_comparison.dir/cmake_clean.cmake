@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_wsp_comparison.dir/table06_wsp_comparison.cc.o"
+  "CMakeFiles/table06_wsp_comparison.dir/table06_wsp_comparison.cc.o.d"
+  "table06_wsp_comparison"
+  "table06_wsp_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_wsp_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

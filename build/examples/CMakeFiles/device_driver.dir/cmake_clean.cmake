@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_driver.dir/device_driver.cpp.o"
+  "CMakeFiles/device_driver.dir/device_driver.cpp.o.d"
+  "device_driver"
+  "device_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

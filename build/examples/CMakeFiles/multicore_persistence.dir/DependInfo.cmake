@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/multicore_persistence.cpp" "examples/CMakeFiles/multicore_persistence.dir/multicore_persistence.cpp.o" "gcc" "examples/CMakeFiles/multicore_persistence.dir/multicore_persistence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ppa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ppa_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ppa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppa/CMakeFiles/ppa_ppa.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ppa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ppa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ppa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ppa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

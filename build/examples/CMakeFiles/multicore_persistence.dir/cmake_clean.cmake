@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_persistence.dir/multicore_persistence.cpp.o"
+  "CMakeFiles/multicore_persistence.dir/multicore_persistence.cpp.o.d"
+  "multicore_persistence"
+  "multicore_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_baselines.dir/replaycache.cc.o"
+  "CMakeFiles/ppa_baselines.dir/replaycache.cc.o.d"
+  "libppa_baselines.a"
+  "libppa_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_common.dir/table.cc.o"
+  "CMakeFiles/ppa_common.dir/table.cc.o.d"
+  "libppa_common.a"
+  "libppa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

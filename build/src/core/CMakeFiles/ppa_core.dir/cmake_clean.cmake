@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_core.dir/core.cc.o"
+  "CMakeFiles/ppa_core.dir/core.cc.o.d"
+  "libppa_core.a"
+  "libppa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_energy.dir/cost_model.cc.o"
+  "CMakeFiles/ppa_energy.dir/cost_model.cc.o.d"
+  "libppa_energy.a"
+  "libppa_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/builder.cc" "src/isa/CMakeFiles/ppa_isa.dir/builder.cc.o" "gcc" "src/isa/CMakeFiles/ppa_isa.dir/builder.cc.o.d"
+  "/root/repo/src/isa/opcodes.cc" "src/isa/CMakeFiles/ppa_isa.dir/opcodes.cc.o" "gcc" "src/isa/CMakeFiles/ppa_isa.dir/opcodes.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/isa/CMakeFiles/ppa_isa.dir/program.cc.o" "gcc" "src/isa/CMakeFiles/ppa_isa.dir/program.cc.o.d"
+  "/root/repo/src/isa/semantics.cc" "src/isa/CMakeFiles/ppa_isa.dir/semantics.cc.o" "gcc" "src/isa/CMakeFiles/ppa_isa.dir/semantics.cc.o.d"
+  "/root/repo/src/isa/trace_io.cc" "src/isa/CMakeFiles/ppa_isa.dir/trace_io.cc.o" "gcc" "src/isa/CMakeFiles/ppa_isa.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_isa.dir/builder.cc.o"
+  "CMakeFiles/ppa_isa.dir/builder.cc.o.d"
+  "CMakeFiles/ppa_isa.dir/opcodes.cc.o"
+  "CMakeFiles/ppa_isa.dir/opcodes.cc.o.d"
+  "CMakeFiles/ppa_isa.dir/program.cc.o"
+  "CMakeFiles/ppa_isa.dir/program.cc.o.d"
+  "CMakeFiles/ppa_isa.dir/semantics.cc.o"
+  "CMakeFiles/ppa_isa.dir/semantics.cc.o.d"
+  "CMakeFiles/ppa_isa.dir/trace_io.cc.o"
+  "CMakeFiles/ppa_isa.dir/trace_io.cc.o.d"
+  "libppa_isa.a"
+  "libppa_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

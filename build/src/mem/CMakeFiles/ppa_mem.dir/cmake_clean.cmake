@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_mem.dir/cache.cc.o"
+  "CMakeFiles/ppa_mem.dir/cache.cc.o.d"
+  "CMakeFiles/ppa_mem.dir/dram_cache.cc.o"
+  "CMakeFiles/ppa_mem.dir/dram_cache.cc.o.d"
+  "CMakeFiles/ppa_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/ppa_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/ppa_mem.dir/nvm.cc.o"
+  "CMakeFiles/ppa_mem.dir/nvm.cc.o.d"
+  "CMakeFiles/ppa_mem.dir/write_buffer.cc.o"
+  "CMakeFiles/ppa_mem.dir/write_buffer.cc.o.d"
+  "libppa_mem.a"
+  "libppa_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

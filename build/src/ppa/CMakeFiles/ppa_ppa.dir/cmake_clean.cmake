@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_ppa.dir/checkpoint_io.cc.o"
+  "CMakeFiles/ppa_ppa.dir/checkpoint_io.cc.o.d"
+  "libppa_ppa.a"
+  "libppa_ppa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_ppa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

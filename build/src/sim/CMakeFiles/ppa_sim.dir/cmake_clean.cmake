@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_sim.dir/experiment.cc.o"
+  "CMakeFiles/ppa_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/ppa_sim.dir/system.cc.o"
+  "CMakeFiles/ppa_sim.dir/system.cc.o.d"
+  "libppa_sim.a"
+  "libppa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

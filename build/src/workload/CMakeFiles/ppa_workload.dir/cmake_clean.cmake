@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_workload.dir/generator.cc.o"
+  "CMakeFiles/ppa_workload.dir/generator.cc.o.d"
+  "CMakeFiles/ppa_workload.dir/kernels.cc.o"
+  "CMakeFiles/ppa_workload.dir/kernels.cc.o.d"
+  "CMakeFiles/ppa_workload.dir/profiles.cc.o"
+  "CMakeFiles/ppa_workload.dir/profiles.cc.o.d"
+  "libppa_workload.a"
+  "libppa_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/test_capri.cc" "tests/CMakeFiles/ppa_tests.dir/baselines/test_capri.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/baselines/test_capri.cc.o.d"
+  "/root/repo/tests/baselines/test_replaycache.cc" "tests/CMakeFiles/ppa_tests.dir/baselines/test_replaycache.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/baselines/test_replaycache.cc.o.d"
+  "/root/repo/tests/common/test_bitvector.cc" "tests/CMakeFiles/ppa_tests.dir/common/test_bitvector.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/common/test_bitvector.cc.o.d"
+  "/root/repo/tests/common/test_rng.cc" "tests/CMakeFiles/ppa_tests.dir/common/test_rng.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/common/test_rng.cc.o.d"
+  "/root/repo/tests/common/test_stats.cc" "tests/CMakeFiles/ppa_tests.dir/common/test_stats.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/common/test_stats.cc.o.d"
+  "/root/repo/tests/common/test_units.cc" "tests/CMakeFiles/ppa_tests.dir/common/test_units.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/common/test_units.cc.o.d"
+  "/root/repo/tests/core/test_core_basic.cc" "tests/CMakeFiles/ppa_tests.dir/core/test_core_basic.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/core/test_core_basic.cc.o.d"
+  "/root/repo/tests/core/test_frontend.cc" "tests/CMakeFiles/ppa_tests.dir/core/test_frontend.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/core/test_frontend.cc.o.d"
+  "/root/repo/tests/core/test_rename.cc" "tests/CMakeFiles/ppa_tests.dir/core/test_rename.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/core/test_rename.cc.o.d"
+  "/root/repo/tests/energy/test_cost_model.cc" "tests/CMakeFiles/ppa_tests.dir/energy/test_cost_model.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/energy/test_cost_model.cc.o.d"
+  "/root/repo/tests/isa/test_program.cc" "tests/CMakeFiles/ppa_tests.dir/isa/test_program.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/isa/test_program.cc.o.d"
+  "/root/repo/tests/isa/test_semantics.cc" "tests/CMakeFiles/ppa_tests.dir/isa/test_semantics.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/isa/test_semantics.cc.o.d"
+  "/root/repo/tests/isa/test_trace_io.cc" "tests/CMakeFiles/ppa_tests.dir/isa/test_trace_io.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/isa/test_trace_io.cc.o.d"
+  "/root/repo/tests/mem/test_cache.cc" "tests/CMakeFiles/ppa_tests.dir/mem/test_cache.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/mem/test_cache.cc.o.d"
+  "/root/repo/tests/mem/test_dram_cache.cc" "tests/CMakeFiles/ppa_tests.dir/mem/test_dram_cache.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/mem/test_dram_cache.cc.o.d"
+  "/root/repo/tests/mem/test_hierarchy.cc" "tests/CMakeFiles/ppa_tests.dir/mem/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/mem/test_hierarchy.cc.o.d"
+  "/root/repo/tests/mem/test_mem_image.cc" "tests/CMakeFiles/ppa_tests.dir/mem/test_mem_image.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/mem/test_mem_image.cc.o.d"
+  "/root/repo/tests/mem/test_multi_mc.cc" "tests/CMakeFiles/ppa_tests.dir/mem/test_multi_mc.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/mem/test_multi_mc.cc.o.d"
+  "/root/repo/tests/mem/test_nvm.cc" "tests/CMakeFiles/ppa_tests.dir/mem/test_nvm.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/mem/test_nvm.cc.o.d"
+  "/root/repo/tests/mem/test_write_buffer.cc" "tests/CMakeFiles/ppa_tests.dir/mem/test_write_buffer.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/mem/test_write_buffer.cc.o.d"
+  "/root/repo/tests/ppa/test_checkpoint_io.cc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_checkpoint_io.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_checkpoint_io.cc.o.d"
+  "/root/repo/tests/ppa/test_config_sweep.cc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_config_sweep.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_config_sweep.cc.o.d"
+  "/root/repo/tests/ppa/test_context_switch.cc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_context_switch.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_context_switch.cc.o.d"
+  "/root/repo/tests/ppa/test_differential.cc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_differential.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_differential.cc.o.d"
+  "/root/repo/tests/ppa/test_extensions.cc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_extensions.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_extensions.cc.o.d"
+  "/root/repo/tests/ppa/test_inorder.cc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_inorder.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_inorder.cc.o.d"
+  "/root/repo/tests/ppa/test_io_buffer.cc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_io_buffer.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_io_buffer.cc.o.d"
+  "/root/repo/tests/ppa/test_multicore.cc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_multicore.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_multicore.cc.o.d"
+  "/root/repo/tests/ppa/test_recovery.cc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_recovery.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_recovery.cc.o.d"
+  "/root/repo/tests/ppa/test_regions.cc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_regions.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_regions.cc.o.d"
+  "/root/repo/tests/ppa/test_structures.cc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_structures.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/ppa/test_structures.cc.o.d"
+  "/root/repo/tests/sim/test_system.cc" "tests/CMakeFiles/ppa_tests.dir/sim/test_system.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/sim/test_system.cc.o.d"
+  "/root/repo/tests/workload/test_generator.cc" "tests/CMakeFiles/ppa_tests.dir/workload/test_generator.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/workload/test_generator.cc.o.d"
+  "/root/repo/tests/workload/test_kernels.cc" "tests/CMakeFiles/ppa_tests.dir/workload/test_kernels.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/workload/test_kernels.cc.o.d"
+  "/root/repo/tests/workload/test_kernels2.cc" "tests/CMakeFiles/ppa_tests.dir/workload/test_kernels2.cc.o" "gcc" "tests/CMakeFiles/ppa_tests.dir/workload/test_kernels2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ppa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ppa_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ppa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppa/CMakeFiles/ppa_ppa.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ppa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ppa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ppa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ppa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_cli.dir/ppa_cli.cc.o"
+  "CMakeFiles/ppa_cli.dir/ppa_cli.cc.o.d"
+  "ppa_cli"
+  "ppa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

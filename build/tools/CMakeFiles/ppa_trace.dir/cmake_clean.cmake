@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_trace.dir/ppa_trace.cc.o"
+  "CMakeFiles/ppa_trace.dir/ppa_trace.cc.o.d"
+  "ppa_trace"
+  "ppa_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
