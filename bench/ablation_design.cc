@@ -78,9 +78,21 @@ struct Register
 {
     Register()
     {
+        ExperimentKnobs base = benchKnobs();
+        ExperimentKnobs nocoal = base;
+        nocoal.wbCoalesceWindow = 0;
+        ExperimentKnobs tiny = base;
+        tiny.intPrf = 80;
+        tiny.fpPrf = 80;
         for (const char *name :
              {"gcc", "hmmer", "lbm", "rb", "water-ns", "tpcc"}) {
             const auto &profile = profileByName(name);
+            enqueueRun(profile, SystemVariant::MemoryMode, base);
+            enqueueRun(profile, SystemVariant::Ppa, base);
+            enqueueRun(profile, SystemVariant::Ppa, nocoal);
+            enqueueRun(profile, SystemVariant::MemoryMode, tiny);
+            enqueueRun(profile, SystemVariant::Ppa, tiny);
+            enqueueRun(profile, SystemVariant::ReplayCache, base);
             benchmark::RegisterBenchmark(
                 (std::string("ablation/") + name).c_str(),
                 [&profile](benchmark::State &st) {
@@ -98,6 +110,7 @@ int
 main(int argc, char **argv)
 {
     ::benchmark::Initialize(&argc, argv);
+    ppabench::runPendingJobs();
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
     report.addRow({"geomean", TextTable::factor(geomean(full)),
@@ -105,5 +118,6 @@ main(int argc, char **argv)
                    TextTable::factor(geomean(tiny)),
                    TextTable::factor(geomean(sync_rc))});
     report.print();
+    ppabench::writeResultsJson("ablation");
     return 0;
 }

@@ -3,11 +3,18 @@
  * Shared plumbing for the per-figure benchmark binaries.
  *
  * Every binary in bench/ regenerates one table or figure of the
- * paper's evaluation. Each registers its simulation points as
- * google-benchmark cases (one iteration each — these are whole-program
- * simulations, not microbenchmarks), records the paper's metric in the
- * benchmark counters, and prints the figure's rows as an aligned table
- * at exit.
+ * paper's evaluation. Each registers its sweep grid up front
+ * (enqueueRun), which the binary's main() fans across hardware
+ * threads through the ExperimentDriver before the google-benchmark
+ * cases execute; the cases then read the finished runs out of the
+ * shared cache (cachedRun), record the paper's metric in the
+ * benchmark counters, print the figure's rows as an aligned table,
+ * and export every run as schema-versioned JSON (docs/METRICS.md) to
+ * results/<figure>.json.
+ *
+ * Environment:
+ *  - PPA_BENCH_JOBS: driver worker threads (default: hardware).
+ *  - PPA_RESULTS_DIR: JSON output directory (default: results/).
  */
 
 #ifndef PPA_BENCH_BENCH_COMMON_HH
@@ -15,14 +22,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <set>
 #include <string>
-#include <tuple>
 #include <vector>
 
 #include "common/table.hh"
+#include "sim/driver.hh"
 #include "sim/experiment.hh"
+#include "sim/figures.hh"
+#include "sim/report.hh"
 #include "workload/profile.hh"
 
 namespace ppabench
@@ -31,37 +43,6 @@ namespace ppabench
 /** Default committed-instruction budget per core for bench runs. */
 constexpr std::uint64_t benchInsts = 15000;
 
-/**
- * Run (and memoize) one workload/variant/knob combination so that,
- * e.g., a baseline shared by several figure rows runs only once per
- * binary.
- */
-inline const ppa::RunStats &
-cachedRun(const ppa::WorkloadProfile &profile, ppa::SystemVariant variant,
-          const ppa::ExperimentKnobs &knobs)
-{
-    using Key = std::tuple<std::string, int, unsigned, unsigned,
-                           unsigned, unsigned, unsigned, int, unsigned,
-                           std::uint64_t, unsigned>;
-    static std::map<Key, ppa::RunStats> cache;
-    Key key{profile.name,
-            static_cast<int>(variant),
-            knobs.threads,
-            knobs.wpqEntries,
-            knobs.intPrf,
-            knobs.fpPrf,
-            knobs.csqEntries,
-            static_cast<int>(knobs.nvmWriteGbps * 100),
-            knobs.l3Cache ? 1u : 0u,
-            knobs.instsPerCore,
-            knobs.wbCoalesceWindow};
-    auto it = cache.find(key);
-    if (it == cache.end())
-        it = cache.emplace(key, runWorkload(profile, variant, knobs))
-                 .first;
-    return it->second;
-}
-
 /** Default knobs for bench runs (Table 2 configuration). */
 inline ppa::ExperimentKnobs
 benchKnobs()
@@ -69,6 +50,152 @@ benchKnobs()
     ppa::ExperimentKnobs knobs;
     knobs.instsPerCore = benchInsts;
     return knobs;
+}
+
+/** A short, representative cross-suite app list for sweep figures. */
+inline const std::vector<std::string> &
+sweepApps()
+{
+    return ppa::sweepAppNames();
+}
+
+namespace detail
+{
+
+/** Exact identity of one simulation point. */
+inline std::string
+jobKey(const ppa::WorkloadProfile &profile, ppa::SystemVariant variant,
+       const ppa::ExperimentKnobs &knobs)
+{
+    return profile.name + '|' + ppa::variantToken(variant) + '|' +
+           ppa::metrics::knobsToJson(knobs);
+}
+
+/** All completed runs of this binary, in completion order. */
+inline std::vector<ppa::JobResult> &
+completedRuns()
+{
+    static std::vector<ppa::JobResult> runs;
+    return runs;
+}
+
+/** jobKey -> index into completedRuns(). */
+inline std::map<std::string, std::size_t> &
+runIndex()
+{
+    static std::map<std::string, std::size_t> index;
+    return index;
+}
+
+/** Jobs submitted by the Register ctors, not yet run. */
+inline std::vector<ppa::SweepJob> &
+pendingJobs()
+{
+    static std::vector<ppa::SweepJob> jobs;
+    return jobs;
+}
+
+inline void
+recordRun(ppa::JobResult result)
+{
+    runIndex().emplace(
+        jobKey(result.job.profile, result.job.variant, result.job.knobs),
+        completedRuns().size());
+    completedRuns().push_back(std::move(result));
+}
+
+} // namespace detail
+
+/**
+ * Submit one simulation point of this binary's sweep. Duplicates
+ * (e.g. a baseline shared by several figure rows) are collapsed, so
+ * each point simulates once per binary.
+ */
+inline void
+enqueueRun(const ppa::WorkloadProfile &profile,
+           ppa::SystemVariant variant, const ppa::ExperimentKnobs &knobs)
+{
+    std::string key = detail::jobKey(profile, variant, knobs);
+    static std::set<std::string> pendingKeys;
+    if (detail::runIndex().count(key) || !pendingKeys.insert(key).second)
+        return;
+    detail::pendingJobs().push_back({profile, variant, knobs});
+}
+
+/**
+ * Fan all enqueued jobs across hardware threads and fill the shared
+ * run cache. Called by each binary's main() after
+ * benchmark::Initialize and before RunSpecifiedBenchmarks.
+ */
+inline void
+runPendingJobs()
+{
+    auto &pending = detail::pendingJobs();
+    if (pending.empty())
+        return;
+    unsigned workers = 0;
+    if (const char *env = std::getenv("PPA_BENCH_JOBS"))
+        workers = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    ppa::ExperimentDriver driver(workers);
+    std::fprintf(stderr,
+                 "bench: running %zu simulation jobs on %u threads\n",
+                 pending.size(), driver.workers());
+    auto results = driver.run(
+        pending, [](const ppa::JobResult &r, std::size_t done,
+                    std::size_t total) {
+            std::fprintf(stderr, "  [%zu/%zu] %s/%s (%.2fs)\n", done,
+                         total, r.job.profile.name.c_str(),
+                         ppa::variantToken(r.job.variant),
+                         r.wallSeconds);
+        });
+    for (auto &r : results)
+        detail::recordRun(std::move(r));
+    pending.clear();
+}
+
+/**
+ * Look up (or lazily run) one workload/variant/knob combination.
+ * Points submitted with enqueueRun() are already in the cache after
+ * runPendingJobs(); anything else falls back to an inline serial run
+ * (and is recorded, so it still lands in the JSON export).
+ */
+inline const ppa::RunStats &
+cachedRun(const ppa::WorkloadProfile &profile, ppa::SystemVariant variant,
+          const ppa::ExperimentKnobs &knobs)
+{
+    std::string key = detail::jobKey(profile, variant, knobs);
+    auto it = detail::runIndex().find(key);
+    if (it == detail::runIndex().end()) {
+        auto start = std::chrono::steady_clock::now();
+        ppa::JobResult r;
+        r.job = {profile, variant, knobs};
+        r.stats = runWorkload(profile, variant, knobs);
+        r.wallSeconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+        detail::recordRun(std::move(r));
+        it = detail::runIndex().find(key);
+    }
+    return detail::completedRuns()[it->second].stats;
+}
+
+/**
+ * Export every run this binary performed as a schema-versioned JSON
+ * document at <results dir>/<figure>.json. @p extra carries
+ * figure-specific scalars (used by the analytical-model tables).
+ */
+inline void
+writeResultsJson(
+    const std::string &figure,
+    const std::vector<std::pair<std::string, double>> &extra = {})
+{
+    std::string path =
+        ppa::metrics::resultsDir() + "/" + figure + ".json";
+    std::string doc = ppa::metrics::sweepToJson(
+        figure, detail::completedRuns(), extra);
+    if (ppa::metrics::writeFile(path, doc))
+        std::fprintf(stderr, "bench: wrote %s (%zu jobs)\n",
+                     path.c_str(), detail::completedRuns().size());
 }
 
 /**
@@ -103,24 +230,16 @@ class FigureReport
     ppa::TextTable table;
 };
 
-/** A short, representative cross-suite app list for sweep figures
- *  (full-41 sweeps would multiply runtimes by the sweep depth). */
-inline std::vector<std::string>
-sweepApps()
-{
-    return {"gcc",  "hmmer",   "lbm",  "mcf",      "libquantum",
-            "rb",   "tpcc",    "sps",  "water-ns", "ocean",
-            "lulesh", "xsbench"};
-}
-
-/** Standard main: run the registered cases, then print the report. */
-#define PPA_BENCH_MAIN(report_expr)                                     \
+/** Standard main: parallel sweep, registered cases, report, JSON. */
+#define PPA_BENCH_MAIN(figure_id, report_expr)                          \
     int main(int argc, char **argv)                                     \
     {                                                                   \
         ::benchmark::Initialize(&argc, argv);                           \
+        ::ppabench::runPendingJobs();                                   \
         ::benchmark::RunSpecifiedBenchmarks();                          \
         ::benchmark::Shutdown();                                        \
         (report_expr).print();                                          \
+        ::ppabench::writeResultsJson(figure_id);                        \
         return 0;                                                       \
     }
 

@@ -49,6 +49,9 @@ struct Register
         // motivation sketch; Figure 8 carries the full comparison).
         for (const auto &name : sweepApps()) {
             const auto &profile = profileByName(name);
+            for (auto v : {SystemVariant::MemoryMode,
+                           SystemVariant::ReplayCache})
+                enqueueRun(profile, v, benchKnobs());
             benchmark::RegisterBenchmark(
                 ("fig01/" + profile.name).c_str(),
                 [&profile](benchmark::State &st) {
@@ -66,10 +69,12 @@ int
 main(int argc, char **argv)
 {
     ::benchmark::Initialize(&argc, argv);
+    ppabench::runPendingJobs();
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
     report.addRow({"geomean", "-", TextTable::factor(geomean(
                                        slowdowns))});
     report.print();
+    ppabench::writeResultsJson("fig01");
     return 0;
 }

@@ -57,6 +57,8 @@ struct Register
 {
     Register()
     {
+        for (const auto &profile : allProfiles())
+            enqueueRun(profile, SystemVariant::MemoryMode, benchKnobs());
         for (Suite suite :
              {Suite::Cpu2006, Suite::Cpu2017, Suite::Splash3,
               Suite::Whisper, Suite::Stamp, Suite::MiniApps}) {
@@ -71,4 +73,4 @@ struct Register
 
 } // namespace
 
-PPA_BENCH_MAIN(report)
+PPA_BENCH_MAIN("fig05", report)

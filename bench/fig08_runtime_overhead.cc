@@ -57,6 +57,9 @@ struct Register
     Register()
     {
         for (const auto &profile : allProfiles()) {
+            for (auto v : {SystemVariant::MemoryMode, SystemVariant::Ppa,
+                           SystemVariant::Capri})
+                enqueueRun(profile, v, benchKnobs());
             benchmark::RegisterBenchmark(
                 ("fig08/" + profile.name).c_str(),
                 [&profile](benchmark::State &st) {
@@ -74,11 +77,13 @@ int
 main(int argc, char **argv)
 {
     ::benchmark::Initialize(&argc, argv);
+    ppabench::runPendingJobs();
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
     report.addRow({"geomean", "-",
                    TextTable::factor(geomean(ppaSlowdowns)),
                    TextTable::factor(geomean(capriSlowdowns))});
     report.print();
+    ppabench::writeResultsJson("fig08");
     return 0;
 }

@@ -53,6 +53,10 @@ struct Register
     Register()
     {
         for (const auto &profile : allProfiles()) {
+            for (auto v : {SystemVariant::DramOnly,
+                           SystemVariant::MemoryMode,
+                           SystemVariant::Ppa})
+                enqueueRun(profile, v, benchKnobs());
             benchmark::RegisterBenchmark(
                 ("fig09/" + profile.name).c_str(),
                 [&profile](benchmark::State &st) {
@@ -70,10 +74,12 @@ int
 main(int argc, char **argv)
 {
     ::benchmark::Initialize(&argc, argv);
+    ppabench::runPendingJobs();
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
     report.addRow({"geomean", "-", TextTable::factor(geomean(memSlow)),
                    TextTable::factor(geomean(ppaSlow))});
     report.print();
+    ppabench::writeResultsJson("fig09");
     return 0;
 }

@@ -59,6 +59,9 @@ struct Register
     {
         static const auto subset = memoryIntensiveProfiles();
         for (const auto &profile : subset) {
+            for (auto v : {SystemVariant::MemoryMode, SystemVariant::Ppa,
+                           SystemVariant::EadrBbb})
+                enqueueRun(profile, v, benchKnobs());
             benchmark::RegisterBenchmark(
                 ("fig10/" + profile.name).c_str(),
                 [&profile](benchmark::State &st) {
@@ -76,11 +79,13 @@ int
 main(int argc, char **argv)
 {
     ::benchmark::Initialize(&argc, argv);
+    ppabench::runPendingJobs();
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
     report.addRow({"geomean", "-", "-",
                    TextTable::factor(geomean(ppaSlow)),
                    TextTable::factor(geomean(bbbSlow))});
     report.print();
+    ppabench::writeResultsJson("fig10");
     return 0;
 }

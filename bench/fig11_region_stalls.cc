@@ -53,6 +53,7 @@ struct Register
     Register()
     {
         for (const auto &profile : allProfiles()) {
+            enqueueRun(profile, SystemVariant::Ppa, benchKnobs());
             benchmark::RegisterBenchmark(
                 ("fig11/" + profile.name).c_str(),
                 [&profile](benchmark::State &st) {
@@ -70,6 +71,7 @@ int
 main(int argc, char **argv)
 {
     ::benchmark::Initialize(&argc, argv);
+    ppabench::runPendingJobs();
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
     report.addRow(
@@ -78,5 +80,6 @@ main(int argc, char **argv)
                             2),
          "-", "-"});
     report.print();
+    ppabench::writeResultsJson("fig11");
     return 0;
 }

@@ -51,6 +51,9 @@ struct Register
     Register()
     {
         for (const auto &profile : allProfiles()) {
+            for (auto v :
+                 {SystemVariant::MemoryMode, SystemVariant::Ppa})
+                enqueueRun(profile, v, benchKnobs());
             benchmark::RegisterBenchmark(
                 ("fig12/" + profile.name).c_str(),
                 [&profile](benchmark::State &st) {
@@ -68,6 +71,7 @@ int
 main(int argc, char **argv)
 {
     ::benchmark::Initialize(&argc, argv);
+    ppabench::runPendingJobs();
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
     report.addRow({"mean", "-", "-", "-",
@@ -76,5 +80,6 @@ main(int argc, char **argv)
                                           : 0.0,
                                       3)});
     report.print();
+    ppabench::writeResultsJson("fig12");
     return 0;
 }

@@ -53,6 +53,7 @@ struct Register
     Register()
     {
         for (const auto &profile : allProfiles()) {
+            enqueueRun(profile, SystemVariant::Ppa, benchKnobs());
             benchmark::RegisterBenchmark(
                 ("fig13/" + profile.name).c_str(),
                 [&profile](benchmark::State &st) {
@@ -70,6 +71,7 @@ int
 main(int argc, char **argv)
 {
     ::benchmark::Initialize(&argc, argv);
+    ppabench::runPendingJobs();
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
     if (count) {
@@ -81,5 +83,6 @@ main(int argc, char **argv)
     }
     report.addRow({"(Capri compiler regions)", "-", "-", "-", "29"});
     report.print();
+    ppabench::writeResultsJson("fig13");
     return 0;
 }

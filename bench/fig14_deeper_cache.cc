@@ -46,7 +46,12 @@ struct Register
 {
     Register()
     {
+        ExperimentKnobs knobs = benchKnobs();
+        knobs.l3Cache = true;
         for (const auto &profile : allProfiles()) {
+            for (auto v :
+                 {SystemVariant::MemoryMode, SystemVariant::Ppa})
+                enqueueRun(profile, v, knobs);
             benchmark::RegisterBenchmark(
                 ("fig14/" + profile.name).c_str(),
                 [&profile](benchmark::State &st) {
@@ -64,10 +69,12 @@ int
 main(int argc, char **argv)
 {
     ::benchmark::Initialize(&argc, argv);
+    ppabench::runPendingJobs();
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
     report.addRow(
         {"geomean", "-", TextTable::factor(geomean(slowdowns))});
     report.print();
+    ppabench::writeResultsJson("fig14");
     return 0;
 }

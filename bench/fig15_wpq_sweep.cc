@@ -53,6 +53,12 @@ struct Register
     {
         for (const auto &name : sweepApps()) {
             const auto &profile = profileByName(name);
+            for (unsigned wpq : {8u, 16u, 24u}) {
+                ExperimentKnobs knobs = benchKnobs();
+                knobs.wpqEntries = wpq;
+                enqueueRun(profile, SystemVariant::MemoryMode, knobs);
+                enqueueRun(profile, SystemVariant::Ppa, knobs);
+            }
             benchmark::RegisterBenchmark(
                 ("fig15/" + profile.name).c_str(),
                 [&profile](benchmark::State &st) {
@@ -70,11 +76,13 @@ int
 main(int argc, char **argv)
 {
     ::benchmark::Initialize(&argc, argv);
+    ppabench::runPendingJobs();
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
     report.addRow({"geomean", TextTable::factor(geomean(s8)),
                    TextTable::factor(geomean(s16)),
                    TextTable::factor(geomean(s24))});
     report.print();
+    ppabench::writeResultsJson("fig15");
     return 0;
 }

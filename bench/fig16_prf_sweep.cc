@@ -67,6 +67,13 @@ struct Register
     {
         for (const auto &name : sweepApps()) {
             const auto &profile = profileByName(name);
+            for (const PrfPoint &p : points) {
+                ExperimentKnobs knobs = benchKnobs();
+                knobs.intPrf = p.intPrf;
+                knobs.fpPrf = p.fpPrf;
+                enqueueRun(profile, SystemVariant::MemoryMode, knobs);
+                enqueueRun(profile, SystemVariant::Ppa, knobs);
+            }
             benchmark::RegisterBenchmark(
                 ("fig16/" + profile.name).c_str(),
                 [&profile](benchmark::State &st) {
@@ -84,6 +91,7 @@ int
 main(int argc, char **argv)
 {
     ::benchmark::Initialize(&argc, argv);
+    ppabench::runPendingJobs();
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
     std::vector<std::string> row{"geomean"};
@@ -91,5 +99,6 @@ main(int argc, char **argv)
         row.push_back(TextTable::factor(geomean(s)));
     report.addRow(std::move(row));
     report.print();
+    ppabench::writeResultsJson("fig16");
     return 0;
 }

@@ -54,6 +54,12 @@ struct Register
     {
         for (const auto &name : sweepApps()) {
             const auto &profile = profileByName(name);
+            for (unsigned csq : sizes) {
+                ExperimentKnobs knobs = benchKnobs();
+                knobs.csqEntries = csq;
+                enqueueRun(profile, SystemVariant::MemoryMode, knobs);
+                enqueueRun(profile, SystemVariant::Ppa, knobs);
+            }
             benchmark::RegisterBenchmark(
                 ("fig17/" + profile.name).c_str(),
                 [&profile](benchmark::State &st) {
@@ -71,6 +77,7 @@ int
 main(int argc, char **argv)
 {
     ::benchmark::Initialize(&argc, argv);
+    ppabench::runPendingJobs();
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
     std::vector<std::string> row{"geomean"};
@@ -78,5 +85,6 @@ main(int argc, char **argv)
         row.push_back(TextTable::factor(geomean(s)));
     report.addRow(std::move(row));
     report.print();
+    ppabench::writeResultsJson("fig17");
     return 0;
 }

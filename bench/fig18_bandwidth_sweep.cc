@@ -53,6 +53,12 @@ struct Register
     {
         for (const auto &name : sweepApps()) {
             const auto &profile = profileByName(name);
+            for (double bw : bws) {
+                ExperimentKnobs knobs = benchKnobs();
+                knobs.nvmWriteGbps = bw;
+                enqueueRun(profile, SystemVariant::MemoryMode, knobs);
+                enqueueRun(profile, SystemVariant::Ppa, knobs);
+            }
             benchmark::RegisterBenchmark(
                 ("fig18/" + profile.name).c_str(),
                 [&profile](benchmark::State &st) {
@@ -70,6 +76,7 @@ int
 main(int argc, char **argv)
 {
     ::benchmark::Initialize(&argc, argv);
+    ppabench::runPendingJobs();
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
     std::vector<std::string> row{"geomean"};
@@ -77,5 +84,6 @@ main(int argc, char **argv)
         row.push_back(TextTable::factor(geomean(s)));
     report.addRow(std::move(row));
     report.print();
+    ppabench::writeResultsJson("fig18");
     return 0;
 }

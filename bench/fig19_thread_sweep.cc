@@ -58,6 +58,13 @@ struct Register
         for (const char *name :
              {"rb", "tpcc", "r20w80", "water-ns", "ocean", "genome"}) {
             const auto &profile = profileByName(name);
+            for (unsigned threads : threadCounts) {
+                ExperimentKnobs knobs = benchKnobs();
+                knobs.threads = threads;
+                knobs.instsPerCore = 8000;
+                enqueueRun(profile, SystemVariant::MemoryMode, knobs);
+                enqueueRun(profile, SystemVariant::Ppa, knobs);
+            }
             benchmark::RegisterBenchmark(
                 (std::string("fig19/") + name).c_str(),
                 [&profile](benchmark::State &st) {
@@ -75,6 +82,7 @@ int
 main(int argc, char **argv)
 {
     ::benchmark::Initialize(&argc, argv);
+    ppabench::runPendingJobs();
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
     std::vector<std::string> row{"geomean"};
@@ -82,5 +90,6 @@ main(int argc, char **argv)
         row.push_back(TextTable::factor(geomean(s)));
     report.addRow(std::move(row));
     report.print();
+    ppabench::writeResultsJson("fig19");
     return 0;
 }

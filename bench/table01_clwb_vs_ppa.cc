@@ -52,6 +52,13 @@ int
 main(int argc, char **argv)
 {
     ::benchmark::Initialize(&argc, argv);
+    {
+        const auto &profile = profileByName("hmmer");
+        for (auto v : {SystemVariant::MemoryMode,
+                       SystemVariant::ReplayCache, SystemVariant::Ppa})
+            enqueueRun(profile, v, benchKnobs());
+    }
+    ppabench::runPendingJobs();
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
 
@@ -73,5 +80,6 @@ main(int argc, char **argv)
                    TextTable::factor(slowdown(rc, base)),
                    TextTable::factor(slowdown(ppa, base))});
     report.print();
+    ppabench::writeResultsJson("table01");
     return 0;
 }

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.hh"
 #include "common/table.hh"
 #include "energy/cost_model.hh"
 
@@ -99,5 +100,15 @@ main(int argc, char **argv)
                 timing.readTimeNs);
     std::printf("  PMEM flush:       %.2f us (at 2.3 GB/s)\n",
                 timing.flushTimeUs);
+    // Analytical model only — exported as "extra" scalars.
+    ppabench::writeResultsJson(
+        "table05",
+        {{"ppaEnergyJ", ppa_req.energyJ},
+         {"capriEnergyJ", capri_req.energyJ},
+         {"lightPcEnergyJ", lightpc_req.energyJ},
+         {"eadrEnergyJ", eadrEnergyJ()},
+         {"bbbEnergyJ", bbbEnergyJ()},
+         {"checkpointReadNs", timing.readTimeNs},
+         {"checkpointFlushUs", timing.flushTimeUs}});
     return 0;
 }

@@ -44,6 +44,14 @@ int
 main(int argc, char **argv)
 {
     ::benchmark::Initialize(&argc, argv);
+    {
+        const auto &profile = profileByName("gcc");
+        for (auto v : {SystemVariant::MemoryMode, SystemVariant::Ppa,
+                       SystemVariant::Capri,
+                       SystemVariant::ReplayCache})
+            enqueueRun(profile, v, benchKnobs());
+    }
+    ppabench::runPendingJobs();
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
 
@@ -83,5 +91,6 @@ main(int argc, char **argv)
                 energy::backupForBytes(energy::capriFlushBytes())
                         .energyJ *
                     1e3);
+    ppabench::writeResultsJson("table06");
     return 0;
 }

@@ -157,6 +157,21 @@ class Histogram
         return out;
     }
 
+    /** Raw per-bin sample counts (bin i counts observations of i). */
+    const std::vector<std::uint64_t> &binCounts() const { return bins; }
+
+    /** Rebuild a histogram from serialized bin counts. */
+    static Histogram
+    fromBins(std::vector<std::uint64_t> counts)
+    {
+        Histogram h;
+        h.bins = std::move(counts);
+        h.total = 0;
+        for (std::uint64_t c : h.bins)
+            h.total += c;
+        return h;
+    }
+
     void
     merge(const Histogram &other)
     {

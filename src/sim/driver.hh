@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Parallel experiment driver.
+ *
+ * Every figure/table of the evaluation is a sweep: a grid of
+ * (workload profile, system variant, knobs) triples, each simulated
+ * independently by runWorkload(). The driver fans such a grid across
+ * hardware threads with a simple job queue.
+ *
+ * Determinism contract: a job's RunStats is a pure function of its
+ * (profile, variant, knobs) triple — all randomness inside
+ * runWorkload() derives from ExperimentKnobs::seed and the per-core
+ * stream index, never from the host (no wall clock, no address-space
+ * layout, no scheduler state). The driver adds no entropy of its own:
+ * jobs carry their seed in their knobs, workers pull jobs from an
+ * atomic cursor, and each result is stored at its submission index.
+ * Consequently a parallel run is bitwise-identical to a serial run of
+ * the same job list, in the same order (tests/sim/test_driver.cc
+ * asserts this). Only JobResult::wallSeconds — host-side metadata —
+ * differs between runs.
+ */
+
+#ifndef PPA_SIM_DRIVER_HH
+#define PPA_SIM_DRIVER_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "workload/profile.hh"
+
+namespace ppa
+{
+
+/** One point of a sweep grid: everything runWorkload() needs. */
+struct SweepJob
+{
+    WorkloadProfile profile;
+    SystemVariant variant = SystemVariant::MemoryMode;
+    ExperimentKnobs knobs;
+};
+
+/** A completed job: the spec echoed back, its stats, and timing. */
+struct JobResult
+{
+    SweepJob job;
+    RunStats stats;
+    /** Host wall-clock seconds this job's simulation took (metadata;
+     *  excluded from the determinism contract). */
+    double wallSeconds = 0.0;
+};
+
+/**
+ * Called after each job completes, with the finished result and the
+ * completed/total progress counters. Invoked under the driver's
+ * progress mutex, so implementations may print without interleaving;
+ * completion order is nondeterministic under parallelism (the results
+ * vector, by contrast, is always in submission order).
+ */
+using ProgressFn = std::function<void(
+    const JobResult &result, std::size_t completed, std::size_t total)>;
+
+/**
+ * Job-queue scheduler for sweep grids.
+ *
+ * run() executes the submitted jobs on a pool of worker threads and
+ * returns the results in submission order. With workers == 1 the jobs
+ * run inline on the calling thread; the results are identical either
+ * way (see the determinism contract above).
+ */
+class ExperimentDriver
+{
+  public:
+    /** @param workers worker-thread count; 0 = hardware concurrency. */
+    explicit ExperimentDriver(unsigned workers = 0);
+
+    /** The worker-thread count run() will use. */
+    unsigned workers() const { return numWorkers; }
+
+    /** Run @p jobs; results come back in submission order. */
+    std::vector<JobResult> run(const std::vector<SweepJob> &jobs,
+                               const ProgressFn &progress = {}) const;
+
+  private:
+    unsigned numWorkers;
+};
+
+} // namespace ppa
+
+#endif // PPA_SIM_DRIVER_HH

@@ -30,6 +30,41 @@ variantName(SystemVariant variant)
     return "?";
 }
 
+const char *
+variantToken(SystemVariant variant)
+{
+    switch (variant) {
+      case SystemVariant::MemoryMode:
+        return "memory-mode";
+      case SystemVariant::Ppa:
+        return "ppa";
+      case SystemVariant::Capri:
+        return "capri";
+      case SystemVariant::ReplayCache:
+        return "replaycache";
+      case SystemVariant::EadrBbb:
+        return "eadr-bbb";
+      case SystemVariant::DramOnly:
+        return "dram-only";
+    }
+    return "?";
+}
+
+bool
+variantFromToken(const std::string &token, SystemVariant &out)
+{
+    for (SystemVariant v :
+         {SystemVariant::MemoryMode, SystemVariant::Ppa,
+          SystemVariant::Capri, SystemVariant::ReplayCache,
+          SystemVariant::EadrBbb, SystemVariant::DramOnly}) {
+        if (token == variantToken(v)) {
+            out = v;
+            return true;
+        }
+    }
+    return false;
+}
+
 SystemConfig
 makeSystemConfig(SystemVariant variant, const ExperimentKnobs &knobs,
                  unsigned threads)
@@ -116,9 +151,8 @@ runWorkload(const WorkloadProfile &profile, SystemVariant variant,
         }
     }
 
-    // Warm the caches before measurement: the slowdown figures must
-    // not be dominated by compulsory misses (the paper fast-forwards
-    // 5B instructions before its 1B-instruction measured window).
+    // Warm the caches before measurement; see the warmupFraction doc
+    // comment in experiment.hh for the semantics.
     Cycle cap = knobs.instsPerCore * 400;
     std::uint64_t warmup_insts = static_cast<std::uint64_t>(
         knobs.warmupFraction *

@@ -39,26 +39,53 @@ enum class SystemVariant : std::uint8_t
 /** Human-readable variant name. */
 const char *variantName(SystemVariant variant);
 
-/** Tweakable knobs for the sensitivity studies (Sections 7.6-7.11). */
+/** CLI/serialization token for a variant ("memory-mode", "ppa", ...). */
+const char *variantToken(SystemVariant variant);
+
+/**
+ * Parse a variant from its CLI/serialization token.
+ * @return true and set @p out on success; false for unknown tokens.
+ */
+bool variantFromToken(const std::string &token, SystemVariant &out);
+
+/**
+ * Tweakable knobs for the sensitivity studies (Sections 7.6-7.11).
+ *
+ * These doc comments are the single source of truth for knob units
+ * and semantics; docs/METRICS.md references them rather than
+ * restating them.
+ */
 struct ExperimentKnobs
 {
-    unsigned threads = 0;     ///< 0 = profile default
-    unsigned wpqEntries = 16; ///< Figure 15
-    unsigned intPrf = 180;    ///< Figure 16
-    unsigned fpPrf = 168;     ///< Figure 16
-    unsigned csqEntries = 40; ///< Figure 17
-    double nvmWriteGbps = 2.3;///< Figure 18
-    bool l3Cache = false;     ///< Figure 14
-    /** WB write-combining window; 0 = no persist coalescing
+    unsigned threads = 0;     ///< Core/stream count; 0 = profile default
+    unsigned wpqEntries = 16; ///< WPQ entries per NVM controller (Figure 15)
+    unsigned intPrf = 180;    ///< Integer PRF entries (Figure 16)
+    unsigned fpPrf = 168;     ///< FP PRF entries (Figure 16)
+    unsigned csqEntries = 40; ///< Committed store queue entries (Figure 17)
+    /**
+     * Aggregate sustained NVM write bandwidth in GB/s (10^9 bytes per
+     * second), shared evenly across the device's memory controllers
+     * (Figure 18). The default is the paper's empirical Optane number.
+     */
+    double nvmWriteGbps = 2.3;
+    bool l3Cache = false;     ///< Add a shared L3 above the DRAM cache (Figure 14)
+    /** WB write-combining window in cycles; 0 = no persist coalescing
      *  (ablation of the Section 4.3 design choice). */
     unsigned wbCoalesceWindow = 1024;
+    /** Committed-instruction budget per core for the whole run,
+     *  warmup included. */
     std::uint64_t instsPerCore = 200'000;
+    /** Root seed for the workload streams; stream t on core t draws
+     *  from (seed, t), so runs are reproducible per (seed, config). */
     std::uint64_t seed = 42;
     /**
-     * Fraction of the instruction budget used to warm the caches
-     * before measurement starts (the paper fast-forwards 5B
-     * instructions and then measures 1B in detail; the measured
-     * window must not be cold-cache dominated).
+     * Warmup semantics (defined here, once): the first
+     * warmupFraction * instsPerCore * threads committed instructions
+     * warm the caches; measurement-window stats (RunStats::cycles)
+     * start after that point, while RunStats::totalCycles spans the
+     * whole run. This mirrors the paper's methodology of
+     * fast-forwarding 5B instructions before its 1B-instruction
+     * measured window, so the window is not cold-cache dominated.
      */
     double warmupFraction = 0.4;
 };

@@ -1,0 +1,263 @@
+#include "sim/figures.hh"
+
+#include "common/logging.hh"
+
+namespace ppa
+{
+
+namespace
+{
+
+constexpr std::uint64_t defaultInsts = 15'000;
+
+/** Incremental grid builder shared by the figure definitions. */
+struct GridBuilder
+{
+    std::uint64_t insts;
+    std::uint64_t seed;
+    std::vector<SweepJob> jobs;
+
+    ExperimentKnobs
+    baseKnobs() const
+    {
+        ExperimentKnobs k;
+        k.instsPerCore = insts;
+        k.seed = seed;
+        return k;
+    }
+
+    void
+    add(const WorkloadProfile &profile, SystemVariant variant,
+        const ExperimentKnobs &knobs)
+    {
+        jobs.push_back({profile, variant, knobs});
+    }
+
+    /** profiles x variants at the base knobs. */
+    void
+    cross(const std::vector<WorkloadProfile> &profiles,
+          std::initializer_list<SystemVariant> variants,
+          const ExperimentKnobs &knobs)
+    {
+        for (const auto &p : profiles)
+            for (SystemVariant v : variants)
+                add(p, v, knobs);
+    }
+};
+
+std::vector<WorkloadProfile>
+sweepAppProfiles()
+{
+    std::vector<WorkloadProfile> out;
+    for (const auto &name : sweepAppNames())
+        out.push_back(profileByName(name));
+    return out;
+}
+
+struct FigureDef
+{
+    const char *name;
+    const char *description;
+    void (*build)(GridBuilder &);
+};
+
+const FigureDef figureDefs[] = {
+    {"fig01", "ReplayCache slowdown vs PMEM memory mode",
+     [](GridBuilder &g) {
+         g.cross(sweepAppProfiles(),
+                 {SystemVariant::MemoryMode, SystemVariant::ReplayCache},
+                 g.baseKnobs());
+     }},
+    {"fig05", "free INT/FP physical-register CDFs on the baseline",
+     [](GridBuilder &g) {
+         g.cross(allProfiles(), {SystemVariant::MemoryMode},
+                 g.baseKnobs());
+     }},
+    {"fig08", "PPA and Capri slowdown vs memory mode, all 41 apps",
+     [](GridBuilder &g) {
+         g.cross(allProfiles(),
+                 {SystemVariant::MemoryMode, SystemVariant::Ppa,
+                  SystemVariant::Capri},
+                 g.baseKnobs());
+     }},
+    {"fig09", "memory mode and PPA slowdown vs a DRAM-only system",
+     [](GridBuilder &g) {
+         g.cross(allProfiles(),
+                 {SystemVariant::DramOnly, SystemVariant::MemoryMode,
+                  SystemVariant::Ppa},
+                 g.baseKnobs());
+     }},
+    {"fig10", "PPA vs ideal PSP (eADR/BBB) on memory-intensive apps",
+     [](GridBuilder &g) {
+         g.cross(memoryIntensiveProfiles(),
+                 {SystemVariant::MemoryMode, SystemVariant::Ppa,
+                  SystemVariant::EadrBbb},
+                 g.baseKnobs());
+     }},
+    {"fig11", "region-end stall cycles as a fraction of execution",
+     [](GridBuilder &g) {
+         g.cross(allProfiles(), {SystemVariant::Ppa}, g.baseKnobs());
+     }},
+    {"fig12", "extra rename stalls (no free phys reg) under PPA",
+     [](GridBuilder &g) {
+         g.cross(allProfiles(),
+                 {SystemVariant::MemoryMode, SystemVariant::Ppa},
+                 g.baseKnobs());
+     }},
+    {"fig13", "dynamic region size (stores/others per region)",
+     [](GridBuilder &g) {
+         g.cross(allProfiles(), {SystemVariant::Ppa}, g.baseKnobs());
+     }},
+    {"fig14", "PPA slowdown with a shared L3 atop the DRAM cache",
+     [](GridBuilder &g) {
+         ExperimentKnobs k = g.baseKnobs();
+         k.l3Cache = true;
+         g.cross(allProfiles(),
+                 {SystemVariant::MemoryMode, SystemVariant::Ppa}, k);
+     }},
+    {"fig15", "PPA slowdown vs WPQ size (8/16/24 entries)",
+     [](GridBuilder &g) {
+         for (unsigned wpq : {8u, 16u, 24u}) {
+             ExperimentKnobs k = g.baseKnobs();
+             k.wpqEntries = wpq;
+             g.cross(sweepAppProfiles(),
+                     {SystemVariant::MemoryMode, SystemVariant::Ppa},
+                     k);
+         }
+     }},
+    {"fig16", "PPA slowdown vs PRF size (80/80 .. 280/224)",
+     [](GridBuilder &g) {
+         constexpr unsigned prf[][2] = {{80, 80},   {100, 100},
+                                        {120, 120}, {140, 140},
+                                        {180, 168}, {280, 224}};
+         for (const auto &p : prf) {
+             ExperimentKnobs k = g.baseKnobs();
+             k.intPrf = p[0];
+             k.fpPrf = p[1];
+             g.cross(sweepAppProfiles(),
+                     {SystemVariant::MemoryMode, SystemVariant::Ppa},
+                     k);
+         }
+     }},
+    {"fig17", "PPA slowdown vs CSQ size (10..50 entries)",
+     [](GridBuilder &g) {
+         for (unsigned csq : {10u, 20u, 30u, 40u, 50u}) {
+             ExperimentKnobs k = g.baseKnobs();
+             k.csqEntries = csq;
+             g.cross(sweepAppProfiles(),
+                     {SystemVariant::MemoryMode, SystemVariant::Ppa},
+                     k);
+         }
+     }},
+    {"fig18", "PPA slowdown vs NVM write bandwidth (1..6 GB/s)",
+     [](GridBuilder &g) {
+         for (double bw : {1.0, 2.3, 4.0, 6.0}) {
+             ExperimentKnobs k = g.baseKnobs();
+             k.nvmWriteGbps = bw;
+             g.cross(sweepAppProfiles(),
+                     {SystemVariant::MemoryMode, SystemVariant::Ppa},
+                     k);
+         }
+     }},
+    {"fig19", "PPA slowdown vs thread count (MT suites, 8..64T)",
+     [](GridBuilder &g) {
+         std::vector<WorkloadProfile> mt;
+         for (const char *name :
+              {"rb", "tpcc", "r20w80", "water-ns", "ocean", "genome"})
+             mt.push_back(profileByName(name));
+         for (unsigned threads : {8u, 16u, 32u, 64u}) {
+             ExperimentKnobs k = g.baseKnobs();
+             k.threads = threads;
+             // Keep total simulated work bounded as threads scale
+             // (matches bench/fig19_thread_sweep.cc).
+             k.instsPerCore = std::min<std::uint64_t>(k.instsPerCore,
+                                                      8'000);
+             g.cross(mt, {SystemVariant::MemoryMode, SystemVariant::Ppa},
+                     k);
+         }
+     }},
+    {"table01", "CLWB vs PPA store-queue pressure demonstration",
+     [](GridBuilder &g) {
+         g.cross({profileByName("hmmer")},
+                 {SystemVariant::MemoryMode, SystemVariant::ReplayCache,
+                  SystemVariant::Ppa},
+                 g.baseKnobs());
+     }},
+    {"table06", "PPA vs prior WSP schemes, measured columns",
+     [](GridBuilder &g) {
+         g.cross({profileByName("gcc")},
+                 {SystemVariant::MemoryMode, SystemVariant::Ppa,
+                  SystemVariant::Capri, SystemVariant::ReplayCache},
+                 g.baseKnobs());
+     }},
+    {"ablation", "PPA design-choice ablation grid",
+     [](GridBuilder &g) {
+         ExperimentKnobs base = g.baseKnobs();
+         ExperimentKnobs nocoal = base;
+         nocoal.wbCoalesceWindow = 0;
+         ExperimentKnobs tiny = base;
+         tiny.intPrf = 80;
+         tiny.fpPrf = 80;
+         for (const char *name :
+              {"gcc", "hmmer", "lbm", "rb", "water-ns", "tpcc"}) {
+             const auto &p = profileByName(name);
+             g.add(p, SystemVariant::MemoryMode, base);
+             g.add(p, SystemVariant::Ppa, base);
+             g.add(p, SystemVariant::Ppa, nocoal);
+             g.add(p, SystemVariant::MemoryMode, tiny);
+             g.add(p, SystemVariant::Ppa, tiny);
+             g.add(p, SystemVariant::ReplayCache, base);
+         }
+     }},
+};
+
+const FigureDef *
+findFigure(const std::string &name)
+{
+    for (const FigureDef &def : figureDefs)
+        if (name == def.name)
+            return &def;
+    return nullptr;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+sweepAppNames()
+{
+    static const std::vector<std::string> apps{
+        "gcc",  "hmmer",  "lbm",    "mcf",      "libquantum",
+        "rb",   "tpcc",   "sps",    "water-ns", "ocean",
+        "lulesh", "xsbench"};
+    return apps;
+}
+
+std::vector<std::string>
+figureNames()
+{
+    std::vector<std::string> names;
+    for (const FigureDef &def : figureDefs)
+        names.push_back(def.name);
+    return names;
+}
+
+bool
+figureExists(const std::string &name)
+{
+    return findFigure(name) != nullptr;
+}
+
+FigureSweep
+figureSweep(const std::string &name, std::uint64_t instsPerCore,
+            std::uint64_t seed)
+{
+    const FigureDef *def = findFigure(name);
+    if (!def)
+        fatal("unknown figure sweep '", name,
+              "' (try `ppa_cli sweep --list`)");
+    GridBuilder g{instsPerCore ? instsPerCore : defaultInsts, seed, {}};
+    def->build(g);
+    return {def->name, def->description, std::move(g.jobs)};
+}
+
+} // namespace ppa

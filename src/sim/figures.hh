@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Named sweep grids for the paper's figures and tables.
+ *
+ * Each evaluation figure is a grid of (workload, variant, knobs)
+ * jobs. The grids live here — in the library, not in the bench
+ * binaries — so `ppa_cli sweep <figure>` and the bench harness drive
+ * the exact same points through the ExperimentDriver.
+ */
+
+#ifndef PPA_SIM_FIGURES_HH
+#define PPA_SIM_FIGURES_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/driver.hh"
+
+namespace ppa
+{
+
+/** A figure's full sweep grid plus its provenance. */
+struct FigureSweep
+{
+    std::string name;        ///< e.g. "fig08"
+    std::string description; ///< what the figure shows
+    std::vector<SweepJob> jobs;
+};
+
+/** Names of all registered figure sweeps, in paper order. */
+std::vector<std::string> figureNames();
+
+/** True when @p name is a registered figure sweep. */
+bool figureExists(const std::string &name);
+
+/**
+ * Build the sweep grid for @p name (fatal on unknown names; check
+ * with figureExists() first for friendly handling).
+ *
+ * @param instsPerCore committed-instruction budget per core; 0 keeps
+ *        each figure's default (the bench harness scale).
+ * @param seed root workload seed for every job.
+ */
+FigureSweep figureSweep(const std::string &name,
+                        std::uint64_t instsPerCore = 0,
+                        std::uint64_t seed = 42);
+
+/** The representative cross-suite app subset used by sweep figures
+ *  (full-41 sweeps would multiply runtimes by the sweep depth). */
+const std::vector<std::string> &sweepAppNames();
+
+} // namespace ppa
+
+#endif // PPA_SIM_FIGURES_HH

@@ -1,0 +1,626 @@
+#include "sim/report.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace ppa
+{
+namespace metrics
+{
+
+namespace
+{
+
+/** Shortest representation of @p v that parses back bitwise-equal. */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    PPA_ASSERT(res.ec == std::errc{}, "double format failed");
+    return std::string(buf, res.ptr);
+}
+
+std::string
+histToJson(const stats::Histogram &h)
+{
+    std::ostringstream os;
+    os << "{\"maxValue\": " << h.maxValue()
+       << ", \"total\": " << h.count() << ", \"bins\": [";
+    const auto &bins = h.binCounts();
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << bins[i];
+    }
+    os << "]}";
+    return os.str();
+}
+
+stats::Histogram
+histFromJson(const JsonValue &v)
+{
+    const JsonValue &bins = v.field("bins");
+    std::vector<std::uint64_t> counts;
+    counts.reserve(bins.size());
+    for (std::size_t i = 0; i < bins.size(); ++i)
+        counts.push_back(bins.at(i).asUint64());
+    return stats::Histogram::fromBins(std::move(counts));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// JsonValue
+// ---------------------------------------------------------------------
+
+bool
+JsonValue::asBool() const
+{
+    PPA_ASSERT(k == Kind::Bool, "JSON value is not a bool");
+    return boolVal;
+}
+
+double
+JsonValue::asDouble() const
+{
+    PPA_ASSERT(k == Kind::Number, "JSON value is not a number");
+    return std::strtod(text.c_str(), nullptr);
+}
+
+std::uint64_t
+JsonValue::asUint64() const
+{
+    PPA_ASSERT(k == Kind::Number, "JSON value is not a number");
+    // Integer counters are serialized without exponent/fraction, so
+    // parsing the token text preserves all 64 bits.
+    return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    PPA_ASSERT(k == Kind::String, "JSON value is not a string");
+    return text;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    PPA_ASSERT(k == Kind::Array, "JSON value is not an array");
+    return children;
+}
+
+const JsonValue &
+JsonValue::at(std::size_t i) const
+{
+    const auto &arr = items();
+    PPA_ASSERT(i < arr.size(), "JSON array index out of range");
+    return arr[i];
+}
+
+bool
+JsonValue::hasField(const std::string &key) const
+{
+    PPA_ASSERT(k == Kind::Object, "JSON value is not an object");
+    for (const auto &[name, val] : members)
+        if (name == key)
+            return true;
+    return false;
+}
+
+const JsonValue &
+JsonValue::field(const std::string &key) const
+{
+    PPA_ASSERT(k == Kind::Object, "JSON value is not an object");
+    for (const auto &[name, val] : members)
+        if (name == key)
+            return val;
+    fatal("JSON object has no field '", key, "'");
+}
+
+/** Recursive-descent parser for the JSON subset we emit. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &src) : s(src) {}
+
+    bool
+    parse(JsonValue &out, std::string &error)
+    {
+        ok = true;
+        err.clear();
+        skipWs();
+        out = parseValue();
+        skipWs();
+        if (ok && pos != s.size())
+            fail("trailing characters after document");
+        error = err;
+        return ok;
+    }
+
+  private:
+    void
+    fail(const std::string &what)
+    {
+        if (ok) {
+            ok = false;
+            err = what + " at offset " + std::to_string(pos);
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(const char *w)
+    {
+        std::size_t n = std::strlen(w);
+        if (s.compare(pos, n, w) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        if (!ok || pos >= s.size()) {
+            fail("unexpected end of input");
+            return {};
+        }
+        char c = s[pos];
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (c == 't' || c == 'f')
+            return parseBool();
+        if (c == 'n') {
+            if (!consumeWord("null"))
+                fail("bad literal");
+            return {};
+        }
+        return parseNumber();
+    }
+
+    JsonValue
+    parseObject()
+    {
+        JsonValue v;
+        v.k = JsonValue::Kind::Object;
+        consume('{');
+        skipWs();
+        if (consume('}'))
+            return v;
+        for (;;) {
+            skipWs();
+            JsonValue key = parseString();
+            if (!ok)
+                return v;
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':'");
+                return v;
+            }
+            skipWs();
+            v.members.emplace_back(key.text, parseValue());
+            skipWs();
+            if (consume('}'))
+                return v;
+            if (!consume(',')) {
+                fail("expected ',' or '}'");
+                return v;
+            }
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        JsonValue v;
+        v.k = JsonValue::Kind::Array;
+        consume('[');
+        skipWs();
+        if (consume(']'))
+            return v;
+        for (;;) {
+            skipWs();
+            v.children.push_back(parseValue());
+            skipWs();
+            if (consume(']'))
+                return v;
+            if (!consume(',')) {
+                fail("expected ',' or ']'");
+                return v;
+            }
+        }
+    }
+
+    JsonValue
+    parseString()
+    {
+        JsonValue v;
+        v.k = JsonValue::Kind::String;
+        if (!consume('"')) {
+            fail("expected string");
+            return v;
+        }
+        while (pos < s.size() && s[pos] != '"') {
+            char c = s[pos++];
+            if (c != '\\') {
+                v.text += c;
+                continue;
+            }
+            if (pos >= s.size())
+                break;
+            char esc = s[pos++];
+            switch (esc) {
+              case '"': v.text += '"'; break;
+              case '\\': v.text += '\\'; break;
+              case '/': v.text += '/'; break;
+              case 'b': v.text += '\b'; break;
+              case 'f': v.text += '\f'; break;
+              case 'n': v.text += '\n'; break;
+              case 'r': v.text += '\r'; break;
+              case 't': v.text += '\t'; break;
+              case 'u': {
+                // We only emit \u00XX for control characters.
+                if (pos + 4 > s.size()) {
+                    fail("bad \\u escape");
+                    return v;
+                }
+                unsigned code = static_cast<unsigned>(
+                    std::strtoul(s.substr(pos, 4).c_str(), nullptr, 16));
+                pos += 4;
+                if (code > 0xff) {
+                    fail("non-latin \\u escape unsupported");
+                    return v;
+                }
+                v.text += static_cast<char>(code);
+                break;
+              }
+              default:
+                fail("bad escape");
+                return v;
+            }
+        }
+        if (!consume('"'))
+            fail("unterminated string");
+        return v;
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.k = JsonValue::Kind::Bool;
+        if (consumeWord("true"))
+            v.boolVal = true;
+        else if (consumeWord("false"))
+            v.boolVal = false;
+        else
+            fail("bad literal");
+        return v;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        JsonValue v;
+        v.k = JsonValue::Kind::Number;
+        std::size_t start = pos;
+        if (pos < s.size() && (s[pos] == '-' || s[pos] == '+'))
+            ++pos;
+        bool digits = false;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '-' || s[pos] == '+')) {
+            if (std::isdigit(static_cast<unsigned char>(s[pos])))
+                digits = true;
+            ++pos;
+        }
+        if (!digits) {
+            fail("expected number");
+            return v;
+        }
+        v.text = s.substr(start, pos - start);
+        return v;
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+    bool ok = true;
+    std::string err;
+};
+
+bool
+JsonValue::parse(const std::string &text, JsonValue &out,
+                 std::string &error)
+{
+    return JsonParser(text).parse(out, error);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// RunStats / sweep serialization
+// ---------------------------------------------------------------------
+
+std::string
+runStatsToJson(const RunStats &rs)
+{
+    std::ostringstream os;
+    os << "{";
+    os << "\"workload\": \"" << jsonEscape(rs.workload) << "\"";
+    os << ", \"variant\": \"" << variantToken(rs.variant) << "\"";
+    os << ", \"threads\": " << rs.threads;
+    os << ", \"cycles\": " << rs.cycles;
+    os << ", \"totalCycles\": " << rs.totalCycles;
+    os << ", \"committedInsts\": " << rs.committedInsts;
+    os << ", \"committedStores\": " << rs.committedStores;
+    os << ", \"ipc\": " << formatDouble(rs.ipc);
+    os << ", \"avgRegionStores\": " << formatDouble(rs.avgRegionStores);
+    os << ", \"avgRegionOthers\": " << formatDouble(rs.avgRegionOthers);
+    os << ", \"regionCount\": " << rs.regionCount;
+    os << ", \"boundaryStallCycles\": " << rs.boundaryStallCycles;
+    os << ", \"renameStallNoRegCycles\": " << rs.renameStallNoRegCycles;
+    // Derived ratios, re-emitted for plotting convenience; the reader
+    // recomputes them from the counters above.
+    os << ", \"boundaryStallRatio\": "
+       << formatDouble(rs.boundaryStallRatio());
+    os << ", \"renameStallRatio\": "
+       << formatDouble(rs.renameStallRatio());
+    os << ", \"nvmWrites\": " << rs.nvmWrites;
+    os << ", \"nvmReads\": " << rs.nvmReads;
+    os << ", \"nvmBytesWritten\": " << rs.nvmBytesWritten;
+    os << ", \"wpqStallCycles\": " << rs.wpqStallCycles;
+    os << ", \"l2MissRatio\": " << formatDouble(rs.l2MissRatio);
+    os << ", \"coalescedStores\": " << rs.coalescedStores;
+    os << ", \"persistOps\": " << rs.persistOps;
+    os << ", \"freeIntHist\": " << histToJson(rs.freeIntHist);
+    os << ", \"freeFpHist\": " << histToJson(rs.freeFpHist);
+    os << "}";
+    return os.str();
+}
+
+RunStats
+runStatsFromJson(const JsonValue &v)
+{
+    RunStats rs;
+    rs.workload = v.field("workload").asString();
+    if (!variantFromToken(v.field("variant").asString(), rs.variant))
+        fatal("unknown variant token '",
+              v.field("variant").asString(), "'");
+    rs.threads = static_cast<unsigned>(v.field("threads").asUint64());
+    rs.cycles = v.field("cycles").asUint64();
+    rs.totalCycles = v.field("totalCycles").asUint64();
+    rs.committedInsts = v.field("committedInsts").asUint64();
+    rs.committedStores = v.field("committedStores").asUint64();
+    rs.ipc = v.field("ipc").asDouble();
+    rs.avgRegionStores = v.field("avgRegionStores").asDouble();
+    rs.avgRegionOthers = v.field("avgRegionOthers").asDouble();
+    rs.regionCount = v.field("regionCount").asUint64();
+    rs.boundaryStallCycles = v.field("boundaryStallCycles").asUint64();
+    rs.renameStallNoRegCycles =
+        v.field("renameStallNoRegCycles").asUint64();
+    rs.nvmWrites = v.field("nvmWrites").asUint64();
+    rs.nvmReads = v.field("nvmReads").asUint64();
+    rs.nvmBytesWritten = v.field("nvmBytesWritten").asUint64();
+    rs.wpqStallCycles = v.field("wpqStallCycles").asUint64();
+    rs.l2MissRatio = v.field("l2MissRatio").asDouble();
+    rs.coalescedStores = v.field("coalescedStores").asUint64();
+    rs.persistOps = v.field("persistOps").asUint64();
+    rs.freeIntHist = histFromJson(v.field("freeIntHist"));
+    rs.freeFpHist = histFromJson(v.field("freeFpHist"));
+    return rs;
+}
+
+std::string
+knobsToJson(const ExperimentKnobs &k)
+{
+    std::ostringstream os;
+    os << "{";
+    os << "\"threads\": " << k.threads;
+    os << ", \"wpqEntries\": " << k.wpqEntries;
+    os << ", \"intPrf\": " << k.intPrf;
+    os << ", \"fpPrf\": " << k.fpPrf;
+    os << ", \"csqEntries\": " << k.csqEntries;
+    os << ", \"nvmWriteGbps\": " << formatDouble(k.nvmWriteGbps);
+    os << ", \"l3Cache\": " << (k.l3Cache ? "true" : "false");
+    os << ", \"wbCoalesceWindow\": " << k.wbCoalesceWindow;
+    os << ", \"instsPerCore\": " << k.instsPerCore;
+    os << ", \"seed\": " << k.seed;
+    os << ", \"warmupFraction\": " << formatDouble(k.warmupFraction);
+    os << "}";
+    return os.str();
+}
+
+ExperimentKnobs
+knobsFromJson(const JsonValue &v)
+{
+    ExperimentKnobs k;
+    k.threads = static_cast<unsigned>(v.field("threads").asUint64());
+    k.wpqEntries =
+        static_cast<unsigned>(v.field("wpqEntries").asUint64());
+    k.intPrf = static_cast<unsigned>(v.field("intPrf").asUint64());
+    k.fpPrf = static_cast<unsigned>(v.field("fpPrf").asUint64());
+    k.csqEntries =
+        static_cast<unsigned>(v.field("csqEntries").asUint64());
+    k.nvmWriteGbps = v.field("nvmWriteGbps").asDouble();
+    k.l3Cache = v.field("l3Cache").asBool();
+    k.wbCoalesceWindow =
+        static_cast<unsigned>(v.field("wbCoalesceWindow").asUint64());
+    k.instsPerCore = v.field("instsPerCore").asUint64();
+    k.seed = v.field("seed").asUint64();
+    k.warmupFraction = v.field("warmupFraction").asDouble();
+    return k;
+}
+
+std::string
+sweepToJson(const std::string &sweepName,
+            const std::vector<JobResult> &results,
+            const std::vector<std::pair<std::string, double>> &extra)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schemaVersion\": " << schemaVersion << ",\n";
+    os << "  \"sweep\": \"" << jsonEscape(sweepName) << "\",\n";
+    os << "  \"jobs\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const JobResult &r = results[i];
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"workload\": \"" << jsonEscape(r.job.profile.name)
+           << "\", \"suite\": \"" << suiteName(r.job.profile.suite)
+           << "\", \"variant\": \"" << variantToken(r.job.variant)
+           << "\", \"knobs\": " << knobsToJson(r.job.knobs)
+           << ", \"wallSeconds\": " << formatDouble(r.wallSeconds)
+           << ", \"stats\": " << runStatsToJson(r.stats) << "}";
+    }
+    os << (results.empty() ? "]" : "\n  ]");
+    if (!extra.empty()) {
+        os << ",\n  \"extra\": {";
+        for (std::size_t i = 0; i < extra.size(); ++i) {
+            os << (i ? ", " : "") << "\"" << jsonEscape(extra[i].first)
+               << "\": " << formatDouble(extra[i].second);
+        }
+        os << "}";
+    }
+    os << "\n}\n";
+    return os.str();
+}
+
+std::string
+sweepToCsv(const std::vector<JobResult> &results)
+{
+    std::ostringstream os;
+    os << "workload,suite,variant,threads,wpqEntries,intPrf,fpPrf,"
+          "csqEntries,nvmWriteGbps,l3Cache,wbCoalesceWindow,"
+          "instsPerCore,seed,warmupFraction,cycles,totalCycles,"
+          "committedInsts,committedStores,ipc,avgRegionStores,"
+          "avgRegionOthers,regionCount,boundaryStallCycles,"
+          "renameStallNoRegCycles,boundaryStallRatio,renameStallRatio,"
+          "nvmWrites,nvmReads,nvmBytesWritten,wpqStallCycles,"
+          "l2MissRatio,coalescedStores,persistOps,freeIntP25,"
+          "freeIntMean,freeFpP25,freeFpMean,wallSeconds\n";
+    for (const JobResult &r : results) {
+        const RunStats &rs = r.stats;
+        const ExperimentKnobs &k = r.job.knobs;
+        os << rs.workload << ',' << suiteName(r.job.profile.suite)
+           << ',' << variantToken(r.job.variant) << ',' << rs.threads
+           << ',' << k.wpqEntries << ',' << k.intPrf << ',' << k.fpPrf
+           << ',' << k.csqEntries << ','
+           << formatDouble(k.nvmWriteGbps) << ','
+           << (k.l3Cache ? 1 : 0) << ',' << k.wbCoalesceWindow << ','
+           << k.instsPerCore << ',' << k.seed << ','
+           << formatDouble(k.warmupFraction) << ',' << rs.cycles << ','
+           << rs.totalCycles << ',' << rs.committedInsts << ','
+           << rs.committedStores << ',' << formatDouble(rs.ipc) << ','
+           << formatDouble(rs.avgRegionStores) << ','
+           << formatDouble(rs.avgRegionOthers) << ',' << rs.regionCount
+           << ',' << rs.boundaryStallCycles << ','
+           << rs.renameStallNoRegCycles << ','
+           << formatDouble(rs.boundaryStallRatio()) << ','
+           << formatDouble(rs.renameStallRatio()) << ','
+           << rs.nvmWrites << ',' << rs.nvmReads << ','
+           << rs.nvmBytesWritten << ',' << rs.wpqStallCycles << ','
+           << formatDouble(rs.l2MissRatio) << ','
+           << rs.coalescedStores << ',' << rs.persistOps << ','
+           << rs.freeIntHist.percentile(0.25) << ','
+           << formatDouble(rs.freeIntHist.mean()) << ','
+           << rs.freeFpHist.percentile(0.25) << ','
+           << formatDouble(rs.freeFpHist.mean()) << ','
+           << formatDouble(r.wallSeconds) << '\n';
+    }
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// File output
+// ---------------------------------------------------------------------
+
+bool
+writeFile(const std::string &path, const std::string &contents)
+{
+    std::filesystem::path p(path);
+    std::error_code ec;
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path(), ec);
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        warn("cannot open '", path, "' for writing");
+        return false;
+    }
+    out << contents;
+    out.flush();
+    if (!out) {
+        warn("short write to '", path, "'");
+        return false;
+    }
+    return true;
+}
+
+std::string
+resultsDir()
+{
+    if (const char *env = std::getenv("PPA_RESULTS_DIR"))
+        return env;
+    return "results";
+}
+
+} // namespace metrics
+} // namespace ppa

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the parallel experiment driver: the determinism contract
+ * (parallel fan-out is bitwise-identical to a serial run), submission
+ * ordering, and progress reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "sim/driver.hh"
+#include "sim/experiment.hh"
+#include "sim/figures.hh"
+#include "sim/report.hh"
+#include "workload/profile.hh"
+
+using namespace ppa;
+
+namespace
+{
+
+/** A small mixed grid: several workloads/variants with distinct knob
+ *  points, cheap enough to run many times per test binary. */
+std::vector<SweepJob>
+smallGrid()
+{
+    ExperimentKnobs knobs;
+    knobs.instsPerCore = 3000;
+    std::vector<SweepJob> jobs;
+    for (const char *name : {"gcc", "hmmer", "rb", "water-ns"}) {
+        const auto &profile = profileByName(name);
+        jobs.push_back({profile, SystemVariant::MemoryMode, knobs});
+        jobs.push_back({profile, SystemVariant::Ppa, knobs});
+    }
+    ExperimentKnobs tinyPrf = knobs;
+    tinyPrf.intPrf = 80;
+    tinyPrf.fpPrf = 80;
+    jobs.push_back({profileByName("lbm"), SystemVariant::Ppa, tinyPrf});
+    return jobs;
+}
+
+/** Exact textual identity of a RunStats, including histogram bins. */
+std::string
+fingerprint(const RunStats &stats)
+{
+    return metrics::runStatsToJson(stats);
+}
+
+} // namespace
+
+TEST(Driver, WorkerCountDefaultsToAtLeastOne)
+{
+    EXPECT_GE(ExperimentDriver(0).workers(), 1u);
+    EXPECT_EQ(ExperimentDriver(3).workers(), 3u);
+}
+
+TEST(Driver, EmptyJobListYieldsEmptyResults)
+{
+    ExperimentDriver driver(4);
+    EXPECT_TRUE(driver.run({}).empty());
+}
+
+TEST(Driver, ResultsFollowSubmissionOrder)
+{
+    auto jobs = smallGrid();
+    auto results = ExperimentDriver(4).run(jobs);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(results[i].job.profile.name, jobs[i].profile.name);
+        EXPECT_EQ(results[i].job.variant, jobs[i].variant);
+        EXPECT_EQ(results[i].stats.workload, jobs[i].profile.name);
+        EXPECT_GE(results[i].wallSeconds, 0.0);
+        EXPECT_GT(results[i].stats.cycles, 0u);
+    }
+}
+
+// The determinism contract: RunStats is a pure function of
+// (profile, variant, knobs), so fanning the same grid across many
+// threads must reproduce the serial results bit for bit, regardless
+// of completion order.
+TEST(Driver, ParallelMatchesSerialBitwise)
+{
+    auto jobs = smallGrid();
+    auto serial = ExperimentDriver(1).run(jobs);
+    auto parallel = ExperimentDriver(4).run(jobs);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(fingerprint(serial[i].stats),
+                  fingerprint(parallel[i].stats))
+            << "job " << i << " (" << jobs[i].profile.name << ")";
+}
+
+TEST(Driver, RepeatedParallelRunsAreIdentical)
+{
+    auto jobs = smallGrid();
+    auto first = ExperimentDriver(4).run(jobs);
+    auto second = ExperimentDriver(4).run(jobs);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(fingerprint(first[i].stats),
+                  fingerprint(second[i].stats));
+}
+
+TEST(Driver, ProgressCallbackCountsEveryJob)
+{
+    auto jobs = smallGrid();
+    std::atomic<std::size_t> calls{0};
+    std::size_t lastCompleted = 0;
+    auto results = ExperimentDriver(4).run(
+        jobs, [&](const JobResult &r, std::size_t completed,
+                  std::size_t total) {
+            ++calls;
+            EXPECT_EQ(total, jobs.size());
+            EXPECT_GE(completed, 1u);
+            EXPECT_LE(completed, total);
+            // The callback is serialized, so completed must strictly
+            // increase.
+            EXPECT_GT(completed, lastCompleted);
+            lastCompleted = completed;
+            EXPECT_FALSE(r.job.profile.name.empty());
+        });
+    EXPECT_EQ(calls.load(), jobs.size());
+    EXPECT_EQ(lastCompleted, jobs.size());
+    EXPECT_EQ(results.size(), jobs.size());
+}
+
+TEST(Driver, FigureSweepRunsDeterministically)
+{
+    // A real figure grid (smallest one) through the public sweep
+    // definition, serial vs parallel.
+    FigureSweep fs = figureSweep("table01", /*instsPerCore=*/2000);
+    ASSERT_FALSE(fs.jobs.empty());
+    auto serial = ExperimentDriver(1).run(fs.jobs);
+    auto parallel = ExperimentDriver(4).run(fs.jobs);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(fingerprint(serial[i].stats),
+                  fingerprint(parallel[i].stats));
+}

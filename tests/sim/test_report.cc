@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the structured metrics layer: JSON round-tripping of
+ * RunStats (including histogram bins) and knobs, string escaping,
+ * parser robustness, and the shape of the sweep JSON/CSV documents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/driver.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "workload/profile.hh"
+
+using namespace ppa;
+using metrics::JsonValue;
+
+namespace
+{
+
+/** A real RunStats from a short simulation — exercises every field,
+ *  including non-trivial histograms. */
+const RunStats &
+sampleStats()
+{
+    static RunStats rs = [] {
+        ExperimentKnobs knobs;
+        knobs.instsPerCore = 3000;
+        return runWorkload(profileByName("gcc"), SystemVariant::Ppa,
+                           knobs);
+    }();
+    return rs;
+}
+
+JsonValue
+parseOrDie(const std::string &text)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_TRUE(JsonValue::parse(text, v, err)) << err;
+    return v;
+}
+
+} // namespace
+
+TEST(Report, JsonEscapeHandlesSpecials)
+{
+    EXPECT_EQ(metrics::jsonEscape("plain"), "plain");
+    EXPECT_EQ(metrics::jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(metrics::jsonEscape("tab\there"), "tab\\there");
+    EXPECT_EQ(metrics::jsonEscape(std::string("nul\x01") + "x"),
+              "nul\\u0001x");
+}
+
+TEST(Report, ParserHandlesNestedDocuments)
+{
+    JsonValue v = parseOrDie(
+        "{\"a\": [1, 2.5, -3], \"b\": {\"c\": true, \"d\": null}, "
+        "\"s\": \"x\\ny\"}");
+    EXPECT_EQ(v.field("a").size(), 3u);
+    EXPECT_EQ(v.field("a").at(0).asUint64(), 1u);
+    EXPECT_DOUBLE_EQ(v.field("a").at(1).asDouble(), 2.5);
+    EXPECT_TRUE(v.field("b").field("c").asBool());
+    EXPECT_TRUE(v.field("b").field("d").isNull());
+    EXPECT_EQ(v.field("s").asString(), "x\ny");
+    EXPECT_TRUE(v.hasField("a"));
+    EXPECT_FALSE(v.hasField("missing"));
+}
+
+TEST(Report, ParserRejectsMalformedInput)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(JsonValue::parse("{\"a\": }", v, err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(JsonValue::parse("[1, 2", v, err));
+    EXPECT_FALSE(JsonValue::parse("{} trailing", v, err));
+    EXPECT_FALSE(JsonValue::parse("", v, err));
+}
+
+TEST(Report, Uint64CountersSurviveRoundTrip)
+{
+    // A counter above 2^53 loses bits through a double; the number
+    // token text must preserve it exactly.
+    const std::uint64_t big = 9'007'199'254'740'993ull; // 2^53 + 1
+    JsonValue v =
+        parseOrDie("{\"n\": " + std::to_string(big) + "}");
+    EXPECT_EQ(v.field("n").asUint64(), big);
+}
+
+TEST(Report, RunStatsRoundTripsThroughJson)
+{
+    const RunStats &rs = sampleStats();
+    std::string text = metrics::runStatsToJson(rs);
+    RunStats back = metrics::runStatsFromJson(parseOrDie(text));
+
+    EXPECT_EQ(back.workload, rs.workload);
+    EXPECT_EQ(back.variant, rs.variant);
+    EXPECT_EQ(back.threads, rs.threads);
+    EXPECT_EQ(back.cycles, rs.cycles);
+    EXPECT_EQ(back.totalCycles, rs.totalCycles);
+    EXPECT_EQ(back.committedInsts, rs.committedInsts);
+    EXPECT_EQ(back.committedStores, rs.committedStores);
+    EXPECT_EQ(back.ipc, rs.ipc);
+    EXPECT_EQ(back.regionCount, rs.regionCount);
+    EXPECT_EQ(back.boundaryStallCycles, rs.boundaryStallCycles);
+    EXPECT_EQ(back.renameStallNoRegCycles, rs.renameStallNoRegCycles);
+    EXPECT_EQ(back.nvmBytesWritten, rs.nvmBytesWritten);
+    EXPECT_EQ(back.l2MissRatio, rs.l2MissRatio);
+
+    // Serialize-parse-serialize is a fixed point: the second pass must
+    // reproduce the first document byte for byte.
+    EXPECT_EQ(metrics::runStatsToJson(back), text);
+}
+
+TEST(Report, HistogramBinsRoundTrip)
+{
+    const RunStats &rs = sampleStats();
+    ASSERT_GT(rs.freeIntHist.count(), 0u);
+    std::string text = metrics::runStatsToJson(rs);
+    RunStats back = metrics::runStatsFromJson(parseOrDie(text));
+
+    EXPECT_EQ(back.freeIntHist.binCounts(), rs.freeIntHist.binCounts());
+    EXPECT_EQ(back.freeFpHist.binCounts(), rs.freeFpHist.binCounts());
+    EXPECT_EQ(back.freeIntHist.count(), rs.freeIntHist.count());
+    EXPECT_EQ(back.freeIntHist.maxValue(), rs.freeIntHist.maxValue());
+}
+
+TEST(Report, KnobsRoundTripThroughJson)
+{
+    ExperimentKnobs k;
+    k.threads = 16;
+    k.wpqEntries = 8;
+    k.intPrf = 280;
+    k.fpPrf = 224;
+    k.csqEntries = 10;
+    k.nvmWriteGbps = 4.0;
+    k.l3Cache = true;
+    k.wbCoalesceWindow = 0;
+    k.instsPerCore = 12345;
+    k.seed = 99;
+    k.warmupFraction = 0.25;
+
+    ExperimentKnobs back =
+        metrics::knobsFromJson(parseOrDie(metrics::knobsToJson(k)));
+    EXPECT_EQ(metrics::knobsToJson(back), metrics::knobsToJson(k));
+    EXPECT_EQ(back.threads, 16u);
+    EXPECT_EQ(back.l3Cache, true);
+    EXPECT_DOUBLE_EQ(back.nvmWriteGbps, 4.0);
+    EXPECT_DOUBLE_EQ(back.warmupFraction, 0.25);
+}
+
+TEST(Report, SweepDocumentHasVersionedShape)
+{
+    ExperimentKnobs knobs;
+    knobs.instsPerCore = 3000;
+    std::vector<SweepJob> jobs = {
+        {profileByName("gcc"), SystemVariant::MemoryMode, knobs},
+        {profileByName("gcc"), SystemVariant::Ppa, knobs},
+    };
+    auto results = ExperimentDriver(2).run(jobs);
+
+    std::string doc = metrics::sweepToJson("unit-test", results,
+                                           {{"someScalar", 1.25}});
+    JsonValue v = parseOrDie(doc);
+
+    EXPECT_EQ(v.field("schemaVersion").asUint64(),
+              static_cast<std::uint64_t>(metrics::schemaVersion));
+    EXPECT_EQ(v.field("sweep").asString(), "unit-test");
+    ASSERT_EQ(v.field("jobs").size(), 2u);
+
+    const JsonValue &job = v.field("jobs").at(1);
+    EXPECT_EQ(job.field("workload").asString(), "gcc");
+    EXPECT_EQ(job.field("variant").asString(), "ppa");
+    EXPECT_GE(job.field("wallSeconds").asDouble(), 0.0);
+    EXPECT_EQ(job.field("stats").field("workload").asString(), "gcc");
+    ExperimentKnobs back = metrics::knobsFromJson(job.field("knobs"));
+    EXPECT_EQ(back.instsPerCore, 3000u);
+    EXPECT_DOUBLE_EQ(v.field("extra").field("someScalar").asDouble(),
+                     1.25);
+}
+
+TEST(Report, CsvHasOneRowPerJobAndMatchingColumns)
+{
+    ExperimentKnobs knobs;
+    knobs.instsPerCore = 3000;
+    std::vector<SweepJob> jobs = {
+        {profileByName("gcc"), SystemVariant::MemoryMode, knobs},
+        {profileByName("hmmer"), SystemVariant::Ppa, knobs},
+    };
+    auto results = ExperimentDriver(2).run(jobs);
+    std::string csv = metrics::sweepToCsv(results);
+
+    std::istringstream is(csv);
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(is, line))
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 1u + jobs.size());
+
+    auto columns = [](const std::string &row) {
+        std::size_t n = 1;
+        for (char c : row)
+            n += c == ',';
+        return n;
+    };
+    std::size_t headerCols = columns(lines[0]);
+    EXPECT_GT(headerCols, 30u);
+    for (std::size_t i = 1; i < lines.size(); ++i)
+        EXPECT_EQ(columns(lines[i]), headerCols) << "row " << i;
+    EXPECT_EQ(lines[1].substr(0, 4), "gcc,");
+    EXPECT_EQ(lines[2].substr(0, 6), "hmmer,");
+}
+
+TEST(Report, HistogramFromBinsRebuildsTotals)
+{
+    stats::Histogram h = stats::Histogram::fromBins({0, 3, 0, 2});
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.maxValue(), 3u);
+    EXPECT_EQ(h.binCounts(),
+              (std::vector<std::uint64_t>{0, 3, 0, 2}));
+}

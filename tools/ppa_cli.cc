@@ -10,6 +10,14 @@
  *   ppa_cli --app gcc --variant ppa --insts 50000 --compare
  *   ppa_cli --app rb --variant ppa --wpq 8 --bw 1.0
  *   ppa_cli --app water-sp --variant capri --threads 16
+ *
+ * The sweep subcommand runs a whole figure's simulation grid across
+ * hardware threads and writes the schema-versioned JSON document
+ * (docs/METRICS.md) that figure plotting consumes:
+ *
+ *   ppa_cli sweep --list
+ *   ppa_cli sweep fig11
+ *   ppa_cli sweep fig18 --jobs 8 --insts 30000 --out /tmp/res --csv
  */
 
 #include <cstdio>
@@ -18,7 +26,10 @@
 #include <string>
 
 #include "common/table.hh"
+#include "sim/driver.hh"
 #include "sim/experiment.hh"
+#include "sim/figures.hh"
+#include "sim/report.hh"
 
 using namespace ppa;
 
@@ -48,26 +59,124 @@ usage()
         "  --l3                add an L3 between L2 and DRAM cache\n"
         "  --seed N            workload seed (default 42)\n"
         "  --compare           also run the memory-mode baseline and "
-        "report the slowdown\n");
+        "report the slowdown\n"
+        "\n"
+        "subcommand: sweep — run one figure's full grid in parallel\n"
+        "  ppa_cli sweep FIGURE [options]\n"
+        "  ppa_cli sweep --list    list the available figure sweeps\n"
+        "  --jobs N            driver worker threads (default: "
+        "hardware)\n"
+        "  --insts N           committed instructions per core "
+        "(default: figure's own)\n"
+        "  --seed N            workload seed (default 42)\n"
+        "  --out DIR           output directory (default: "
+        "$PPA_RESULTS_DIR or results)\n"
+        "  --csv               also write FIGURE.csv next to the "
+        "JSON\n");
 }
 
 SystemVariant
 parseVariant(const std::string &name)
 {
-    if (name == "memory-mode")
-        return SystemVariant::MemoryMode;
-    if (name == "ppa")
-        return SystemVariant::Ppa;
-    if (name == "capri")
-        return SystemVariant::Capri;
-    if (name == "replaycache")
-        return SystemVariant::ReplayCache;
-    if (name == "eadr-bbb")
-        return SystemVariant::EadrBbb;
-    if (name == "dram-only")
-        return SystemVariant::DramOnly;
-    std::fprintf(stderr, "unknown variant '%s'\n", name.c_str());
-    std::exit(1);
+    SystemVariant v;
+    if (!variantFromToken(name, v)) {
+        std::fprintf(stderr, "unknown variant '%s'\n", name.c_str());
+        std::exit(1);
+    }
+    return v;
+}
+
+int
+sweepMain(int argc, char **argv)
+{
+    std::string figure;
+    unsigned jobs = 0;
+    std::uint64_t insts = 0;
+    std::uint64_t seed = 42;
+    std::string outDir = metrics::resultsDir();
+    bool csv = false;
+
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            TextTable t({"figure", "jobs", "description"});
+            for (const auto &name : figureNames()) {
+                FigureSweep fs = figureSweep(name);
+                t.addRow({fs.name, std::to_string(fs.jobs.size()),
+                          fs.description});
+            }
+            std::printf("%s", t.render().c_str());
+            return 0;
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--insts") {
+            insts = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--seed") {
+            seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--out") {
+            outDir = next();
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] != '-' && figure.empty()) {
+            figure = arg;
+        } else {
+            std::fprintf(stderr, "unknown sweep option '%s'\n",
+                         arg.c_str());
+            usage();
+            return 1;
+        }
+    }
+
+    if (figure.empty()) {
+        std::fprintf(stderr,
+                     "sweep: figure name required (see sweep --list)\n");
+        return 1;
+    }
+    if (!figureExists(figure)) {
+        std::fprintf(stderr,
+                     "sweep: unknown figure '%s' (see sweep --list)\n",
+                     figure.c_str());
+        return 1;
+    }
+
+    FigureSweep fs = figureSweep(figure, insts, seed);
+    ExperimentDriver driver(jobs);
+    std::fprintf(stderr, "sweep %s: %zu jobs on %u threads — %s\n",
+                 fs.name.c_str(), fs.jobs.size(), driver.workers(),
+                 fs.description.c_str());
+    auto results = driver.run(
+        fs.jobs,
+        [](const JobResult &r, std::size_t done, std::size_t total) {
+            std::fprintf(stderr, "  [%zu/%zu] %s/%s (%.2fs)\n", done,
+                         total, r.job.profile.name.c_str(),
+                         variantToken(r.job.variant), r.wallSeconds);
+        });
+
+    std::string jsonPath = outDir + "/" + fs.name + ".json";
+    if (!metrics::writeFile(jsonPath,
+                            metrics::sweepToJson(fs.name, results)))
+        return 1;
+    std::printf("wrote %s (%zu jobs)\n", jsonPath.c_str(),
+                results.size());
+    if (csv) {
+        std::string csvPath = outDir + "/" + fs.name + ".csv";
+        if (!metrics::writeFile(csvPath, metrics::sweepToCsv(results)))
+            return 1;
+        std::printf("wrote %s\n", csvPath.c_str());
+    }
+    return 0;
 }
 
 void
@@ -112,6 +221,9 @@ printStats(const RunStats &rs)
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
+        return sweepMain(argc - 2, argv + 2);
+
     std::string app;
     std::string variant_name = "ppa";
     ExperimentKnobs knobs;
