@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Narrow observer interfaces for the persistence-invariant audit layer.
+ *
+ * The pipeline structures whose interplay carries PPA's crash
+ * consistency (Core commit/retire, the CSQ, the MaskReg, and the L1D
+ * write buffer) each expose a tiny observer hook. All callbacks are
+ * no-ops by default, the hooks are null by default, and nothing in the
+ * simulator's behavior may depend on an observer being attached — the
+ * audit layer (ppa::check::Auditor) is strictly read-only
+ * instrumentation.
+ *
+ * The interfaces live here, below every model library, so that
+ * core/ppa/mem headers can include them without creating a dependency
+ * on the audit implementation (src/check/auditor.*, library
+ * ppa_check).
+ */
+
+#ifndef PPA_CHECK_OBSERVER_HH
+#define PPA_CHECK_OBSERVER_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "ppa/region_stats.hh"
+
+namespace ppa
+{
+
+struct CsqEntry;
+struct CheckpointImage;
+
+namespace check
+{
+
+/** Observes commit-pipeline events of one Core. */
+class CoreObserver
+{
+  public:
+    virtual ~CoreObserver() = default;
+
+    /** Start of Core::tick for cycle @p cycle. */
+    virtual void onCycle(Cycle cycle) { (void)cycle; }
+
+    /** An instruction retired (after all bookkeeping succeeded). */
+    virtual void
+    onCommit(std::uint64_t stream_index, bool is_store)
+    {
+        (void)stream_index;
+        (void)is_store;
+    }
+
+    /**
+     * A store retired. Fired *before* the store's CSQ/MaskReg
+     * bookkeeping so the auditor can pair the structure events that
+     * follow with this store.
+     *
+     * @param global_data_reg global PRF index of the data operand, or
+     *        csqZeroRegIndex when the value is architecturally zero or
+     *        carried inline
+     * @param carries_value  Section 6 variant: the CSQ records the
+     *        value, not a register index
+     * @param to_io_buffer   the store targets the battery-backed I/O
+     *        window and bypasses CSQ/NVM entirely
+     */
+    virtual void
+    onStoreCommit(Addr addr, Word value, unsigned global_data_reg,
+                  bool carries_value, bool to_io_buffer)
+    {
+        (void)addr;
+        (void)value;
+        (void)global_data_reg;
+        (void)carries_value;
+        (void)to_io_buffer;
+    }
+
+    /** An atomic RMW performed its synchronous persistent write. */
+    virtual void
+    onAtomicCommit(Addr addr, Word value)
+    {
+        (void)addr;
+        (void)value;
+    }
+
+    /** A physical register returned to the free list. */
+    virtual void onRegFree(unsigned global_reg) { (void)global_reg; }
+
+    /** A physical register was written back (newly produced value). */
+    virtual void onRegWrite(unsigned global_reg) { (void)global_reg; }
+
+    /**
+     * A region boundary is about to complete: the persist barrier's
+     * conditions are met, but deferred frees / MaskReg / CSQ clears
+     * have not happened yet. The auditor runs its end-of-region checks
+     * here, against the still-intact structures.
+     */
+    virtual void onRegionBoundaryStart(RegionEndCause cause)
+    {
+        (void)cause;
+    }
+
+    /** The region boundary finished (structures cleared). */
+    virtual void onRegionBoundaryComplete() {}
+
+    /** A power failure captured @p image (before volatile state drops). */
+    virtual void onPowerFail(const CheckpointImage &image)
+    {
+        (void)image;
+    }
+
+    /** Recovery from @p image finished (RAT/CRT/CSQ/PRF restored). */
+    virtual void onRecover(const CheckpointImage &image) { (void)image; }
+};
+
+/** Observes one Csq. */
+class CsqObserver
+{
+  public:
+    virtual ~CsqObserver() = default;
+
+    /** @p entry was appended (committing store, in commit order). */
+    virtual void onCsqPush(const CsqEntry &entry) { (void)entry; }
+
+    /** The CSQ dropped all @p entries entries (region boundary). */
+    virtual void onCsqClear(std::size_t entries) { (void)entries; }
+};
+
+/** Observes one MaskReg. */
+class MaskRegObserver
+{
+  public:
+    virtual ~MaskRegObserver() = default;
+
+    /** Bit @p global_reg was set (committed-store data operand). */
+    virtual void onMaskSet(unsigned global_reg) { (void)global_reg; }
+
+    /** All @p masked set bits cleared (region boundary). */
+    virtual void onMaskClearAll(std::size_t masked) { (void)masked; }
+};
+
+/** Observes one per-core WriteBuffer's persist path. */
+class WriteBufferObserver
+{
+  public:
+    virtual ~WriteBufferObserver() = default;
+
+    /**
+     * A committed store's persist operation entered the buffer.
+     * @param coalesced merged into an existing same-line entry
+     */
+    virtual void
+    onPersistEnqueue(Addr addr, Word value, bool coalesced)
+    {
+        (void)addr;
+        (void)value;
+        (void)coalesced;
+    }
+
+    /**
+     * An entry carrying @p store_count stores entered the NVM WPQ and
+     * is now inside the persistence domain (its words were applied to
+     * the NVM image).
+     */
+    virtual void
+    onPersistIssue(Addr line_addr, unsigned store_count)
+    {
+        (void)line_addr;
+        (void)store_count;
+    }
+};
+
+/**
+ * Convenience aggregate: one object observing a core and all of its
+ * persistence structures. Core::attachAuditObserver takes this and
+ * fans it out to the structure hooks.
+ */
+class PipelineObserver : public CoreObserver,
+                         public CsqObserver,
+                         public MaskRegObserver,
+                         public WriteBufferObserver
+{
+};
+
+} // namespace check
+} // namespace ppa
+
+#endif // PPA_CHECK_OBSERVER_HH

@@ -27,8 +27,21 @@ std::string
 composeMessage(Args &&...args)
 {
     std::ostringstream os;
-    (os << ... << args);
+    // void cast: with an empty pack the fold collapses to plain `os`,
+    // which -Wunused-value would otherwise flag.
+    static_cast<void>((os << ... << args));
     return os.str();
+}
+
+/** Out-of-line failure path shared by the assertion macros. */
+[[noreturn]] inline void
+assertFail(const char *cond, const char *file, int line,
+           const std::string &message)
+{
+    std::fprintf(stderr,
+                 "panic: assertion '%s' failed at %s:%d: %s\n", cond,
+                 file, line, message.c_str());
+    std::abort();
 }
 
 } // namespace detail
@@ -77,15 +90,31 @@ inform(Args &&...args)
                  detail::composeMessage(std::forward<Args>(args)...).c_str());
 }
 
-/** Assert a simulator invariant; panics with a message when violated. */
+/**
+ * Assert a simulator invariant; panics with a message when violated.
+ *
+ * The condition is evaluated exactly once and the whole macro is a
+ * single void expression, so it composes anywhere an expression does
+ * (comma chains, ternaries, single-statement if bodies without
+ * braces) — no dangling-else or double-evaluation hazards.
+ */
 #define PPA_ASSERT(cond, ...)                                               \
-    do {                                                                    \
-        if (!(cond)) {                                                      \
-            ::ppa::panic("assertion '", #cond, "' failed at ", __FILE__,    \
-                         ":", __LINE__, ": ",                               \
-                         ::ppa::detail::composeMessage(__VA_ARGS__));       \
-        }                                                                   \
-    } while (0)
+    ((cond) ? static_cast<void>(0)                                          \
+            : ::ppa::detail::assertFail(                                    \
+                  #cond, __FILE__, __LINE__,                                \
+                  ::ppa::detail::composeMessage(__VA_ARGS__)))
+
+/**
+ * Audit-layer assertion: like PPA_ASSERT, but prefixes the message
+ * with the auditor's current context (core / cycle / region), taken
+ * from any object exposing describe() — see check::AuditContext.
+ */
+#define PPA_AUDIT_ASSERT(cond, ctx, ...)                                    \
+    ((cond) ? static_cast<void>(0)                                          \
+            : ::ppa::detail::assertFail(                                    \
+                  #cond, __FILE__, __LINE__,                                \
+                  ::ppa::detail::composeMessage(                            \
+                      "[", (ctx).describe(), "] ", __VA_ARGS__)))
 
 } // namespace ppa
 

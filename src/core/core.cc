@@ -141,7 +141,17 @@ Core::freePhysReg(RegClass cls, PhysReg r)
 {
     if (r == invalidPhysReg)
         return;
+    if (auditObs)
+        auditObs->onRegFree(flattenReg(cls, r));
     freeList(cls).free(r);
+}
+
+void
+Core::attachAuditObserver(check::PipelineObserver *obs)
+{
+    auditObs = obs;
+    csq.setObserver(obs);
+    maskReg.setObserver(obs);
 }
 
 // --------------------------------------------------------------------
@@ -544,6 +554,9 @@ Core::writebackStage()
                 }
             }
         } else if (e->inst.hasDst()) {
+            if (auditObs)
+                auditObs->onRegWrite(flattenReg(e->inst.dst.cls,
+                                                e->newDst));
             prf(e->inst.dst.cls).write(e->newDst, e->execResult);
             wakeDependents(e->inst.dst.cls, e->newDst);
         }
@@ -631,6 +644,8 @@ Core::regionBoundaryConditionsMet()
 void
 Core::completeRegionBoundary(RegionEndCause cause)
 {
+    if (auditObs)
+        auditObs->onRegionBoundaryStart(cause);
     // Reclaim the physical registers whose release was deferred
     // because MaskReg marked them as committed-store operands.
     for (unsigned g : deferredFrees) {
@@ -642,6 +657,8 @@ Core::completeRegionBoundary(RegionEndCause cause)
     csq.clear();
     memory.writeBuffer(coreId).setDraining(false);
     regions.onRegionEnd(cause);
+    if (auditObs)
+        auditObs->onRegionBoundaryComplete();
 }
 
 void
@@ -654,6 +671,10 @@ Core::retireStoreBookkeeping(RobEntry &e)
         // Irrevocable device write (Section 5): the battery-backed
         // I/O buffer makes the store persistent at commit — it never
         // enters the cache hierarchy, the CSQ, or replay.
+        if (auditObs) {
+            auditObs->onStoreCommit(s.addr, s.dataValue,
+                                    csqZeroRegIndex, false, true);
+        }
         memory.ioBuffer().write(s.addr, s.dataValue);
         s.valid = false;
         PPA_ASSERT(sqUsed > 0, "sq underflow");
@@ -663,6 +684,14 @@ Core::retireStoreBookkeeping(RobEntry &e)
 
     s.committed = true;
     committedStoreFifo.push_back(e.sqIndex);
+
+    if (auditObs && !s.isClwb) {
+        unsigned g = csqZeroRegIndex;
+        if (!cfg.csqCarriesValues && s.dataReg != invalidPhysReg)
+            g = flattenReg(s.dataCls, s.dataReg);
+        auditObs->onStoreCommit(s.addr, s.dataValue, g,
+                                cfg.csqCarriesValues, false);
+    }
 
     if (cfg.mode == PersistMode::Ppa && !s.isClwb) {
         if (cfg.csqCarriesValues) {
@@ -757,6 +786,8 @@ Core::commitOne(RobEntry &e)
         if (cfg.mode == PersistMode::Ppa) {
             memory.atomicPersistWrite(coreId, inst.memAddr, old + delta,
                                       curCycle);
+            if (auditObs)
+                auditObs->onAtomicCommit(inst.memAddr, old + delta);
         } else {
             memory.committed().write(inst.memAddr, old + delta);
             // Timing/traffic for the RMW's cache access.
@@ -764,6 +795,8 @@ Core::commitOne(RobEntry &e)
                               curCycle, false);
         }
         if (e.newDst != invalidPhysReg) {
+            if (auditObs)
+                auditObs->onRegWrite(flattenReg(inst.dst.cls, e.newDst));
             prf(inst.dst.cls).write(e.newDst, old);
             wakeDependents(inst.dst.cls, e.newDst);
         }
@@ -814,6 +847,8 @@ Core::commitOne(RobEntry &e)
 
     lcpc = inst.index;
     lcpcValid = true;
+    if (auditObs)
+        auditObs->onCommit(inst.index, inst.isStore());
     ++commitCount;
     if (inst.isStore())
         ++storeCommitCount;
@@ -859,6 +894,8 @@ Core::commitStage()
 void
 Core::tick()
 {
+    if (auditObs)
+        auditObs->onCycle(curCycle);
     // Sample PRF occupancy at the renaming stage, every cycle
     // (Figure 5's methodology).
     freeIntHist.sample(intFreeList.size());
@@ -930,6 +967,9 @@ Core::powerFail()
             save_reg(cls, regIndexer.indexOf(entry.physRegIndex));
         }
     }
+
+    if (auditObs)
+        auditObs->onPowerFail(image);
 
     // All volatile pipeline state evaporates.
     fetchQueue.clear();
@@ -1042,6 +1082,9 @@ Core::recover(const CheckpointImage &image)
         sourceExhausted = false;
     }
     fetchResumeCycle = curCycle;
+
+    if (auditObs)
+        auditObs->onRecover(image);
 }
 
 } // namespace ppa

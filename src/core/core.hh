@@ -33,6 +33,7 @@
 #include <queue>
 #include <vector>
 
+#include "check/observer.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "core/branch_predictor.hh"
@@ -133,6 +134,21 @@ class Core
     bool anyCommitted() const { return lcpcValid; }
 
     const CoreParams &params() const { return cfg; }
+
+    /** Index of this core within the system. */
+    unsigned id() const { return coreId; }
+
+    // ---- audit instrumentation (read-only observers) ----------------
+    /**
+     * Attach an invariant auditor: the core reports commit-pipeline
+     * events and fans the observer out to its CSQ and MaskReg.
+     * Idempotent; pass nullptr to detach.
+     */
+    void attachAuditObserver(check::PipelineObserver *obs);
+
+    /** Read-only views for audit cross-checks. */
+    const Csq &csqRef() const { return csq; }
+    const MaskReg &maskRegRef() const { return maskReg; }
 
   private:
     // ---- pipeline data structures -----------------------------------
@@ -309,6 +325,9 @@ class Core
     std::vector<std::pair<Addr, std::uint64_t>> pendingAtomics;
     std::uint64_t outstandingClwbs = 0;
     std::deque<Cycle> clwbAcks;
+
+    // ---- audit -----------------------------------------------------------
+    check::PipelineObserver *auditObs = nullptr;
 
     // ---- PPA state -------------------------------------------------------
     PhysRegIndexer regIndexer;

@@ -26,6 +26,8 @@ WriteBuffer::addStore(Addr addr, Word value, Cycle now)
             e.words[MemImage::wordAlign(addr)] = value;
             ++e.storeCount;
             statCoalesced.inc();
+            if (obs)
+                obs->onPersistEnqueue(addr, value, true);
             return true;
         }
     }
@@ -46,6 +48,8 @@ WriteBuffer::addStore(Addr addr, Word value, Cycle now)
     e.storeCount = 1;
     e.bornCycle = now;
     entries.push_back(std::move(e));
+    if (obs)
+        obs->onPersistEnqueue(addr, value, false);
     return true;
 }
 
@@ -84,6 +88,8 @@ WriteBuffer::tick(Cycle now, Nvm &nvm, MemImage &nvm_image)
         // domain: apply the word data to the persistent image now.
         for (const auto &[a, v] : e.words)
             nvm_image.write(a, v);
+        if (obs)
+            obs->onPersistIssue(e.lineAddr, e.storeCount);
         break;
     }
 

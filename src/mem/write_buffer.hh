@@ -27,6 +27,7 @@
 #include <deque>
 #include <map>
 
+#include "check/observer.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/mem_image.hh"
@@ -96,6 +97,13 @@ class WriteBuffer
     std::uint64_t persistOps() const { return statOps.value(); }
     std::uint64_t fullStalls() const { return statFullStall.value(); }
 
+    /** Audit hook (MemHierarchy::powerFail carries it across). */
+    void setObserver(check::WriteBufferObserver *observer)
+    {
+        obs = observer;
+    }
+    check::WriteBufferObserver *observer() const { return obs; }
+
   private:
     struct Entry
     {
@@ -118,6 +126,8 @@ class WriteBuffer
     stats::Counter statCoalesced;
     stats::Counter statOps;
     stats::Counter statFullStall;
+
+    check::WriteBufferObserver *obs = nullptr;
 };
 
 } // namespace ppa

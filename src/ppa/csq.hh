@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "check/observer.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 
@@ -77,6 +78,8 @@ class Csq
         PPA_ASSERT(!full(), "CSQ overflow must be handled as a region "
                             "boundary before pushing");
         entries.push_back({phys_reg_index, addr, 0, false});
+        if (obs)
+            obs->onCsqPush(entries.back());
     }
 
     /** Record a committing store with an inline data value (the
@@ -87,10 +90,18 @@ class Csq
         PPA_ASSERT(!full(), "CSQ overflow must be handled as a region "
                             "boundary before pushing");
         entries.push_back({csqZeroRegIndex, addr, value, true});
+        if (obs)
+            obs->onCsqPush(entries.back());
     }
 
     /** Region boundary: drop all entries. */
-    void clear() { entries.clear(); }
+    void
+    clear()
+    {
+        if (obs)
+            obs->onCsqClear(entries.size());
+        entries.clear();
+    }
 
     /** Front-to-rear iteration for checkpoint and replay. */
     const std::deque<CsqEntry> &contents() const { return entries; }
@@ -102,9 +113,13 @@ class Csq
         entries = saved;
     }
 
+    /** Audit hook; restore() fires no events (recovery resyncs). */
+    void setObserver(check::CsqObserver *observer) { obs = observer; }
+
   private:
     unsigned capacity = 40;
     std::deque<CsqEntry> entries;
+    check::CsqObserver *obs = nullptr;
 };
 
 } // namespace ppa

@@ -14,6 +14,7 @@
 #ifndef PPA_PPA_MASK_REG_HH
 #define PPA_PPA_MASK_REG_HH
 
+#include "check/observer.hh"
 #include "common/bitvector.hh"
 #include "common/types.hh"
 
@@ -88,7 +89,10 @@ class MaskReg
     void
     mask(RegClass cls, PhysReg reg)
     {
-        bits.set(idx.flatten(cls, reg));
+        unsigned global = idx.flatten(cls, reg);
+        bits.set(global);
+        if (obs)
+            obs->onMaskSet(global);
     }
 
     /** Is @p reg masked (reclamation must be deferred)? */
@@ -99,7 +103,13 @@ class MaskReg
     }
 
     /** Region boundary: clear every mask bit. */
-    void clearAll() { bits.clearAll(); }
+    void
+    clearAll()
+    {
+        if (obs)
+            obs->onMaskClearAll(bits.count());
+        bits.clearAll();
+    }
 
     std::size_t maskedCount() const { return bits.count(); }
     bool empty() const { return bits.none(); }
@@ -123,9 +133,13 @@ class MaskReg
 
     const PhysRegIndexer &indexer() const { return idx; }
 
+    /** Audit hook; restore() fires no events (recovery resyncs). */
+    void setObserver(check::MaskRegObserver *observer) { obs = observer; }
+
   private:
     PhysRegIndexer idx;
     BitVector bits;
+    check::MaskRegObserver *obs = nullptr;
 };
 
 } // namespace ppa

@@ -1,14 +1,53 @@
 #include "sim/experiment.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 
 #include "baselines/replaycache.hh"
+#include "check/auditor.hh"
 #include "common/logging.hh"
+#include "ppa/checkpoint_io.hh"
 #include "workload/generator.hh"
 
 namespace ppa
 {
+
+namespace
+{
+
+/**
+ * Power-fail the whole system, push every core's checkpoint through
+ * the NVM word serialization (what recovery would actually read from
+ * media), recover, and audit replay equivalence.
+ */
+void
+injectPowerFailure(System &system,
+                   std::vector<std::unique_ptr<check::Auditor>> &auditors,
+                   RunStats &rs)
+{
+    std::vector<CheckpointImage> images = system.powerFail();
+    std::vector<CheckpointImage> restored;
+    restored.reserve(images.size());
+    for (const CheckpointImage &image : images)
+        restored.push_back(deserializeCheckpoint(
+            serializeCheckpoint(image)));
+    system.recover(restored);
+    ++rs.powerFailures;
+    for (auto &auditor : auditors) {
+        check::ReplayAuditResult replay = auditor->verifyReplay();
+        ++rs.replayAudits;
+        rs.replayMismatches += replay.mismatches;
+        rs.replayAddrsChecked += replay.addrsChecked;
+        if (!replay.ok() && rs.auditMessages.size() < 16) {
+            rs.auditMessages.push_back(detail::composeMessage(
+                auditor->context().describe(), ": replay diff found ",
+                replay.mismatches, " mismatched addresses"));
+        }
+    }
+}
+
+} // namespace
 
 const char *
 variantName(SystemVariant variant)
@@ -135,6 +174,22 @@ runWorkload(const WorkloadProfile &profile, SystemVariant variant,
     SystemConfig sc = makeSystemConfig(variant, knobs, threads);
     System system(sc);
 
+    // Opt-in invariant audit: one auditor per core, all sharing one
+    // committed-store oracle. Only the PPA variant has the audited
+    // structures; the knob is ignored elsewhere.
+    std::vector<std::unique_ptr<check::Auditor>> auditors;
+    if (knobs.audit && sc.core.mode == PersistMode::Ppa) {
+        auto oracle = std::make_shared<check::StoreOracle>();
+        for (unsigned t = 0; t < threads; ++t) {
+            auditors.push_back(std::make_unique<check::Auditor>(
+                system.core(t), system.memory(), oracle));
+            auditors.back()->attach();
+        }
+    }
+    PPA_ASSERT(knobs.failAtCycles.empty() ||
+                   sc.core.mode == PersistMode::Ppa,
+               "power-failure injection requires the PPA variant");
+
     // One deterministic stream per thread. ReplayCache additionally
     // wraps each stream in its compiler transformation.
     std::vector<std::unique_ptr<StreamGenerator>> gens;
@@ -158,15 +213,40 @@ runWorkload(const WorkloadProfile &profile, SystemVariant variant,
         knobs.warmupFraction *
         static_cast<double>(knobs.instsPerCore) * threads);
     Cycle warm_cycle = 0;
-    while (!system.allDone() && system.cycle() < cap &&
-           system.totalCommitted() < warmup_insts) {
-        for (int i = 0; i < 64 && !system.allDone(); ++i)
-            system.tick();
-    }
-    warm_cycle = system.cycle();
-    system.run(cap);
-
     RunStats rs;
+    if (knobs.failAtCycles.empty()) {
+        while (!system.allDone() && system.cycle() < cap &&
+               system.totalCommitted() < warmup_insts) {
+            for (int i = 0; i < 64 && !system.allDone(); ++i)
+                system.tick();
+        }
+        warm_cycle = system.cycle();
+        system.run(cap);
+    } else {
+        // Failure-injection schedule: run to each requested cycle
+        // (warmup included), fail, recover through the serialized
+        // checkpoints, continue to the next one.
+        std::vector<Cycle> failures = knobs.failAtCycles;
+        std::sort(failures.begin(), failures.end());
+        std::size_t next_fail = 0;
+        bool warmed = false;
+        while (!system.allDone() && system.cycle() < cap) {
+            if (!warmed && system.totalCommitted() >= warmup_insts) {
+                warmed = true;
+                warm_cycle = system.cycle();
+            }
+            if (next_fail < failures.size() &&
+                system.cycle() >= failures[next_fail]) {
+                ++next_fail;
+                injectPowerFailure(system, auditors, rs);
+            }
+            system.tick();
+        }
+        if (!warmed)
+            warm_cycle = system.cycle();
+        system.run(cap);
+    }
+
     rs.workload = profile.name;
     rs.variant = variant;
     rs.threads = threads;
@@ -216,6 +296,17 @@ runWorkload(const WorkloadProfile &profile, SystemVariant variant,
     rs.nvmBytesWritten = system.memory().nvm().bytesWritten();
     rs.wpqStallCycles = system.memory().nvm().wpqStallCycles();
     rs.l2MissRatio = system.memory().l2MissRatio();
+
+    for (const auto &auditor : auditors) {
+        rs.auditEvents += auditor->eventCount();
+        rs.auditViolations += auditor->violationCount();
+        for (const check::AuditViolation &v : auditor->violations()) {
+            if (rs.auditMessages.size() >= 16)
+                break;
+            rs.auditMessages.push_back(
+                v.where.describe() + ": " + v.what);
+        }
+    }
     return rs;
 }
 

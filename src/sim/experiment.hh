@@ -88,6 +88,22 @@ struct ExperimentKnobs
      * measured window, so the window is not cold-cache dominated.
      */
     double warmupFraction = 0.4;
+    /**
+     * Attach a ppa::check::Auditor to every core (PPA variant only;
+     * ignored otherwise): every commit/persist event is validated
+     * against the paper's crash-consistency invariants and violations
+     * are reported in RunStats. Read-only instrumentation — cycle
+     * counts are unchanged.
+     */
+    bool audit = false;
+    /**
+     * Inject a whole-system power failure at each of these absolute
+     * cycles (PPA variant only): JIT-checkpoint every core, round-trip
+     * the images through the checkpoint_io NVM serialization, recover,
+     * and — when audit is on — diff the replayed NVM image against the
+     * committed-store oracle (RunStats::replayMismatches).
+     */
+    std::vector<Cycle> failAtCycles;
 };
 
 /** Everything a figure could want from one run. */
@@ -124,6 +140,16 @@ struct RunStats
     // Free-register CDFs (merged across cores; Figure 5).
     stats::Histogram freeIntHist;
     stats::Histogram freeFpHist;
+
+    // Invariant-audit results (populated when knobs.audit is set).
+    std::uint64_t auditEvents = 0;       ///< Observed pipeline events
+    std::uint64_t auditViolations = 0;   ///< Invariant violations
+    std::uint64_t powerFailures = 0;     ///< Injected power failures
+    std::uint64_t replayAudits = 0;      ///< Per-core replay diffs run
+    std::uint64_t replayMismatches = 0;  ///< Replayed-NVM diff failures
+    std::uint64_t replayAddrsChecked = 0;///< Addresses diffed in total
+    /** Capped sample of violation reports (context + description). */
+    std::vector<std::string> auditMessages;
 
     /** Boundary-stall cycles as a fraction of all cycles (Fig. 11). */
     double

@@ -434,6 +434,18 @@ runStatsToJson(const RunStats &rs)
     os << ", \"persistOps\": " << rs.persistOps;
     os << ", \"freeIntHist\": " << histToJson(rs.freeIntHist);
     os << ", \"freeFpHist\": " << histToJson(rs.freeFpHist);
+    os << ", \"auditEvents\": " << rs.auditEvents;
+    os << ", \"auditViolations\": " << rs.auditViolations;
+    os << ", \"powerFailures\": " << rs.powerFailures;
+    os << ", \"replayAudits\": " << rs.replayAudits;
+    os << ", \"replayMismatches\": " << rs.replayMismatches;
+    os << ", \"replayAddrsChecked\": " << rs.replayAddrsChecked;
+    os << ", \"auditMessages\": [";
+    for (std::size_t i = 0; i < rs.auditMessages.size(); ++i) {
+        os << (i ? ", " : "") << "\"" << jsonEscape(rs.auditMessages[i])
+           << "\"";
+    }
+    os << "]";
     os << "}";
     return os.str();
 }
@@ -467,6 +479,19 @@ runStatsFromJson(const JsonValue &v)
     rs.persistOps = v.field("persistOps").asUint64();
     rs.freeIntHist = histFromJson(v.field("freeIntHist"));
     rs.freeFpHist = histFromJson(v.field("freeFpHist"));
+    // Audit fields arrived with schema additions; older result files
+    // simply lack them.
+    if (v.hasField("auditEvents")) {
+        rs.auditEvents = v.field("auditEvents").asUint64();
+        rs.auditViolations = v.field("auditViolations").asUint64();
+        rs.powerFailures = v.field("powerFailures").asUint64();
+        rs.replayAudits = v.field("replayAudits").asUint64();
+        rs.replayMismatches = v.field("replayMismatches").asUint64();
+        rs.replayAddrsChecked =
+            v.field("replayAddrsChecked").asUint64();
+        for (const JsonValue &m : v.field("auditMessages").items())
+            rs.auditMessages.push_back(m.asString());
+    }
     return rs;
 }
 
@@ -486,6 +511,11 @@ knobsToJson(const ExperimentKnobs &k)
     os << ", \"instsPerCore\": " << k.instsPerCore;
     os << ", \"seed\": " << k.seed;
     os << ", \"warmupFraction\": " << formatDouble(k.warmupFraction);
+    os << ", \"audit\": " << (k.audit ? "true" : "false");
+    os << ", \"failAtCycles\": [";
+    for (std::size_t i = 0; i < k.failAtCycles.size(); ++i)
+        os << (i ? ", " : "") << k.failAtCycles[i];
+    os << "]";
     os << "}";
     return os.str();
 }
@@ -508,6 +538,11 @@ knobsFromJson(const JsonValue &v)
     k.instsPerCore = v.field("instsPerCore").asUint64();
     k.seed = v.field("seed").asUint64();
     k.warmupFraction = v.field("warmupFraction").asDouble();
+    if (v.hasField("audit")) {
+        k.audit = v.field("audit").asBool();
+        for (const JsonValue &c : v.field("failAtCycles").items())
+            k.failAtCycles.push_back(c.asUint64());
+    }
     return k;
 }
 
@@ -556,7 +591,9 @@ sweepToCsv(const std::vector<JobResult> &results)
           "renameStallNoRegCycles,boundaryStallRatio,renameStallRatio,"
           "nvmWrites,nvmReads,nvmBytesWritten,wpqStallCycles,"
           "l2MissRatio,coalescedStores,persistOps,freeIntP25,"
-          "freeIntMean,freeFpP25,freeFpMean,wallSeconds\n";
+          "freeIntMean,freeFpP25,freeFpMean,wallSeconds,"
+          "auditEvents,auditViolations,powerFailures,replayAudits,"
+          "replayMismatches\n";
     for (const JobResult &r : results) {
         const RunStats &rs = r.stats;
         const ExperimentKnobs &k = r.job.knobs;
@@ -584,7 +621,10 @@ sweepToCsv(const std::vector<JobResult> &results)
            << formatDouble(rs.freeIntHist.mean()) << ','
            << rs.freeFpHist.percentile(0.25) << ','
            << formatDouble(rs.freeFpHist.mean()) << ','
-           << formatDouble(r.wallSeconds) << '\n';
+           << formatDouble(r.wallSeconds) << ','
+           << rs.auditEvents << ',' << rs.auditViolations << ','
+           << rs.powerFailures << ',' << rs.replayAudits << ','
+           << rs.replayMismatches << '\n';
     }
     return os.str();
 }

@@ -1,0 +1,75 @@
+/** @file
+ * PPA_ASSERT / PPA_AUDIT_ASSERT semantics: the condition evaluates
+ * exactly once, the macro composes as a plain void expression, and
+ * failures panic with the stringified condition plus the streamed
+ * message (prefixed by the audit context for PPA_AUDIT_ASSERT).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.hh"
+
+namespace
+{
+
+/** Minimal stand-in for check::AuditContext. */
+struct FakeContext
+{
+    std::string describe() const { return "ctx core 9"; }
+};
+
+} // namespace
+
+TEST(PpaAssert, EvaluatesConditionExactlyOnce)
+{
+    int n = 0;
+    PPA_ASSERT(++n == 1, "side effect must run exactly once");
+    EXPECT_EQ(n, 1);
+}
+
+TEST(PpaAssert, ComposesAsAnExpression)
+{
+    // Ternary arms and comma chains: legal only if the macro expands
+    // to a single expression rather than a statement block.
+    int n = 0;
+    int picked = true ? (PPA_ASSERT(++n == 1, "then arm"), 1)
+                      : (PPA_ASSERT(false, "else arm"), 2);
+    EXPECT_EQ(picked, 1);
+    EXPECT_EQ(n, 1);
+
+    // Single-statement if body without braces: no dangling-else.
+    if (picked == 1)
+        PPA_ASSERT(n == 1, "if body");
+    else
+        PPA_ASSERT(false, "not reached");
+}
+
+TEST(PpaAssert, MessageIsOptional)
+{
+    int n = 0;
+    PPA_ASSERT(++n == 1);
+    EXPECT_EQ(n, 1);
+}
+
+TEST(PpaAssertDeathTest, PanicsWithConditionAndComposedMessage)
+{
+    EXPECT_DEATH(PPA_ASSERT(2 + 2 == 5, "math ", 42, " failed"),
+                 "assertion '2 \\+ 2 == 5' failed.*math 42 failed");
+}
+
+TEST(PpaAssertDeathTest, AuditAssertPrefixesTheContext)
+{
+    FakeContext ctx;
+    EXPECT_DEATH(PPA_AUDIT_ASSERT(false, ctx, "invariant broken"),
+                 "\\[ctx core 9\\] invariant broken");
+}
+
+TEST(PpaAssert, AuditAssertPassesQuietlyAndEvaluatesOnce)
+{
+    FakeContext ctx;
+    int n = 0;
+    PPA_AUDIT_ASSERT(++n == 1, ctx, "once");
+    EXPECT_EQ(n, 1);
+}

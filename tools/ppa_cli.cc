@@ -60,6 +60,12 @@ usage()
         "  --seed N            workload seed (default 42)\n"
         "  --compare           also run the memory-mode baseline and "
         "report the slowdown\n"
+        "  --audit             attach the persistence-invariant "
+        "auditors (ppa variant)\n"
+        "  --fail-at-cycle N   inject a power failure at cycle N and "
+        "recover through the\n"
+        "                      serialized checkpoint (repeatable; ppa "
+        "variant)\n"
         "\n"
         "subcommand: sweep — run one figure's full grid in parallel\n"
         "  ppa_cli sweep FIGURE [options]\n"
@@ -72,7 +78,9 @@ usage()
         "  --out DIR           output directory (default: "
         "$PPA_RESULTS_DIR or results)\n"
         "  --csv               also write FIGURE.csv next to the "
-        "JSON\n");
+        "JSON\n"
+        "  --audit             run every ppa-variant job with the "
+        "invariant auditors attached\n");
 }
 
 SystemVariant
@@ -95,6 +103,7 @@ sweepMain(int argc, char **argv)
     std::uint64_t seed = 42;
     std::string outDir = metrics::resultsDir();
     bool csv = false;
+    bool audit = false;
 
     for (int i = 0; i < argc; ++i) {
         std::string arg = argv[i];
@@ -126,6 +135,8 @@ sweepMain(int argc, char **argv)
             outDir = next();
         } else if (arg == "--csv") {
             csv = true;
+        } else if (arg == "--audit") {
+            audit = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -152,6 +163,10 @@ sweepMain(int argc, char **argv)
     }
 
     FigureSweep fs = figureSweep(figure, insts, seed);
+    if (audit) {
+        for (SweepJob &job : fs.jobs)
+            job.knobs.audit = true;
+    }
     ExperimentDriver driver(jobs);
     std::fprintf(stderr, "sweep %s: %zu jobs on %u threads — %s\n",
                  fs.name.c_str(), fs.jobs.size(), driver.workers(),
@@ -163,6 +178,22 @@ sweepMain(int argc, char **argv)
                          total, r.job.profile.name.c_str(),
                          variantToken(r.job.variant), r.wallSeconds);
         });
+
+    if (audit) {
+        std::uint64_t events = 0;
+        std::uint64_t violations = 0;
+        for (const JobResult &r : results) {
+            events += r.stats.auditEvents;
+            violations += r.stats.auditViolations;
+            for (const std::string &m : r.stats.auditMessages)
+                std::fprintf(stderr, "  audit: %s\n", m.c_str());
+        }
+        std::printf("audit: %llu events, %llu violations\n",
+                    static_cast<unsigned long long>(events),
+                    static_cast<unsigned long long>(violations));
+        if (violations)
+            return 1;
+    }
 
     std::string jsonPath = outDir + "/" + fs.name + ".json";
     if (!metrics::writeFile(jsonPath,
@@ -213,7 +244,23 @@ printStats(const RunStats &rs)
     }
     t.addRow({"rename no-free-reg stall",
               TextTable::percent(rs.renameStallRatio(), 2)});
+    if (rs.auditEvents) {
+        t.addRow({"audit events", std::to_string(rs.auditEvents)});
+        t.addRow({"audit violations",
+                  std::to_string(rs.auditViolations)});
+    }
+    if (rs.powerFailures) {
+        t.addRow({"power failures injected",
+                  std::to_string(rs.powerFailures)});
+        t.addRow({"replay audits", std::to_string(rs.replayAudits)});
+        t.addRow({"replay addrs checked",
+                  std::to_string(rs.replayAddrsChecked)});
+        t.addRow({"replay mismatches",
+                  std::to_string(rs.replayMismatches)});
+    }
     std::printf("%s", t.render().c_str());
+    for (const std::string &m : rs.auditMessages)
+        std::fprintf(stderr, "audit: %s\n", m.c_str());
 }
 
 } // namespace
@@ -283,6 +330,11 @@ main(int argc, char **argv)
             knobs.seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--compare") {
             compare = true;
+        } else if (arg == "--audit") {
+            knobs.audit = true;
+        } else if (arg == "--fail-at-cycle") {
+            knobs.failAtCycles.push_back(
+                std::strtoull(next(), nullptr, 10));
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -305,8 +357,10 @@ main(int argc, char **argv)
     printStats(rs);
 
     if (compare && variant != SystemVariant::MemoryMode) {
+        ExperimentKnobs base_knobs = knobs;
+        base_knobs.failAtCycles.clear(); // PPA-only mechanism
         RunStats base =
-            runWorkload(profile, SystemVariant::MemoryMode, knobs);
+            runWorkload(profile, SystemVariant::MemoryMode, base_knobs);
         std::printf("\nslowdown vs memory-mode baseline: %s\n",
                     TextTable::factor(slowdown(rs, base)).c_str());
     }
