@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Host-throughput benchmark: simulated kilo-instructions per
+ * host-second (KIPS) across the representative app subset and the
+ * persistence variants (ppa, capri, replaycache).
+ *
+ * Unlike the figure binaries, the metric here is the simulator
+ * itself: each job's wall time is the measurement, so the grid runs
+ * through the ExperimentDriver exactly as `ppa_cli bench` runs it
+ * (same jobs, same knobs, via throughputSweep) and the per-job KIPS
+ * land in the google-benchmark counters. The JSON export
+ * (BENCH_throughput.json) is the document the CI regression gate
+ * diffs against the checked-in baseline; see docs/PERF.md for the
+ * methodology and noise caveats.
+ *
+ * Environment:
+ *  - PPA_BENCH_JOBS: driver worker threads (default: hardware).
+ *  - PPA_BENCH_INSTS: committed instructions per core (default:
+ *    throughputSweep's own).
+ *  - PPA_RESULTS_DIR: JSON output directory (default: results/).
+ */
+
+#include "bench/bench_common.hh"
+
+#include <cmath>
+
+using namespace ppa;
+using namespace ppabench;
+
+namespace
+{
+
+FigureReport report(
+    "BENCH: simulated-KIPS host throughput",
+    "Not a paper figure: measures the simulator, not the simulated "
+    "machine. Gated in CI against bench/throughput_baseline.json.",
+    {"workload", "variant", "insts", "wall ms", "KIPS"});
+
+std::vector<JobResult> runs;
+
+double
+jobKips(const JobResult &r)
+{
+    return r.wallSeconds > 0.0
+               ? static_cast<double>(r.stats.committedInsts) /
+                     r.wallSeconds / 1e3
+               : 0.0;
+}
+
+void
+runCase(benchmark::State &state, std::size_t job_index)
+{
+    for (auto _ : state) {
+        const JobResult &r = runs[job_index];
+        double kips = jobKips(r);
+        state.counters["KIPS"] = kips;
+        report.addRow({r.job.profile.name,
+                       variantToken(r.job.variant),
+                       std::to_string(r.stats.committedInsts),
+                       TextTable::num(r.wallSeconds * 1e3, 2),
+                       TextTable::num(kips, 1)});
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+
+    std::uint64_t insts = 0;
+    if (const char *env = std::getenv("PPA_BENCH_INSTS"))
+        insts = std::strtoull(env, nullptr, 10);
+    unsigned workers = 0;
+    if (const char *env = std::getenv("PPA_BENCH_JOBS"))
+        workers = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+
+    FigureSweep fs = throughputSweep(insts);
+    ExperimentDriver driver(workers);
+    std::fprintf(stderr, "bench: %zu throughput jobs on %u threads\n",
+                 fs.jobs.size(), driver.workers());
+    runs = driver.run(fs.jobs);
+
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        benchmark::RegisterBenchmark(
+            ("throughput/" + runs[i].job.profile.name + "/" +
+             variantToken(runs[i].job.variant))
+                .c_str(),
+            [i](benchmark::State &st) { runCase(st, i); })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+
+    double instsTotal = 0.0;
+    double wallTotal = 0.0;
+    double logSum = 0.0;
+    for (const JobResult &r : runs) {
+        instsTotal += static_cast<double>(r.stats.committedInsts);
+        wallTotal += r.wallSeconds;
+        logSum += std::log(std::max(jobKips(r), 1e-9));
+    }
+    double agg =
+        wallTotal > 0.0 ? instsTotal / wallTotal / 1e3 : 0.0;
+    double geomean =
+        runs.empty()
+            ? 0.0
+            : std::exp(logSum / static_cast<double>(runs.size()));
+    report.addRow({"aggregate", "-", "-", "-",
+                   TextTable::num(agg, 1)});
+    report.addRow({"geomean", "-", "-", "-",
+                   TextTable::num(geomean, 1)});
+    report.print();
+
+    std::string path =
+        metrics::resultsDir() + "/BENCH_throughput.json";
+    std::string doc = metrics::sweepToJson(
+        fs.name, runs,
+        {{"aggregateKips", agg},
+         {"geomeanKips", geomean},
+         {"workers", static_cast<double>(driver.workers())}});
+    if (metrics::writeFile(path, doc))
+        std::fprintf(stderr, "bench: wrote %s (%zu jobs)\n",
+                     path.c_str(), runs.size());
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Fixed-capacity power-of-two ring buffer.
+ *
+ * The core's hot loop replaces its std::deque-based FIFOs (fetch
+ * queue, ROB, ready queue, committed-store FIFO) with these rings so
+ * the steady-state simulation loop performs no heap allocation: the
+ * backing store is sized once, at pipeline construction, from the
+ * Table-2 structure capacities, and push/pop are mask-and-increment.
+ *
+ * Overflow and underflow are programming errors (the pipeline already
+ * bounds every queue by its architectural capacity) and are caught by
+ * PPA_ASSERT rather than grown around.
+ */
+
+#ifndef PPA_COMMON_RING_BUFFER_HH
+#define PPA_COMMON_RING_BUFFER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace ppa
+{
+
+/**
+ * Bounded FIFO over a power-of-two backing array.
+ *
+ * Indexing via operator[] is front-relative: buf[0] is the oldest
+ * element (the next to pop), buf[size() - 1] the newest.
+ */
+template <typename T>
+class RingBuffer
+{
+  public:
+    RingBuffer() = default;
+
+    explicit RingBuffer(std::size_t capacity) { reset(capacity); }
+
+    /**
+     * Discard contents and re-size for at least @p capacity elements
+     * (rounded up to a power of two). The only allocating operation.
+     */
+    void
+    reset(std::size_t capacity)
+    {
+        std::size_t pow2 = 1;
+        while (pow2 < capacity)
+            pow2 <<= 1;
+        buf.assign(pow2, T{});
+        mask = pow2 - 1;
+        head = 0;
+        count = 0;
+    }
+
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+    std::size_t capacity() const { return buf.size(); }
+
+    void
+    push_back(const T &v)
+    {
+        PPA_ASSERT(count <= mask, "ring buffer overflow (capacity ",
+                   buf.size(), ")");
+        buf[(head + count) & mask] = v;
+        ++count;
+    }
+
+    /** Append a default-constructed slot and return it. */
+    T &
+    emplace_back()
+    {
+        PPA_ASSERT(count <= mask, "ring buffer overflow (capacity ",
+                   buf.size(), ")");
+        T &slot = buf[(head + count) & mask];
+        slot = T{};
+        ++count;
+        return slot;
+    }
+
+    T &
+    front()
+    {
+        PPA_ASSERT(count > 0, "front() on empty ring buffer");
+        return buf[head];
+    }
+
+    const T &
+    front() const
+    {
+        PPA_ASSERT(count > 0, "front() on empty ring buffer");
+        return buf[head];
+    }
+
+    T &
+    back()
+    {
+        PPA_ASSERT(count > 0, "back() on empty ring buffer");
+        return buf[(head + count - 1) & mask];
+    }
+
+    void
+    pop_front()
+    {
+        PPA_ASSERT(count > 0, "pop_front() on empty ring buffer");
+        head = (head + 1) & mask;
+        --count;
+    }
+
+    T &
+    operator[](std::size_t i)
+    {
+        PPA_ASSERT(i < count, "ring buffer index ", i, " out of ",
+                   count);
+        return buf[(head + i) & mask];
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        PPA_ASSERT(i < count, "ring buffer index ", i, " out of ",
+                   count);
+        return buf[(head + i) & mask];
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+  private:
+    std::vector<T> buf;
+    std::size_t mask = 0;
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+} // namespace ppa
+
+#endif // PPA_COMMON_RING_BUFFER_HH

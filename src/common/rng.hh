@@ -10,6 +10,7 @@
 #ifndef PPA_COMMON_RNG_HH
 #define PPA_COMMON_RNG_HH
 
+#include <array>
 #include <cstdint>
 
 #include "common/logging.hh"
@@ -96,6 +97,25 @@ class Rng
         while (!chance(p) && n < 100000)
             ++n;
         return n;
+    }
+
+    /**
+     * Raw generator state, for checkpoint/restore. A generator
+     * constructed by setState(other.getState()) produces bitwise the
+     * same stream as @p other from that point on.
+     */
+    std::array<std::uint64_t, 4>
+    getState() const
+    {
+        return {s[0], s[1], s[2], s[3]};
+    }
+
+    /** Restore state previously captured with getState(). */
+    void
+    setState(const std::array<std::uint64_t, 4> &state)
+    {
+        for (std::size_t i = 0; i < 4; ++i)
+            s[i] = state[i];
     }
 
   private:

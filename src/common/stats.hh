@@ -11,6 +11,7 @@
 #define PPA_COMMON_STATS_HH
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -72,9 +73,12 @@ class Average
 /**
  * An integer-valued histogram with unit-width bins over [0, maxValue].
  *
- * sample() clamps to the top bin; cdf() and percentile() summarize the
- * distribution. This is how Figure 5's free-register CDFs are collected:
- * the rename stage samples the free-list occupancy every cycle.
+ * Out-of-range observations are tracked in a separate overflow count
+ * rather than silently folded into the top bin (which would skew the
+ * distribution summaries); cdf(), percentile(), and mean() summarize
+ * the in-range distribution. This is how Figure 5's free-register
+ * CDFs are collected: the rename stage samples the free-list
+ * occupancy every cycle.
  */
 class Histogram
 {
@@ -84,18 +88,27 @@ class Histogram
     /** Construct with bins covering [0, max_value]. */
     explicit Histogram(std::size_t max_value) : bins(max_value + 1, 0) {}
 
-    /** Record one observation of @p v (clamped to the top bin). */
+    /**
+     * Record one observation of @p v. Values above maxValue() are
+     * counted as overflow, not folded into the top bin.
+     */
     void
     sample(std::size_t v)
     {
         PPA_ASSERT(!bins.empty(), "histogram not sized");
-        if (v >= bins.size())
-            v = bins.size() - 1;
+        if (v >= bins.size()) {
+            ++overflow;
+            return;
+        }
         ++bins[v];
         ++total;
     }
 
+    /** Number of in-range observations. */
     std::uint64_t count() const { return total; }
+
+    /** Number of observations above maxValue() (not in any bin). */
+    std::uint64_t overflowCount() const { return overflow; }
     std::size_t maxValue() const { return bins.empty() ? 0 : bins.size() - 1; }
 
     /** Fraction of samples <= @p v. */
@@ -118,8 +131,16 @@ class Histogram
     {
         if (total == 0)
             return 0;
-        std::uint64_t target =
-            static_cast<std::uint64_t>(frac * static_cast<double>(total));
+        // Rank of the requested order statistic, in samples. Rounding
+        // up (rather than truncating) keeps the result consistent
+        // with cdf(): truncation would let `acc >= target` accept a
+        // bin whose cumulative fraction is still below frac — most
+        // visibly at frac 0, where an empty bin 0 satisfied
+        // `0 >= 0`. The clamp to >= 1 makes percentile(0) the
+        // smallest observed value.
+        auto target = static_cast<std::uint64_t>(
+            std::ceil(frac * static_cast<double>(total)));
+        target = std::max<std::uint64_t>(target, 1);
         std::uint64_t acc = 0;
         for (std::size_t i = 0; i < bins.size(); ++i) {
             acc += bins[i];
@@ -162,13 +183,15 @@ class Histogram
 
     /** Rebuild a histogram from serialized bin counts. */
     static Histogram
-    fromBins(std::vector<std::uint64_t> counts)
+    fromBins(std::vector<std::uint64_t> counts,
+             std::uint64_t overflow_count = 0)
     {
         Histogram h;
         h.bins = std::move(counts);
         h.total = 0;
         for (std::uint64_t c : h.bins)
             h.total += c;
+        h.overflow = overflow_count;
         return h;
     }
 
@@ -180,11 +203,13 @@ class Histogram
         for (std::size_t i = 0; i < bins.size(); ++i)
             bins[i] += other.bins[i];
         total += other.total;
+        overflow += other.overflow;
     }
 
   private:
     std::vector<std::uint64_t> bins;
     std::uint64_t total = 0;
+    std::uint64_t overflow = 0;
 };
 
 /**

@@ -24,18 +24,42 @@ Core::Core(const CoreParams &params, unsigned core_id, MemHierarchy &mem)
     intFreeList.fill(0, cfg.intPrfEntries);
     fpFreeList.fill(0, cfg.fpPrfEntries);
 
-    regWaiters.assign(numRegClasses, {});
-    regWaiters[0].assign(cfg.intPrfEntries, {});
-    regWaiters[1].assign(cfg.fpPrfEntries, {});
+    // Queue capacities all come from Table 2; after these one-time
+    // reservations the tick() path never allocates.
+    fetchQueue.reset(cfg.fetchQueueEntries);
+    rob.reset(cfg.robEntries);
+    readyQueue.reset(cfg.iqEntries);
+    committedStoreFifo.reset(cfg.sqEntries);
 
-    fuIntAlu.count = cfg.numIntAlu;
-    fuIntMul.count = cfg.numIntMul;
-    fuIntDiv.count = cfg.numIntDiv;
-    fuFpAlu.count = cfg.numFpAlu;
-    fuFpMul.count = cfg.numFpMul;
-    fuFpDiv.count = cfg.numFpDiv;
-    fuLoad.count = cfg.numLoadPorts;
-    fuStore.count = cfg.numStorePorts;
+    iqFreeSlots.reserve(cfg.iqEntries);
+    for (unsigned i = cfg.iqEntries; i-- > 0;)
+        iqFreeSlots.push_back(static_cast<std::uint16_t>(i));
+    sqFreeSlots.reserve(cfg.sqEntries);
+    for (unsigned i = cfg.sqEntries; i-- > 0;)
+        sqFreeSlots.push_back(static_cast<std::uint16_t>(i));
+
+    waiterHead.assign(cfg.intPrfEntries + cfg.fpPrfEntries, -1);
+    waiterTail.assign(cfg.intPrfEntries + cfg.fpPrfEntries, -1);
+    // Each live IQ entry waits on at most its sources plus one
+    // store-data dependency registered at issue time.
+    waiterPool.reserve(cfg.iqEntries * (maxSrcRegs + 1));
+
+    eventWheel.assign(eventWheelBuckets, {});
+    eventDrain.reserve(cfg.issueWidth * 4);
+
+    fwdTable.assign(fwdTableSlots, FwdSlot{});
+
+    mergeInFlight.reserve(cfg.storeMergeOverlap + 1);
+    clwbAcks.reserve(64);
+
+    fus[0].count = cfg.numIntAlu;
+    fus[1].count = cfg.numIntMul;
+    fus[2].count = cfg.numIntDiv;
+    fus[3].count = cfg.numFpAlu;
+    fus[4].count = cfg.numFpMul;
+    fus[5].count = cfg.numFpDiv;
+    fus[6].count = cfg.numLoadPorts;
+    fus[7].count = cfg.numStorePorts;
 }
 
 Core::~Core() = default;
@@ -56,54 +80,25 @@ Core::bindCapriChannel(CapriChannel *channel)
 Core::FuState &
 Core::fuFor(FuType t)
 {
-    switch (t) {
-      case FuType::IntAlu:
-        return fuIntAlu;
-      case FuType::IntMul:
-        return fuIntMul;
-      case FuType::IntDiv:
-        return fuIntDiv;
-      case FuType::FpAlu:
-        return fuFpAlu;
-      case FuType::FpMul:
-        return fuFpMul;
-      case FuType::FpDiv:
-        return fuFpDiv;
-      case FuType::MemRead:
-        return fuLoad;
-      case FuType::MemWrite:
-        return fuStore;
-      case FuType::Branch:
-        return fuIntAlu; // branches share the integer ALUs
-      default:
-        return fuIntAlu;
-    }
+    // FuType order: None, IntAlu, IntMul, IntDiv, FpAlu, FpMul,
+    // FpDiv, MemRead, MemWrite, Branch. Branches share the integer
+    // ALUs; None never issues but maps safely.
+    static constexpr std::uint8_t map[] = {0, 0, 1, 2, 3,
+                                           4, 5, 6, 7, 0};
+    return fus[map[static_cast<std::size_t>(t)]];
 }
 
 void
 Core::resetFuCycle()
 {
-    for (FuState *fu : {&fuIntAlu, &fuIntMul, &fuIntDiv, &fuFpAlu,
-                        &fuFpMul, &fuFpDiv, &fuLoad, &fuStore}) {
-        fu->usedThisCycle = 0;
-    }
+    for (FuState &fu : fus)
+        fu.usedThisCycle = 0;
 }
 
 unsigned
 Core::flattenReg(RegClass cls, PhysReg r) const
 {
     return regIndexer.flatten(cls, r);
-}
-
-Core::RobEntry *
-Core::robFind(std::uint64_t rob_seq)
-{
-    if (rob_seq < robSeqBase)
-        return nullptr;
-    std::uint64_t off = rob_seq - robSeqBase;
-    if (off >= rob.size())
-        return nullptr;
-    return &rob[off];
 }
 
 Word
@@ -114,14 +109,46 @@ Core::readSrc(const RobEntry &e, int i) const
     return prf(e.inst.srcs[i].cls).value(e.srcPhys[i]);
 }
 
+// --------------------------------------------------------------------
+// Wakeup lists
+// --------------------------------------------------------------------
+
+void
+Core::pushWaiter(RegClass cls, PhysReg r, std::uint64_t seq)
+{
+    unsigned g = flattenReg(cls, r);
+    std::int32_t n = waiterFreeHead;
+    if (n >= 0) {
+        waiterFreeHead = waiterPool[static_cast<std::size_t>(n)].next;
+    } else {
+        n = static_cast<std::int32_t>(waiterPool.size());
+        waiterPool.emplace_back();
+    }
+    waiterPool[static_cast<std::size_t>(n)] = {seq, -1};
+    if (waiterTail[g] >= 0)
+        waiterPool[static_cast<std::size_t>(waiterTail[g])].next = n;
+    else
+        waiterHead[g] = n;
+    waiterTail[g] = n;
+}
+
 void
 Core::wakeDependents(RegClass cls, PhysReg r)
 {
     if (r == invalidPhysReg)
         return;
-    auto &waiters =
-        regWaiters[static_cast<int>(cls)][static_cast<std::size_t>(r)];
-    for (std::uint64_t seq : waiters) {
+    unsigned g = flattenReg(cls, r);
+    std::int32_t n = waiterHead[g];
+    waiterHead[g] = -1;
+    waiterTail[g] = -1;
+    while (n >= 0) {
+        WaiterNode &node = waiterPool[static_cast<std::size_t>(n)];
+        std::uint64_t seq = node.seq;
+        std::int32_t next = node.next;
+        node.next = waiterFreeHead;
+        waiterFreeHead = n;
+        n = next;
+
         RobEntry *e = robFind(seq);
         if (!e || e->iqIndex < 0)
             continue;
@@ -133,7 +160,18 @@ Core::wakeDependents(RegClass cls, PhysReg r)
         if (slot.remainingSrcs == 0)
             readyQueue.push_back(seq);
     }
-    waiters.clear();
+}
+
+void
+Core::resetWaiters()
+{
+    std::fill(waiterHead.begin(), waiterHead.end(), -1);
+    std::fill(waiterTail.begin(), waiterTail.end(), -1);
+    waiterFreeHead = -1;
+    for (std::size_t i = waiterPool.size(); i-- > 0;) {
+        waiterPool[i].next = waiterFreeHead;
+        waiterFreeHead = static_cast<std::int32_t>(i);
+    }
 }
 
 void
@@ -152,6 +190,58 @@ Core::attachAuditObserver(check::PipelineObserver *obs)
     auditObs = obs;
     csq.setObserver(obs);
     maskReg.setObserver(obs);
+}
+
+// --------------------------------------------------------------------
+// Store-forwarding filter
+// --------------------------------------------------------------------
+
+void
+Core::fwdInsert(Addr word, int sq_idx, SeqNum seq)
+{
+    FwdSlot &fs = fwdTable[fwdHash(word)];
+    SqEntry &s = sq[static_cast<std::size_t>(sq_idx)];
+    s.prevWordIdx = -1;
+    s.prevWordSeq = 0;
+    if (fs.live == 0) {
+        fs.word = word;
+        fs.collided = false;
+        fs.headIdx = sq_idx;
+        fs.headSeq = seq;
+    } else if (!fs.collided && fs.word == word) {
+        const SqEntry &head =
+            sq[static_cast<std::size_t>(fs.headIdx)];
+        if (head.valid && head.seq == fs.headSeq) {
+            s.prevWordIdx = fs.headIdx;
+            s.prevWordSeq = fs.headSeq;
+        }
+        fs.headIdx = sq_idx;
+        fs.headSeq = seq;
+    } else {
+        fs.collided = true;
+    }
+    ++fs.live;
+}
+
+void
+Core::fwdRemove(Addr word)
+{
+    FwdSlot &fs = fwdTable[fwdHash(word)];
+    PPA_ASSERT(fs.live > 0, "store filter underflow");
+    --fs.live;
+}
+
+void
+Core::releaseSqSlot(int idx)
+{
+    SqEntry &s = sq[static_cast<std::size_t>(idx)];
+    PPA_ASSERT(s.valid, "releasing a free SQ slot");
+    if (!s.isClwb)
+        fwdRemove(MemImage::wordAlign(s.addr));
+    s.valid = false;
+    PPA_ASSERT(sqUsed > 0, "sq underflow");
+    --sqUsed;
+    sqFreeSlots.push_back(static_cast<std::uint16_t>(idx));
 }
 
 // --------------------------------------------------------------------
@@ -242,13 +332,8 @@ Core::renameStage()
                 statSqFullStall.inc();
                 return;
             }
-            for (unsigned i = 0; i < cfg.sqEntries; ++i) {
-                if (!sq[i].valid) {
-                    sq_slot = static_cast<int>(i);
-                    break;
-                }
-            }
-            PPA_ASSERT(sq_slot >= 0, "sqUsed inconsistent");
+            PPA_ASSERT(!sqFreeSlots.empty(), "sqUsed inconsistent");
+            sq_slot = static_cast<int>(sqFreeSlots.back());
         }
         if (info.isLoad && !info.isStore && lqUsed >= cfg.lqEntries)
             return;
@@ -258,13 +343,8 @@ Core::renameStage()
         if (needs_iq) {
             if (iqUsed >= cfg.iqEntries)
                 return;
-            for (unsigned i = 0; i < cfg.iqEntries; ++i) {
-                if (!iq[i].valid) {
-                    iq_slot = static_cast<int>(i);
-                    break;
-                }
-            }
-            PPA_ASSERT(iq_slot >= 0, "iqUsed inconsistent");
+            PPA_ASSERT(!iqFreeSlots.empty(), "iqUsed inconsistent");
+            iq_slot = static_cast<int>(iqFreeSlots.back());
         }
 
         // Check free-register availability first: the PPA region
@@ -277,17 +357,18 @@ Core::renameStage()
             if (cfg.mode == PersistMode::Ppa && !barrierPending) {
                 // Inject a persist barrier right before this
                 // instruction.
-                RobEntry barrier;
+                RobEntry &barrier = rob.emplace_back();
                 barrier.isBarrier = true;
                 barrier.inst.op = Opcode::Fence;
-                rob.push_back(barrier);
                 ++nextRobSeq;
                 barrierPending = true;
             }
             return;
         }
 
-        RobEntry e;
+        // Build the entry in place; every resource check that could
+        // stall this instruction has already passed.
+        RobEntry &e = rob.emplace_back();
         e.inst = inst;
         e.sqIndex = sq_slot;
         e.iqIndex = iq_slot;
@@ -305,8 +386,7 @@ Core::renameStage()
             e.srcPhys[i] = p;
             if (p != invalidPhysReg && !prf(cls).isReady(p)) {
                 ++waiting;
-                regWaiters[static_cast<int>(cls)]
-                          [static_cast<std::size_t>(p)].push_back(seq);
+                pushWaiter(cls, p, seq);
             }
         }
 
@@ -319,6 +399,7 @@ Core::renameStage()
         }
 
         if (is_store_slot) {
+            sqFreeSlots.pop_back();
             SqEntry &s = sq[static_cast<std::size_t>(sq_slot)];
             s = SqEntry{};
             s.valid = true;
@@ -329,6 +410,7 @@ Core::renameStage()
             if (!s.isClwb) {
                 s.dataReg = e.srcPhys[0];
                 s.dataCls = inst.srcs[0].cls;
+                fwdInsert(MemImage::wordAlign(s.addr), sq_slot, seq);
             }
             ++sqUsed;
         }
@@ -351,6 +433,7 @@ Core::renameStage()
                 e.done = true;
             }
         } else {
+            iqFreeSlots.pop_back();
             IqEntry &slot = iq[static_cast<std::size_t>(iq_slot)];
             slot.valid = true;
             slot.robSeq = seq;
@@ -360,7 +443,6 @@ Core::renameStage()
                 readyQueue.push_back(seq);
         }
 
-        rob.push_back(e);
         ++nextRobSeq;
         fetchQueue.pop_front();
     }
@@ -369,6 +451,59 @@ Core::renameStage()
 // --------------------------------------------------------------------
 // Issue / execute
 // --------------------------------------------------------------------
+
+const Core::SqEntry *
+Core::findForwardingStore(Addr want, std::uint64_t my_seq)
+{
+    const FwdSlot &fs = fwdTable[fwdHash(want)];
+    if (fs.live == 0)
+        return nullptr; // no live store hashes here: exact miss
+
+    if (!fs.collided) {
+        if (fs.word != want) {
+            // Slot is owned by a single different word: every live
+            // store hashing here targets that word, not this one.
+            return nullptr;
+        }
+        const SqEntry *node =
+            &sq[static_cast<std::size_t>(fs.headIdx)];
+        if (!node->valid || node->seq != fs.headSeq) {
+            // The newest store to this word has merged; stores to one
+            // word leave the SQ in program order, so every older one
+            // is gone too.
+            return nullptr;
+        }
+        // Walk the seq-descending same-word chain past stores younger
+        // than the load; the first older node is the forwarding match.
+        while (node->seq >= my_seq) {
+            std::int32_t pidx = node->prevWordIdx;
+            if (pidx < 0)
+                return nullptr;
+            const SqEntry &prev =
+                sq[static_cast<std::size_t>(pidx)];
+            if (!prev.valid || prev.seq != node->prevWordSeq) {
+                // The link's target merged, so every older same-word
+                // store is gone as well.
+                return nullptr;
+            }
+            node = &prev;
+        }
+        return node;
+    }
+
+    // Exact fallback: two words share this hash slot.
+    const SqEntry *match = nullptr;
+    for (unsigned i = 0; i < cfg.sqEntries; ++i) {
+        const SqEntry &s = sq[i];
+        if (!s.valid || s.isClwb || s.seq >= my_seq)
+            continue;
+        if (MemImage::wordAlign(s.addr) != want)
+            continue;
+        if (!match || s.seq > match->seq)
+            match = &s;
+    }
+    return match;
+}
 
 bool
 Core::tryIssueMem(RobEntry &e, std::uint64_t my_seq)
@@ -385,19 +520,9 @@ Core::tryIssueMem(RobEntry &e, std::uint64_t my_seq)
         }
     }
 
-    // Search the store queue for the youngest older store to the same
-    // word; forward if its data is ready, otherwise wait on the
-    // store's data register.
-    const SqEntry *match = nullptr;
-    for (unsigned i = 0; i < cfg.sqEntries; ++i) {
-        const SqEntry &s = sq[i];
-        if (!s.valid || s.isClwb || s.seq >= my_seq)
-            continue;
-        if (MemImage::wordAlign(s.addr) != want)
-            continue;
-        if (!match || s.seq > match->seq)
-            match = &s;
-    }
+    // The youngest older store to the same word; forward if its data
+    // is ready, otherwise wait on the store's data register.
+    const SqEntry *match = findForwardingStore(want, my_seq);
 
     if (match) {
         if (!match->dataReady) {
@@ -414,9 +539,7 @@ Core::tryIssueMem(RobEntry &e, std::uint64_t my_seq)
             PPA_ASSERT(e.iqIndex >= 0, "load without IQ slot");
             IqEntry &slot = iq[static_cast<std::size_t>(e.iqIndex)];
             slot.remainingSrcs = 1;
-            regWaiters[static_cast<int>(match->dataCls)]
-                      [static_cast<std::size_t>(match->dataReg)]
-                          .push_back(slot.robSeq);
+            pushWaiter(match->dataCls, match->dataReg, slot.robSeq);
             return false;
         }
         e.execResult = match->dataValue;
@@ -434,11 +557,27 @@ Core::tryIssueMem(RobEntry &e, std::uint64_t my_seq)
 }
 
 void
+Core::pushExecEvent(Cycle complete, std::uint64_t seq)
+{
+    // Bucket by the cycle the event will be *observed*: writeback
+    // drains bucket [c & mask] at cycle c, so an already-due event
+    // (possible only for zero-latency completions scheduled after
+    // this cycle's writeback ran) lands in next cycle's bucket. The
+    // stored completion cycle is untouched — drain order remains
+    // (complete, robSeq), exactly the reference priority queue's.
+    Cycle slot = complete > curCycle ? complete : curCycle + 1;
+    eventWheel[slot & (eventWheelBuckets - 1)].push_back(
+        {complete, seq});
+    ++eventCount;
+}
+
+void
 Core::scheduleExec(RobEntry &e, std::uint64_t seq, Cycle complete)
 {
-    execEvents.push({complete, seq});
+    pushExecEvent(complete, seq);
     if (e.iqIndex >= 0) {
         iq[static_cast<std::size_t>(e.iqIndex)].valid = false;
+        iqFreeSlots.push_back(static_cast<std::uint16_t>(e.iqIndex));
         e.iqIndex = -1;
         PPA_ASSERT(iqUsed > 0, "iq underflow");
         --iqUsed;
@@ -536,9 +675,30 @@ Core::issueStage()
 void
 Core::writebackStage()
 {
-    while (!execEvents.empty() && execEvents.top().complete <= curCycle) {
-        ExecEvent ev = execEvents.top();
-        execEvents.pop();
+    if (eventCount == 0)
+        return;
+    std::vector<ExecEvent> &bucket =
+        eventWheel[curCycle & (eventWheelBuckets - 1)];
+    if (bucket.empty())
+        return;
+
+    // Extract this cycle's completions; events a full wheel lap (or
+    // more) out stay behind for a later visit.
+    eventDrain.clear();
+    std::size_t keep = 0;
+    for (const ExecEvent &ev : bucket) {
+        if (ev.complete <= curCycle)
+            eventDrain.push_back(ev);
+        else
+            bucket[keep++] = ev;
+    }
+    bucket.resize(keep);
+    if (eventDrain.empty())
+        return;
+    eventCount -= eventDrain.size();
+    std::sort(eventDrain.begin(), eventDrain.end());
+
+    for (const ExecEvent &ev : eventDrain) {
         RobEntry *e = robFind(ev.robSeq);
         if (!e || e->done)
             continue;
@@ -580,8 +740,18 @@ void
 Core::mergeCommittedStores()
 {
     // Retire completed merges and clwb acks.
-    while (!mergeInFlight.empty() && mergeInFlight.front() <= curCycle)
-        mergeInFlight.pop_front();
+    if (!mergeInFlight.empty()) {
+        std::size_t done = 0;
+        while (done < mergeInFlight.size() &&
+               mergeInFlight[done] <= curCycle) {
+            ++done;
+        }
+        if (done > 0) {
+            mergeInFlight.erase(mergeInFlight.begin(),
+                                mergeInFlight.begin() +
+                                    static_cast<std::ptrdiff_t>(done));
+        }
+    }
     std::erase_if(clwbAcks, [&](Cycle c) {
         if (c <= curCycle) {
             PPA_ASSERT(outstandingClwbs > 0, "clwb underflow");
@@ -610,13 +780,13 @@ Core::mergeCommittedStores()
                                      curCycle, persist);
         if (!res.accepted)
             return; // persist path full; retry next cycle
-        mergeInFlight.push_back(res.completeCycle);
-        std::sort(mergeInFlight.begin(), mergeInFlight.end());
+        mergeInFlight.insert(
+            std::upper_bound(mergeInFlight.begin(),
+                             mergeInFlight.end(), res.completeCycle),
+            res.completeCycle);
     }
 
-    s.valid = false;
-    PPA_ASSERT(sqUsed > 0, "sq underflow");
-    --sqUsed;
+    releaseSqSlot(idx);
     committedStoreFifo.pop_front();
 }
 
@@ -676,9 +846,7 @@ Core::retireStoreBookkeeping(RobEntry &e)
                                     csqZeroRegIndex, false, true);
         }
         memory.ioBuffer().write(s.addr, s.dataValue);
-        s.valid = false;
-        PPA_ASSERT(sqUsed > 0, "sq underflow");
-        --sqUsed;
+        releaseSqSlot(e.sqIndex);
         return;
     }
 
@@ -978,22 +1146,27 @@ Core::powerFail()
     for (auto &slot : iq)
         slot.valid = false;
     iqUsed = 0;
+    iqFreeSlots.clear();
+    for (unsigned i = cfg.iqEntries; i-- > 0;)
+        iqFreeSlots.push_back(static_cast<std::uint16_t>(i));
     for (auto &s : sq)
         s.valid = false;
     sqUsed = 0;
-    lqUsed = 0;
+    sqFreeSlots.clear();
+    for (unsigned i = cfg.sqEntries; i-- > 0;)
+        sqFreeSlots.push_back(static_cast<std::uint16_t>(i));
     committedStoreFifo.clear();
     mergeInFlight.clear();
     clwbAcks.clear();
     outstandingClwbs = 0;
     pendingAtomics.clear();
     readyQueue.clear();
-    while (!execEvents.empty())
-        execEvents.pop();
-    for (auto &cls_waiters : regWaiters) {
-        for (auto &w : cls_waiters)
-            w.clear();
-    }
+    for (auto &bucket : eventWheel)
+        bucket.clear();
+    eventCount = 0;
+    resetWaiters();
+    for (auto &fs : fwdTable)
+        fs = FwdSlot{};
     deferredFrees.clear();
     barrierPending = false;
     capriInstsInRegion = 0;

@@ -22,18 +22,26 @@
  *    (CSQ, LCPC, CRT, MaskReg, marked PRF registers) are saved, and
  *    recovery replays the CSQ then resumes after LCPC (Sections 4.5,
  *    4.6).
+ *
+ * Host-throughput engineering (see docs/PERF.md): all pipeline queues
+ * are fixed-capacity rings sized by Table 2, wakeup uses flat
+ * per-physical-register intrusive waiter lists, completion events live
+ * in a calendar wheel indexed by cycle, and store-to-load forwarding
+ * is resolved through a word-address filter instead of a full SQ scan.
+ * The steady-state tick() path performs no heap allocation. None of
+ * this changes simulated behaviour: the scheduler-equivalence oracle
+ * (tests/core/sched_equiv_golden.txt) pins RunStats bitwise.
  */
 
 #ifndef PPA_CORE_CORE_HH
 #define PPA_CORE_CORE_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "check/observer.hh"
+#include "common/ring_buffer.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "core/branch_predictor.hh"
@@ -189,6 +197,12 @@ class Core
         bool isClwb = false;
         bool isFpStore = false;
         SeqNum seq = 0;
+        /** Next-older live store to the same word (forwarding chain);
+         *  -1 when this store is the oldest. The link is validated by
+         *  @ref prevWordSeq on traversal, so releasing the tail never
+         *  needs a fix-up pass. */
+        std::int32_t prevWordIdx = -1;
+        SeqNum prevWordSeq = 0;
     };
 
     struct IqEntry
@@ -198,14 +212,53 @@ class Core
         int remainingSrcs = 0;
     };
 
+    /**
+     * A completion event. Events retire in ascending (complete,
+     * robSeq) order — the pinned canonical semantic the calendar
+     * wheel and the reference priority queue both implement.
+     */
     struct ExecEvent
     {
         Cycle complete;
         std::uint64_t robSeq;
-        bool operator>(const ExecEvent &other) const
+        bool operator<(const ExecEvent &other) const
         {
-            return complete > other.complete;
+            if (complete != other.complete)
+                return complete < other.complete;
+            return robSeq < other.robSeq;
         }
+    };
+
+    /** Intrusive node of a per-physical-register wakeup list. */
+    struct WaiterNode
+    {
+        std::uint64_t seq = 0;
+        std::int32_t next = -1;
+    };
+
+    /**
+     * Word-address store-set filter for store-to-load forwarding.
+     * Each hash slot counts live (valid, non-clwb) SQ entries hashing
+     * to it and, while the slot is owned by a single word, heads a
+     * seq-descending chain of that word's live stores threaded through
+     * SqEntry::prevWordIdx. A zero count proves no forwarding
+     * candidate exists; a single-owner slot answers every lookup by
+     * walking the chain past the younger-than-the-load prefix (stale
+     * links prove all older stores merged, because stores to one word
+     * leave the SQ in program order). Only a slot that ever held two
+     * distinct words simultaneously (collided) falls back to the
+     * exact SQ scan — the *result* is always identical to the full
+     * scan.
+     */
+    struct FwdSlot
+    {
+        Addr word = 0;
+        std::uint32_t live = 0;
+        std::int32_t headIdx = -1;
+        SeqNum headSeq = 0;
+        /** Two distinct words currently hash here; exact scans only
+         *  until the slot drains. */
+        bool collided = false;
     };
 
     // ---- pipeline stages (called in reverse order each tick) --------
@@ -217,17 +270,42 @@ class Core
     void fetchStage();
 
     // ---- helpers -----------------------------------------------------
-    RobEntry *robFind(std::uint64_t rob_seq);
+    RobEntry *
+    robFind(std::uint64_t rob_seq)
+    {
+        if (rob_seq < robSeqBase)
+            return nullptr;
+        std::uint64_t off = rob_seq - robSeqBase;
+        if (off >= rob.size())
+            return nullptr;
+        return &rob[off];
+    }
     void wakeDependents(RegClass cls, PhysReg r);
+    void pushWaiter(RegClass cls, PhysReg r, std::uint64_t seq);
+    void resetWaiters();
+    void pushExecEvent(Cycle complete, std::uint64_t seq);
     void scheduleExec(RobEntry &e, std::uint64_t seq, Cycle complete);
     Word readSrc(const RobEntry &e, int i) const;
     bool tryIssueMem(RobEntry &e, std::uint64_t seq);
+    const SqEntry *findForwardingStore(Addr want, std::uint64_t my_seq);
     void freePhysReg(RegClass cls, PhysReg r);
     bool regionBoundaryConditionsMet();
     void completeRegionBoundary(RegionEndCause cause);
     unsigned flattenReg(RegClass cls, PhysReg r) const;
     bool commitOne(RobEntry &e);
     void retireStoreBookkeeping(RobEntry &e);
+    void releaseSqSlot(int idx);
+
+    static std::size_t
+    fwdHash(Addr word)
+    {
+        // Fibonacci hash of the word number into the table's index
+        // bits; the word is already 8-byte aligned.
+        return static_cast<std::size_t>(
+            ((word >> 3) * 0x9E3779B97F4A7C15ull) >> 55);
+    }
+    void fwdInsert(Addr word, int sq_idx, SeqNum seq);
+    void fwdRemove(Addr word);
 
     PhysRegFile &prf(RegClass cls)
     {
@@ -265,7 +343,7 @@ class Core
     Cycle curCycle = 0;
 
     // ---- front end ----------------------------------------------------
-    std::deque<DynInst> fetchQueue;
+    RingBuffer<DynInst> fetchQueue;
     Cycle fetchResumeCycle = 0;
     bool sourceExhausted = false;
     BranchPredictor bpred;
@@ -292,18 +370,36 @@ class Core
     RenameTable fpCrt;
 
     // ---- window -------------------------------------------------------
-    std::deque<RobEntry> rob;
+    RingBuffer<RobEntry> rob;
     std::uint64_t nextRobSeq = 0;
     std::uint64_t robSeqBase = 0; // seq of rob.front()
     std::vector<IqEntry> iq;
     unsigned iqUsed = 0;
+    std::vector<std::uint16_t> iqFreeSlots; // LIFO stack of free slots
     std::vector<SqEntry> sq;
     unsigned sqUsed = 0;
+    std::vector<std::uint16_t> sqFreeSlots; // LIFO stack of free slots
     unsigned lqUsed = 0;
-    std::vector<std::vector<std::vector<std::uint64_t>>> regWaiters;
-    std::priority_queue<ExecEvent, std::vector<ExecEvent>,
-                        std::greater<ExecEvent>> execEvents;
-    std::deque<std::uint64_t> readyQueue;
+
+    /** Per-flattened-physical-register wakeup lists (FIFO order),
+     *  threaded through a pooled node array. */
+    std::vector<std::int32_t> waiterHead;
+    std::vector<std::int32_t> waiterTail;
+    std::vector<WaiterNode> waiterPool;
+    std::int32_t waiterFreeHead = -1;
+
+    /** Calendar wheel of completion events, indexed by cycle mod
+     *  bucket count; laps are disambiguated by the stored cycle. */
+    static constexpr std::size_t eventWheelBuckets = 1024;
+    std::vector<std::vector<ExecEvent>> eventWheel;
+    std::vector<ExecEvent> eventDrain; // per-cycle scratch
+    std::size_t eventCount = 0;
+
+    RingBuffer<std::uint64_t> readyQueue;
+
+    // ---- store-to-load forwarding filter -------------------------------
+    static constexpr std::size_t fwdTableSlots = 512;
+    std::vector<FwdSlot> fwdTable;
 
     // ---- functional units ----------------------------------------------
     struct FuState
@@ -312,19 +408,19 @@ class Core
         unsigned usedThisCycle = 0;
         Cycle busyUntil = 0; // for unpipelined units
     };
-    FuState fuIntAlu, fuIntMul, fuIntDiv, fuFpAlu, fuFpMul, fuFpDiv,
-        fuLoad, fuStore;
+    static constexpr unsigned numFus = 8;
+    FuState fus[numFus];
     FuState &fuFor(FuType t);
     void resetFuCycle();
 
     // ---- post-commit store merging --------------------------------------
-    std::deque<int> committedStoreFifo; // SQ indices awaiting merge
-    std::deque<Cycle> mergeInFlight;    // completion cycles (MLP cap)
+    RingBuffer<int> committedStoreFifo; // SQ indices awaiting merge
+    std::vector<Cycle> mergeInFlight;   // sorted completions (MLP cap)
     /** Uncommitted atomic RMWs: (word address, rob seq); younger
      *  loads to the same word must not issue past them. */
     std::vector<std::pair<Addr, std::uint64_t>> pendingAtomics;
     std::uint64_t outstandingClwbs = 0;
-    std::deque<Cycle> clwbAcks;
+    std::vector<Cycle> clwbAcks;
 
     // ---- audit -----------------------------------------------------------
     check::PipelineObserver *auditObs = nullptr;

@@ -15,10 +15,10 @@
 #ifndef PPA_CORE_RENAME_HH
 #define PPA_CORE_RENAME_HH
 
-#include <deque>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/ring_buffer.hh"
 #include "common/types.hh"
 #include "isa/arch.hh"
 
@@ -89,17 +89,21 @@ class PhysRegFile
 
 /**
  * Free list of physical registers for one bank.
+ *
+ * FIFO over a fixed ring sized at fill() time: allocation order (and
+ * therefore the whole rename fabric's behaviour) is identical to the
+ * previous std::deque, without the per-allocation pointer chasing.
  */
 class FreeList
 {
   public:
     FreeList() = default;
 
-    /** Populate with registers [first, count). */
+    /** Populate with registers [first, count); sizes the ring. */
     void
     fill(PhysReg first, unsigned count)
     {
-        regs.clear();
+        regs.reset(count);
         for (unsigned i = 0; i < count; ++i)
             regs.push_back(first + static_cast<PhysReg>(i));
     }
@@ -121,7 +125,7 @@ class FreeList
     void clear() { regs.clear(); }
 
   private:
-    std::deque<PhysReg> regs;
+    RingBuffer<PhysReg> regs;
 };
 
 /**

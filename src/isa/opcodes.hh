@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace ppa
@@ -83,8 +84,59 @@ struct OpInfo
     bool writesFpReg;
 };
 
-/** Look up the static properties of @p op. */
-const OpInfo &opInfo(Opcode op);
+namespace detail
+{
+
+// Latencies loosely follow a Skylake-class core: 1-cycle simple ALU,
+// 3-cycle multiply, ~20-cycle divide, 4-cycle FP add/mul, ~14-cycle FP
+// divide. Loads/stores add memory-system latency on top of the base.
+inline constexpr OpInfo opTable[] = {
+    //                 mnemonic     fu              lat  ld     st     br     sync   wInt   wFp
+    /* Nop       */ {"nop",       FuType::None,     1, false, false, false, false, false, false},
+    /* IntAdd    */ {"add",       FuType::IntAlu,   1, false, false, false, false, true,  false},
+    /* IntSub    */ {"sub",       FuType::IntAlu,   1, false, false, false, false, true,  false},
+    /* IntMul    */ {"mul",       FuType::IntMul,   3, false, false, false, false, true,  false},
+    /* IntDiv    */ {"div",       FuType::IntDiv,  20, false, false, false, false, true,  false},
+    /* IntAnd    */ {"and",       FuType::IntAlu,   1, false, false, false, false, true,  false},
+    /* IntOr     */ {"or",        FuType::IntAlu,   1, false, false, false, false, true,  false},
+    /* IntXor    */ {"xor",       FuType::IntAlu,   1, false, false, false, false, true,  false},
+    /* IntShl    */ {"shl",       FuType::IntAlu,   1, false, false, false, false, true,  false},
+    /* IntShr    */ {"shr",       FuType::IntAlu,   1, false, false, false, false, true,  false},
+    /* IntMov    */ {"mov",       FuType::IntAlu,   1, false, false, false, false, true,  false},
+    /* IntCmpLt  */ {"cmplt",     FuType::IntAlu,   1, false, false, false, false, true,  false},
+    /* FpAdd     */ {"fadd",      FuType::FpAlu,    4, false, false, false, false, false, true},
+    /* FpMul     */ {"fmul",      FuType::FpMul,    4, false, false, false, false, false, true},
+    /* FpDiv     */ {"fdiv",      FuType::FpDiv,   14, false, false, false, false, false, true},
+    /* FpMov     */ {"fmov",      FuType::FpAlu,    1, false, false, false, false, false, true},
+    /* FpCvt     */ {"fcvt",      FuType::FpAlu,    4, false, false, false, false, false, true},
+    /* Load      */ {"ld",        FuType::MemRead,  0, true,  false, false, false, true,  false},
+    /* FpLoad    */ {"fld",       FuType::MemRead,  0, true,  false, false, false, false, true},
+    /* Store     */ {"st",        FuType::MemWrite, 0, false, true,  false, false, false, false},
+    /* FpStore   */ {"fst",       FuType::MemWrite, 0, false, true,  false, false, false, false},
+    /* Branch    */ {"br",        FuType::Branch,   1, false, false, true,  false, false, false},
+    /* Jump      */ {"jmp",       FuType::Branch,   1, false, false, true,  false, false, false},
+    /* AtomicRmw */ {"amoadd",    FuType::MemWrite, 0, true,  true,  false, true,  true,  false},
+    /* Fence     */ {"fence",     FuType::None,     1, false, false, false, true,  false, false},
+    /* Clwb      */ {"clwb",      FuType::MemWrite, 0, false, false, false, false, false, false},
+    /* Halt      */ {"halt",      FuType::None,     1, false, false, false, false, false, false},
+};
+
+} // namespace detail
+
+/**
+ * Look up the static properties of @p op.
+ *
+ * Inline: this sits on the simulator's per-instruction hot path
+ * (several calls per dynamic instruction across rename/issue/commit).
+ */
+inline const OpInfo &
+opInfo(Opcode op)
+{
+    auto idx = static_cast<std::size_t>(op);
+    PPA_ASSERT(idx < sizeof(detail::opTable) / sizeof(detail::opTable[0]),
+               "bad opcode ", idx);
+    return detail::opTable[idx];
+}
 
 /** Mnemonic for diagnostics. */
 inline std::string_view

@@ -17,28 +17,46 @@ Cache::Cache(const CacheParams &p, const char *name)
     PPA_ASSERT(numSets > 0, cacheName, ": size too small");
     PPA_ASSERT(std::has_single_bit(std::uint64_t{numSets}),
                cacheName, ": set count must be a power of two");
-    sets.assign(numSets, std::vector<Line>(params.assoc));
+    lineShift = static_cast<unsigned>(
+        std::countr_zero(std::uint64_t{params.lineBytes}));
+    setShift = static_cast<unsigned>(
+        std::countr_zero(std::uint64_t{numSets}));
+    lines.assign(numSets * params.assoc, Line{});
 }
 
 std::size_t
 Cache::setIndex(Addr addr) const
 {
-    return (addr / params.lineBytes) & (numSets - 1);
+    return (addr >> lineShift) & (numSets - 1);
 }
 
 Addr
 Cache::tagOf(Addr addr) const
 {
-    return (addr / params.lineBytes) / numSets;
+    return (addr >> lineShift) >> setShift;
+}
+
+Cache::Line *
+Cache::setBase(std::size_t set_index)
+{
+    return &lines[set_index * params.assoc];
+}
+
+const Cache::Line *
+Cache::setBase(std::size_t set_index) const
+{
+    return &lines[set_index * params.assoc];
 }
 
 CacheAccessResult
 Cache::access(Addr addr, bool is_write)
 {
-    auto &set = sets[setIndex(addr)];
+    std::size_t si = setIndex(addr);
+    Line *set = setBase(si);
     Addr tag = tagOf(addr);
 
-    for (auto &line : set) {
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        Line &line = set[w];
         if (line.valid && line.tag == tag) {
             line.lruStamp = ++stampCounter;
             if (is_write)
@@ -52,7 +70,8 @@ Cache::access(Addr addr, bool is_write)
 
     // Fill: choose the LRU way (preferring invalid ways).
     Line *victim = &set[0];
-    for (auto &line : set) {
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        Line &line = set[w];
         if (!line.valid) {
             victim = &line;
             break;
@@ -62,10 +81,8 @@ Cache::access(Addr addr, bool is_write)
     }
 
     std::optional<Addr> dirty_victim;
-    if (victim->valid && victim->dirty) {
-        dirty_victim = (victim->tag * numSets +
-                        setIndex(addr)) * params.lineBytes;
-    }
+    if (victim->valid && victim->dirty)
+        dirty_victim = ((victim->tag << setShift) | si) << lineShift;
 
     victim->tag = tag;
     victim->valid = true;
@@ -77,10 +94,10 @@ Cache::access(Addr addr, bool is_write)
 bool
 Cache::contains(Addr addr) const
 {
-    const auto &set = sets[setIndex(addr)];
+    const Line *set = setBase(setIndex(addr));
     Addr tag = tagOf(addr);
-    for (const auto &line : set) {
-        if (line.valid && line.tag == tag)
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag)
             return true;
     }
     return false;
@@ -89,10 +106,12 @@ Cache::contains(Addr addr) const
 std::optional<Addr>
 Cache::insertWriteback(Addr line_addr, bool dirty)
 {
-    auto &set = sets[setIndex(line_addr)];
+    std::size_t si = setIndex(line_addr);
+    Line *set = setBase(si);
     Addr tag = tagOf(line_addr);
 
-    for (auto &line : set) {
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        Line &line = set[w];
         if (line.valid && line.tag == tag) {
             line.dirty = line.dirty || dirty;
             line.lruStamp = ++stampCounter;
@@ -101,7 +120,8 @@ Cache::insertWriteback(Addr line_addr, bool dirty)
     }
 
     Line *victim = &set[0];
-    for (auto &line : set) {
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        Line &line = set[w];
         if (!line.valid) {
             victim = &line;
             break;
@@ -111,10 +131,8 @@ Cache::insertWriteback(Addr line_addr, bool dirty)
     }
 
     std::optional<Addr> dirty_victim;
-    if (victim->valid && victim->dirty) {
-        dirty_victim = (victim->tag * numSets +
-                        setIndex(line_addr)) * params.lineBytes;
-    }
+    if (victim->valid && victim->dirty)
+        dirty_victim = ((victim->tag << setShift) | si) << lineShift;
 
     victim->tag = tag;
     victim->valid = true;
@@ -126,11 +144,11 @@ Cache::insertWriteback(Addr line_addr, bool dirty)
 void
 Cache::cleanLine(Addr addr)
 {
-    auto &set = sets[setIndex(addr)];
+    Line *set = setBase(setIndex(addr));
     Addr tag = tagOf(addr);
-    for (auto &line : set) {
-        if (line.valid && line.tag == tag) {
-            line.dirty = false;
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].dirty = false;
             return;
         }
     }
@@ -141,10 +159,12 @@ Cache::invalidateAll()
 {
     std::vector<Addr> dirty;
     for (std::size_t si = 0; si < numSets; ++si) {
-        for (auto &line : sets[si]) {
+        Line *set = setBase(si);
+        for (unsigned w = 0; w < params.assoc; ++w) {
+            Line &line = set[w];
             if (line.valid && line.dirty) {
-                dirty.push_back((line.tag * numSets + si) *
-                                params.lineBytes);
+                dirty.push_back(((line.tag << setShift) | si)
+                                << lineShift);
             }
             line.valid = false;
             line.dirty = false;
@@ -158,10 +178,12 @@ Cache::dirtyLines() const
 {
     std::vector<Addr> dirty;
     for (std::size_t si = 0; si < numSets; ++si) {
-        for (const auto &line : sets[si]) {
+        const Line *set = setBase(si);
+        for (unsigned w = 0; w < params.assoc; ++w) {
+            const Line &line = set[w];
             if (line.valid && line.dirty) {
-                dirty.push_back((line.tag * numSets + si) *
-                                params.lineBytes);
+                dirty.push_back(((line.tag << setShift) | si)
+                                << lineShift);
             }
         }
     }

@@ -99,11 +99,16 @@ class Cache
 
     std::size_t setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
+    Line *setBase(std::size_t set_index);
+    const Line *setBase(std::size_t set_index) const;
 
     CacheParams params;
     const char *cacheName;
     std::size_t numSets;
-    std::vector<std::vector<Line>> sets;
+    unsigned lineShift;   // log2(lineBytes)
+    unsigned setShift;    // log2(numSets)
+    /** All lines in one contiguous array, @c assoc per set. */
+    std::vector<Line> lines;
     std::uint64_t stampCounter = 0;
 
     stats::Counter statHits;

@@ -9,22 +9,28 @@ namespace ppa
 
 DramCache::DramCache(const DramCacheParams &p) : params(p)
 {
+    PPA_ASSERT(std::has_single_bit(std::uint64_t{params.lineBytes}),
+               "DRAM cache line size must be a power of two");
     numSets = params.sizeBytes / params.lineBytes;
     PPA_ASSERT(std::has_single_bit(std::uint64_t{numSets}),
                "DRAM cache set count must be a power of two");
+    lineShift = static_cast<unsigned>(
+        std::countr_zero(std::uint64_t{params.lineBytes}));
+    setShift = static_cast<unsigned>(
+        std::countr_zero(std::uint64_t{numSets}));
     lines.assign(numSets, Line{});
 }
 
 std::size_t
 DramCache::setIndex(Addr addr) const
 {
-    return (addr / params.lineBytes) & (numSets - 1);
+    return (addr >> lineShift) & (numSets - 1);
 }
 
 Addr
 DramCache::tagOf(Addr addr) const
 {
-    return (addr / params.lineBytes) / numSets;
+    return (addr >> lineShift) >> setShift;
 }
 
 CacheAccessResult
@@ -53,8 +59,8 @@ DramCache::access(Addr addr, bool is_write)
     statMisses.inc();
     std::optional<Addr> dirty_victim;
     if (line.valid && line.dirty) {
-        dirty_victim = (line.tag * numSets + setIndex(addr)) *
-                       params.lineBytes;
+        dirty_victim = ((line.tag << setShift) | setIndex(addr))
+                       << lineShift;
     }
     line.tag = tag;
     line.valid = true;
@@ -95,7 +101,7 @@ DramCache::dirtyLines() const
     for (std::size_t si = 0; si < numSets; ++si) {
         const Line &line = lines[si];
         if (line.valid && line.dirty)
-            out.push_back((line.tag * numSets + si) * params.lineBytes);
+            out.push_back(((line.tag << setShift) | si) << lineShift);
     }
     return out;
 }

@@ -74,6 +74,8 @@ class DramCache
 
     DramCacheParams params;
     std::size_t numSets;
+    unsigned lineShift;
+    unsigned setShift;
     std::vector<Line> lines;
 
     stats::Counter statHits;

@@ -7,13 +7,23 @@
  * *NVM* image (what has actually been persisted). Crash-consistency
  * verification compares the post-recovery NVM image against the golden
  * committed image.
+ *
+ * Storage is paged: 4 KiB pages of 8-byte words located through a
+ * small open-addressed hash table, with a per-page presence bitmap
+ * preserving the exact "distinct words ever written" semantics of the
+ * previous std::unordered_map backing. Every simulated load probes
+ * this image, so the read path is one hash probe (usually satisfied
+ * by the last-page cache) plus an array index — no per-node pointer
+ * chasing and no allocation once the working set is touched.
  */
 
 #ifndef PPA_MEM_MEM_IMAGE_HH
 #define PPA_MEM_MEM_IMAGE_HH
 
+#include <array>
+#include <bit>
 #include <cstdint>
-#include <unordered_map>
+#include <deque>
 #include <vector>
 
 #include "common/types.hh"
@@ -31,31 +41,70 @@ class MemImage
     /** Word-align an address down to its 8-byte container. */
     static Addr wordAlign(Addr a) { return a & ~Addr{7}; }
 
+    MemImage()
+    {
+        lastBase.fill(~Addr{0});
+        lastIdx.fill(0);
+        resetTable(initialTableSlots);
+    }
+
     /** Read the word containing @p addr. */
     Word
     read(Addr addr) const
     {
-        auto it = words.find(wordAlign(addr));
-        return it == words.end() ? 0 : it->second;
+        const Page *p = findPage(addr & ~pageByteMask);
+        if (!p)
+            return 0;
+        return p->words[wordIndex(addr)];
     }
 
     /** Write the word containing @p addr. */
-    void write(Addr addr, Word value) { words[wordAlign(addr)] = value; }
+    void
+    write(Addr addr, Word value)
+    {
+        Page &p = findOrCreatePage(addr & ~pageByteMask);
+        std::size_t w = wordIndex(addr);
+        p.words[w] = value;
+        std::uint64_t bit = std::uint64_t{1} << (w & 63);
+        if (!(p.present[w >> 6] & bit)) {
+            p.present[w >> 6] |= bit;
+            ++wordCount;
+        }
+    }
 
     /** Number of distinct words ever written. */
-    std::size_t footprintWords() const { return words.size(); }
+    std::size_t footprintWords() const { return wordCount; }
 
     /** Invoke @p fn(addr, value) for every stored word. */
     template <typename Fn>
     void
     forEachWord(Fn &&fn) const
     {
-        for (const auto &[a, v] : words)
-            fn(a, v);
+        for (const Page &p : pages) {
+            for (std::size_t g = 0; g < presentGroups; ++g) {
+                std::uint64_t bits = p.present[g];
+                while (bits) {
+                    unsigned b = static_cast<unsigned>(
+                        std::countr_zero(bits));
+                    bits &= bits - 1;
+                    std::size_t w = g * 64 + b;
+                    fn(p.base + static_cast<Addr>(w * 8),
+                       p.words[w]);
+                }
+            }
+        }
     }
 
     /** Remove all contents. */
-    void clear() { words.clear(); }
+    void
+    clear()
+    {
+        pages.clear();
+        wordCount = 0;
+        lastBase.fill(~Addr{0});
+        lastIdx.fill(0);
+        resetTable(initialTableSlots);
+    }
 
     /**
      * Copy every word of @p other that lies within the cache line
@@ -67,9 +116,9 @@ class MemImage
     {
         Addr base = line_addr & ~line_mask;
         for (Addr off = 0; off <= line_mask; off += 8) {
-            auto it = other.words.find(base + off);
-            if (it != other.words.end())
-                words[base + off] = it->second;
+            Addr a = base + off;
+            if (other.hasWord(a))
+                write(a, other.read(a));
         }
     }
 
@@ -80,15 +129,16 @@ class MemImage
     bool
     sameContents(const MemImage &other) const
     {
-        for (const auto &[a, v] : words) {
+        bool same = true;
+        forEachWord([&](Addr a, Word v) {
             if (other.read(a) != v)
-                return false;
-        }
-        for (const auto &[a, v] : other.words) {
+                same = false;
+        });
+        other.forEachWord([&](Addr a, Word v) {
             if (read(a) != v)
-                return false;
-        }
-        return true;
+                same = false;
+        });
+        return same;
     }
 
     /**
@@ -99,25 +149,117 @@ class MemImage
     diffAddrs(const MemImage &other, std::size_t limit = 16) const
     {
         std::vector<Addr> out;
-        for (const auto &[a, v] : words) {
-            if (other.read(a) != v) {
+        forEachWord([&](Addr a, Word v) {
+            if (out.size() < limit && other.read(a) != v)
                 out.push_back(a);
-                if (out.size() >= limit)
-                    return out;
-            }
-        }
-        for (const auto &[a, v] : other.words) {
-            if (read(a) != v && words.find(a) == words.end()) {
+        });
+        other.forEachWord([&](Addr a, Word v) {
+            if (out.size() < limit && read(a) != v && !hasWord(a))
                 out.push_back(a);
-                if (out.size() >= limit)
-                    return out;
-            }
-        }
+        });
         return out;
     }
 
   private:
-    std::unordered_map<Addr, Word> words;
+    static constexpr std::size_t pageWords = 512; // 4 KiB pages
+    static constexpr Addr pageByteMask = pageWords * 8 - 1;
+    static constexpr std::size_t presentGroups = pageWords / 64;
+    static constexpr std::size_t initialTableSlots = 256;
+
+    struct Page
+    {
+        Addr base = 0;
+        std::array<Word, pageWords> words{};
+        std::array<std::uint64_t, presentGroups> present{};
+    };
+
+    static std::size_t
+    wordIndex(Addr a)
+    {
+        return (a >> 3) & (pageWords - 1);
+    }
+
+    std::size_t
+    tableHash(Addr page_base) const
+    {
+        return static_cast<std::size_t>(
+                   ((page_base >> 12) * 0x9E3779B97F4A7C15ull) >> 32) &
+               (table.size() - 1);
+    }
+
+    bool
+    hasWord(Addr a) const
+    {
+        const Page *p = findPage(a & ~pageByteMask);
+        if (!p)
+            return false;
+        std::size_t w = wordIndex(a);
+        return (p->present[w >> 6] &
+                (std::uint64_t{1} << (w & 63))) != 0;
+    }
+
+    const Page *
+    findPage(Addr page_base) const
+    {
+        std::size_t way = (page_base >> 12) & (lookupWays - 1);
+        if (page_base == lastBase[way])
+            return &pages[lastIdx[way]];
+        std::size_t h = tableHash(page_base);
+        while (table[h] != 0) {
+            std::size_t idx = table[h] - 1;
+            if (pages[idx].base == page_base) {
+                lastBase[way] = page_base;
+                lastIdx[way] = idx;
+                return &pages[idx];
+            }
+            h = (h + 1) & (table.size() - 1);
+        }
+        return nullptr;
+    }
+
+    Page &
+    findOrCreatePage(Addr page_base)
+    {
+        if (const Page *p = findPage(page_base))
+            return const_cast<Page &>(*p);
+        if ((pages.size() + 1) * 4 > table.size() * 3)
+            resetTable(table.size() * 2);
+        std::size_t h = tableHash(page_base);
+        while (table[h] != 0)
+            h = (h + 1) & (table.size() - 1);
+        pages.emplace_back();
+        pages.back().base = page_base;
+        table[h] = static_cast<std::uint32_t>(pages.size());
+        std::size_t way = (page_base >> 12) & (lookupWays - 1);
+        lastBase[way] = page_base;
+        lastIdx[way] = pages.size() - 1;
+        return pages.back();
+    }
+
+    /** (Re)build the open-addressed page index at @p slots entries. */
+    void
+    resetTable(std::size_t slots)
+    {
+        table.assign(slots, 0);
+        for (std::size_t i = 0; i < pages.size(); ++i) {
+            std::size_t h = tableHash(pages[i].base);
+            while (table[h] != 0)
+                h = (h + 1) & (table.size() - 1);
+            table[h] = static_cast<std::uint32_t>(i + 1);
+        }
+    }
+
+    /** Deque: growth never relocates existing 4 KiB pages. */
+    std::deque<Page> pages;
+    std::vector<std::uint32_t> table; // 1-based page index, 0 = empty
+    std::size_t wordCount = 0;
+    /** Direct-mapped lookup cache; pure acceleration, no visible
+     *  effect. Multiple ways keep interleaved per-core access
+     *  patterns (shared committed/persisted images) from thrashing a
+     *  single cached translation. */
+    static constexpr std::size_t lookupWays = 16;
+    mutable std::array<Addr, lookupWays> lastBase;
+    mutable std::array<std::size_t, lookupWays> lastIdx;
 };
 
 } // namespace ppa

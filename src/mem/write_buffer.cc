@@ -1,5 +1,7 @@
 #include "mem/write_buffer.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace ppa
@@ -11,6 +13,8 @@ WriteBuffer::WriteBuffer(unsigned num_entries, unsigned line_bytes,
       coalesceWindow(coalesce_window)
 {
     PPA_ASSERT(capacity > 0, "write buffer needs at least one entry");
+    PPA_ASSERT(lineBytes / 8 <= maxLineWords,
+               "line size exceeds inline word storage");
 }
 
 bool
@@ -21,9 +25,12 @@ WriteBuffer::addStore(Addr addr, Word value, Cycle now)
     // Persist coalescing: merge into an un-issued entry for the same
     // line. Correct within a region because the barrier drains the WB
     // before the next region's stores arrive (Section 4.3).
+    unsigned word = static_cast<unsigned>((addr - line) >> 3);
+
     for (auto &e : entries) {
         if (!e.issued && e.lineAddr == line) {
-            e.words[MemImage::wordAlign(addr)] = value;
+            e.words[word] = value;
+            e.wordMask |= 1u << word;
             ++e.storeCount;
             statCoalesced.inc();
             if (obs)
@@ -44,10 +51,11 @@ WriteBuffer::addStore(Addr addr, Word value, Cycle now)
 
     Entry e;
     e.lineAddr = line;
-    e.words[MemImage::wordAlign(addr)] = value;
+    e.words[word] = value;
+    e.wordMask = 1u << word;
     e.storeCount = 1;
     e.bornCycle = now;
-    entries.push_back(std::move(e));
+    entries.push_back(e);
     if (obs)
         obs->onPersistEnqueue(addr, value, false);
     return true;
@@ -86,8 +94,10 @@ WriteBuffer::tick(Cycle now, Nvm &nvm, MemImage &nvm_image)
         statOps.inc();
         // Once in the WPQ the write is inside the persistence (ADR)
         // domain: apply the word data to the persistent image now.
-        for (const auto &[a, v] : e.words)
-            nvm_image.write(a, v);
+        for (std::uint32_t m = e.wordMask; m != 0; m &= m - 1) {
+            unsigned w = static_cast<unsigned>(std::countr_zero(m));
+            nvm_image.write(e.lineAddr + Addr{w} * 8, e.words[w]);
+        }
         if (obs)
             obs->onPersistIssue(e.lineAddr, e.storeCount);
         break;

@@ -23,9 +23,9 @@
 #ifndef PPA_MEM_WRITE_BUFFER_HH
 #define PPA_MEM_WRITE_BUFFER_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
-#include <map>
 
 #include "check/observer.hh"
 #include "common/stats.hh"
@@ -105,11 +105,18 @@ class WriteBuffer
     check::WriteBufferObserver *observer() const { return obs; }
 
   private:
+    /** Largest supported persist granularity (words per line). */
+    static constexpr unsigned maxLineWords = 16;
+
     struct Entry
     {
         Addr lineAddr = 0;
-        /** Word-granularity data carried by this persist op. */
-        std::map<Addr, Word> words;
+        /** Word-granularity data carried by this persist op, indexed
+         *  by word offset within the line; @ref wordMask marks which
+         *  slots hold data. Inline storage keeps the per-store path
+         *  allocation-free. */
+        std::array<Word, maxLineWords> words{};
+        std::uint32_t wordMask = 0;
         unsigned storeCount = 0;
         bool issued = false;
         Cycle ackCycle = 0;

@@ -260,4 +260,23 @@ figureSweep(const std::string &name, std::uint64_t instsPerCore,
     return {def->name, def->description, std::move(g.jobs)};
 }
 
+FigureSweep
+throughputSweep(std::uint64_t instsPerCore, std::uint64_t seed)
+{
+    // Larger default budget than the figure sweeps: KIPS measurement
+    // wants per-job simulation time to dominate per-job system
+    // construction.
+    constexpr std::uint64_t defaultThroughputInsts = 60'000;
+    GridBuilder g{instsPerCore ? instsPerCore : defaultThroughputInsts,
+                  seed, {}};
+    g.cross(sweepAppProfiles(),
+            {SystemVariant::Ppa, SystemVariant::Capri,
+             SystemVariant::ReplayCache},
+            g.baseKnobs());
+    return {"BENCH_throughput",
+            "simulated-KIPS host throughput, representative apps x "
+            "persistence variants",
+            std::move(g.jobs)};
+}
+
 } // namespace ppa

@@ -33,7 +33,8 @@ histToJson(const stats::Histogram &h)
 {
     std::ostringstream os;
     os << "{\"maxValue\": " << h.maxValue()
-       << ", \"total\": " << h.count() << ", \"bins\": [";
+       << ", \"total\": " << h.count()
+       << ", \"overflow\": " << h.overflowCount() << ", \"bins\": [";
     const auto &bins = h.binCounts();
     for (std::size_t i = 0; i < bins.size(); ++i) {
         if (i)
@@ -52,7 +53,10 @@ histFromJson(const JsonValue &v)
     counts.reserve(bins.size());
     for (std::size_t i = 0; i < bins.size(); ++i)
         counts.push_back(bins.at(i).asUint64());
-    return stats::Histogram::fromBins(std::move(counts));
+    // "overflow" is absent in pre-v1.1 reports; treat it as zero.
+    std::uint64_t overflow =
+        v.hasField("overflow") ? v.field("overflow").asUint64() : 0;
+    return stats::Histogram::fromBins(std::move(counts), overflow);
 }
 
 } // namespace
@@ -651,6 +655,24 @@ writeFile(const std::string &path, const std::string &contents)
         warn("short write to '", path, "'");
         return false;
     }
+    return true;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        warn("cannot open '", path, "' for reading");
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (in.bad()) {
+        warn("read error on '", path, "'");
+        return false;
+    }
+    out = ss.str();
     return true;
 }
 

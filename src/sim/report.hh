@@ -131,6 +131,10 @@ std::string sweepToCsv(const std::vector<JobResult> &results);
  *  Returns false (with a warn()) on I/O failure. */
 bool writeFile(const std::string &path, const std::string &contents);
 
+/** Read @p path into @p out. Returns false (with a warn()) when the
+ *  file is missing or unreadable. */
+bool readFile(const std::string &path, std::string &out);
+
 /** Directory sweep output lands in: $PPA_RESULTS_DIR or "results". */
 std::string resultsDir();
 

@@ -249,11 +249,43 @@ StreamGenerator::generateOne()
     return di;
 }
 
+void
+StreamGenerator::maybeSnapshot()
+{
+    // Capture the state just before generating instruction
+    // `position`, once per snapshotInterval boundary. The second
+    // clause makes this idempotent across replays: a boundary crossed
+    // again after a backward seek is already recorded (and the stream
+    // is deterministic, so the recorded state is still correct).
+    if (position % snapshotInterval != 0 ||
+        position / snapshotInterval != snapshots.size()) {
+        return;
+    }
+    snapshots.push_back(Snapshot{rng.getState(), position, recentInt,
+                                 recentFp, recentAluInt, seqCursor,
+                                 lastStoreAddr, sinceSync, nextSyncAt});
+}
+
+void
+StreamGenerator::restoreSnapshot(const Snapshot &snap)
+{
+    rng.setState(snap.rngState);
+    position = snap.position;
+    recentInt = snap.recentInt;
+    recentFp = snap.recentFp;
+    recentAluInt = snap.recentAluInt;
+    seqCursor = snap.seqCursor;
+    lastStoreAddr = snap.lastStoreAddr;
+    sinceSync = snap.sinceSync;
+    nextSyncAt = snap.nextSyncAt;
+}
+
 bool
 StreamGenerator::next(DynInst &out)
 {
     if (maxLength && position >= maxLength)
         return false;
+    maybeSnapshot();
     out = generateOne();
     ++position;
     return true;
@@ -262,10 +294,22 @@ StreamGenerator::next(DynInst &out)
 void
 StreamGenerator::seekTo(std::uint64_t index)
 {
-    if (index < position)
-        resetState();
+    if (index < position) {
+        // Resume from the nearest snapshot at or below the target
+        // instead of replaying the whole stream from zero (recovery
+        // seeks after a long run used to cost O(index)).
+        std::size_t k = static_cast<std::size_t>(
+            index / snapshotInterval);
+        if (!snapshots.empty()) {
+            restoreSnapshot(
+                snapshots[std::min(k, snapshots.size() - 1)]);
+        } else {
+            resetState();
+        }
+    }
     DynInst scratch;
     while (position < index) {
+        maybeSnapshot();
         scratch = generateOne();
         ++position;
     }

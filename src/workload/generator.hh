@@ -4,13 +4,17 @@
  *
  * Produces the committed path of a modeled application from its
  * WorkloadProfile (see profile.hh). Generation is a pure function of
- * (profile, seed, position): seekTo() simply regenerates, which is
- * what makes power-failure recovery work on synthetic streams too.
+ * (profile, seed, position), which is what makes power-failure
+ * recovery work on synthetic streams too: seekTo() regenerates from
+ * the nearest periodic state snapshot at or below the target index,
+ * so a backward seek (replay after a failure) costs at most one
+ * snapshot interval of regeneration instead of a replay from zero.
  */
 
 #ifndef PPA_WORKLOAD_GENERATOR_HH
 #define PPA_WORKLOAD_GENERATOR_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -46,8 +50,32 @@ class StreamGenerator : public DynInstSource
     /** Base address of the shared synchronization area. */
     static constexpr Addr sharedSyncBase = 0x7000'0000'0000ull;
 
+    /** Snapshot cadence, in instructions (bound on backward-seek
+     *  replay cost). */
+    static constexpr std::uint64_t snapshotInterval = 4096;
+
   private:
+    /**
+     * Complete mutable generator state as of some stream position.
+     * Restoring it reproduces the stream from that position bitwise,
+     * because generateOne() reads nothing else that varies.
+     */
+    struct Snapshot
+    {
+        std::array<std::uint64_t, 4> rngState;
+        std::uint64_t position;
+        std::vector<ArchReg> recentInt;
+        std::vector<ArchReg> recentFp;
+        std::vector<ArchReg> recentAluInt;
+        Addr seqCursor;
+        Addr lastStoreAddr;
+        std::uint64_t sinceSync;
+        std::uint64_t nextSyncAt;
+    };
+
     void resetState();
+    void maybeSnapshot();
+    void restoreSnapshot(const Snapshot &snap);
     DynInst generateOne();
 
     ArchReg pickIntDst();
@@ -78,6 +106,11 @@ class StreamGenerator : public DynInstSource
     Addr lastStoreAddr = 0;
     std::uint64_t sinceSync = 0;
     std::uint64_t nextSyncAt = 0;
+
+    /** snapshots[k] captures the state just before instruction
+     *  k * snapshotInterval is generated. Append-only: the stream is
+     *  deterministic, so entries stay valid across seeks. */
+    std::vector<Snapshot> snapshots;
 };
 
 } // namespace ppa

@@ -96,5 +96,62 @@ INSTANTIATE_TEST_SUITE_P(
                       GridCase{"mcf", 1, 202},       // memory-bound
                       GridCase{"lbm", 1, 303},       // store-heavy FP
                       GridCase{"tatp", 2, 404},      // multicore txn
-                      GridCase{"sps", 2, 505}),      // multicore struct
+                      GridCase{"sps", 2, 505},       // multicore struct
+                      GridCase{"tpcc", 1, 606},      // txn, fwd-heavy
+                      GridCase{"hmmer", 1, 707},     // ILP-heavy ALU
+                      GridCase{"water-ns", 2, 808},  // store-dense sync
+                      GridCase{"ocean", 2, 909},     // multicore FP
+                      GridCase{"genome", 2, 1010},   // STAMP atomic mix
+                      GridCase{"xsbench", 1, 1111}), // mini-app
     caseName);
+
+TEST(FailureGridDeterminism, RepeatRunsAreBitwiseIdentical)
+{
+    // The recovery path replays committed streams through
+    // StreamGenerator::seekTo(); with eight failures the replay seeks
+    // backward repeatedly, so this doubles as the integration check
+    // that snapshot-based seeks leave simulation results bitwise
+    // unchanged from run to run.
+    ExperimentKnobs knobs;
+    knobs.instsPerCore = 20'000;
+    knobs.audit = true;
+    knobs.failAtCycles = randomFailCycles(1212, 200, 6000);
+
+    const WorkloadProfile &p = profileByName("tpcc");
+    RunStats a = runWorkload(p, SystemVariant::Ppa, knobs);
+    RunStats b = runWorkload(p, SystemVariant::Ppa, knobs);
+
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.committedInsts, b.committedInsts);
+    EXPECT_EQ(a.committedStores, b.committedStores);
+    EXPECT_EQ(a.regionCount, b.regionCount);
+    EXPECT_EQ(a.boundaryStallCycles, b.boundaryStallCycles);
+    EXPECT_EQ(a.persistOps, b.persistOps);
+    EXPECT_EQ(a.coalescedStores, b.coalescedStores);
+    EXPECT_EQ(a.nvmWrites, b.nvmWrites);
+    EXPECT_EQ(a.nvmBytesWritten, b.nvmBytesWritten);
+    EXPECT_EQ(a.replayAddrsChecked, b.replayAddrsChecked);
+    EXPECT_EQ(a.auditViolations, 0u);
+    EXPECT_EQ(b.auditViolations, 0u);
+}
+
+TEST(FailureGridDeterminism, LateFailuresRecoverCleanly)
+{
+    // Failures injected deep into the run force long backward seeks
+    // (many snapshot intervals) during replay.
+    ExperimentKnobs knobs;
+    knobs.instsPerCore = 30'000;
+    knobs.audit = true;
+    knobs.failAtCycles = {9'000, 9'500, 10'000};
+
+    RunStats rs = runWorkload(profileByName("gcc"), SystemVariant::Ppa,
+                              knobs);
+    std::string messages;
+    for (const std::string &m : rs.auditMessages)
+        messages += m + "\n";
+    EXPECT_EQ(rs.powerFailures, 3u);
+    EXPECT_EQ(rs.auditViolations, 0u) << messages;
+    EXPECT_EQ(rs.replayMismatches, 0u) << messages;
+    EXPECT_GT(rs.replayAddrsChecked, 0u);
+}

@@ -64,13 +64,32 @@ TEST(Histogram, CdfValues)
     EXPECT_DOUBLE_EQ(h.cdf(4), 1.0);
 }
 
-TEST(Histogram, ClampsToTopBin)
+TEST(Histogram, OutOfRangeCountsAsOverflow)
 {
     Histogram h(5);
     h.sample(100);
+    // The stray sample must not distort the distribution: it is
+    // tracked separately, not folded into the top bin.
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.overflowCount(), 1u);
+    h.sample(3);
     EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.overflowCount(), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
     EXPECT_DOUBLE_EQ(h.cdf(5), 1.0);
-    EXPECT_DOUBLE_EQ(h.cdf(4), 0.0);
+    EXPECT_DOUBLE_EQ(h.cdf(2), 0.0);
+}
+
+TEST(Histogram, OverflowSurvivesMerge)
+{
+    Histogram a(5);
+    Histogram b(5);
+    a.sample(6);
+    a.sample(2);
+    b.sample(7);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.overflowCount(), 2u);
 }
 
 TEST(Histogram, PercentileFindsThreshold)
@@ -80,6 +99,47 @@ TEST(Histogram, PercentileFindsThreshold)
         h.sample(i);
     EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 50.0, 1.0);
     EXPECT_NEAR(static_cast<double>(h.percentile(0.9)), 90.0, 1.0);
+}
+
+TEST(Histogram, PercentileEndpointsPinned)
+{
+    // Values 10..19, one sample each; bin 0..9 stay empty.
+    Histogram h(50);
+    for (std::size_t i = 10; i < 20; ++i)
+        h.sample(i);
+    // p0 is the smallest observed value, not an empty leading bin
+    // (the truncated-rank bug returned 0 here because acc 0 >= 0).
+    EXPECT_EQ(h.percentile(0.0), 10u);
+    EXPECT_EQ(h.percentile(1.0), 19u);
+    // p50: smallest v with cdf(v) >= 0.5.
+    EXPECT_EQ(h.percentile(0.5), 14u);
+    EXPECT_GE(h.cdf(h.percentile(0.5)), 0.5);
+    // p99 with 10 samples is the maximum (ceil(0.99 * 10) = 10).
+    EXPECT_EQ(h.percentile(0.99), 19u);
+}
+
+TEST(Histogram, PercentileAgreesWithCdf)
+{
+    // A skewed distribution; percentile(f) must be the smallest value
+    // whose cdf reaches f, for every percentile of interest.
+    Histogram h(64);
+    for (std::size_t i = 0; i < 40; ++i)
+        h.sample(3);
+    for (std::size_t i = 0; i < 30; ++i)
+        h.sample(17);
+    for (std::size_t i = 0; i < 29; ++i)
+        h.sample(42);
+    h.sample(63);
+    for (double frac : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+        std::size_t p = h.percentile(frac);
+        EXPECT_GE(h.cdf(p), frac) << "frac " << frac;
+        if (p > 0) {
+            EXPECT_LT(h.cdf(p - 1), frac == 0.0 ? 1e-12 : frac)
+                << "frac " << frac;
+        }
+    }
+    EXPECT_EQ(h.percentile(0.0), 3u);
+    EXPECT_EQ(h.percentile(1.0), 63u);
 }
 
 TEST(Histogram, MeanOfUniform)

@@ -20,6 +20,7 @@
  *   ppa_cli sweep fig18 --jobs 8 --insts 30000 --out /tmp/res --csv
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -80,7 +81,25 @@ usage()
         "  --csv               also write FIGURE.csv next to the "
         "JSON\n"
         "  --audit             run every ppa-variant job with the "
-        "invariant auditors attached\n");
+        "invariant auditors attached\n"
+        "\n"
+        "subcommand: bench — host-throughput benchmark (simulated "
+        "KIPS)\n"
+        "  ppa_cli bench [options]\n"
+        "  --jobs N            driver worker threads (default: "
+        "hardware)\n"
+        "  --insts N           committed instructions per core "
+        "(default 60000)\n"
+        "  --seed N            workload seed (default 42)\n"
+        "  --reps N            repeat the grid N times, keep each "
+        "job's best wall time (default 1)\n"
+        "  --out DIR           output directory for "
+        "BENCH_throughput.json (default: $PPA_RESULTS_DIR or "
+        "results)\n"
+        "  --baseline FILE     compare aggregate KIPS against a prior "
+        "BENCH_throughput.json\n"
+        "  --threshold PCT     fail when aggregate KIPS regresses "
+        "more than PCT%% vs the baseline (default 15)\n");
 }
 
 SystemVariant
@@ -210,6 +229,175 @@ sweepMain(int argc, char **argv)
     return 0;
 }
 
+/** Aggregate simulated kilo-instructions per host-second across a
+ *  result set: total committed work over total per-job wall time. */
+double
+aggregateKips(const std::vector<JobResult> &results)
+{
+    double insts = 0.0;
+    double wall = 0.0;
+    for (const JobResult &r : results) {
+        insts += static_cast<double>(r.stats.committedInsts);
+        wall += r.wallSeconds;
+    }
+    return wall > 0.0 ? insts / wall / 1e3 : 0.0;
+}
+
+int
+benchMain(int argc, char **argv)
+{
+    unsigned jobs = 0;
+    std::uint64_t insts = 0;
+    std::uint64_t seed = 42;
+    unsigned reps = 1;
+    std::string outDir = metrics::resultsDir();
+    std::string baselinePath;
+    double thresholdPct = 15.0;
+
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--insts") {
+            insts = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--seed") {
+            seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--reps") {
+            reps = std::max(
+                1u, static_cast<unsigned>(
+                        std::strtoul(next(), nullptr, 10)));
+        } else if (arg == "--out") {
+            outDir = next();
+        } else if (arg == "--baseline") {
+            baselinePath = next();
+        } else if (arg == "--threshold") {
+            thresholdPct = std::strtod(next(), nullptr);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown bench option '%s'\n",
+                         arg.c_str());
+            usage();
+            return 1;
+        }
+    }
+
+    FigureSweep fs = throughputSweep(insts, seed);
+    ExperimentDriver driver(jobs);
+    std::fprintf(stderr,
+                 "bench: %zu jobs x %u rep(s) on %u threads — %s\n",
+                 fs.jobs.size(), reps, driver.workers(),
+                 fs.description.c_str());
+
+    // Repetitions re-run the identical grid; each job keeps its best
+    // (minimum) wall time, which is the standard defense against
+    // scheduling noise on a shared host. Simulation results are
+    // deterministic, so only the timing differs between reps.
+    std::vector<JobResult> results;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        auto repResults = driver.run(fs.jobs, {});
+        if (rep == 0) {
+            results = std::move(repResults);
+            continue;
+        }
+        for (std::size_t j = 0; j < results.size(); ++j)
+            results[j].wallSeconds = std::min(
+                results[j].wallSeconds, repResults[j].wallSeconds);
+    }
+
+    TextTable t({"workload", "variant", "insts", "wall ms", "KIPS"});
+    double logSum = 0.0;
+    for (const JobResult &r : results) {
+        double kips =
+            r.wallSeconds > 0.0
+                ? static_cast<double>(r.stats.committedInsts) /
+                      r.wallSeconds / 1e3
+                : 0.0;
+        logSum += std::log(std::max(kips, 1e-9));
+        t.addRow({r.job.profile.name, variantToken(r.job.variant),
+                  std::to_string(r.stats.committedInsts),
+                  TextTable::num(r.wallSeconds * 1e3, 2),
+                  TextTable::num(kips, 1)});
+    }
+    std::printf("%s", t.render().c_str());
+
+    double agg = aggregateKips(results);
+    double geomean =
+        results.empty()
+            ? 0.0
+            : std::exp(logSum / static_cast<double>(results.size()));
+    std::printf("aggregate: %.1f KIPS   per-job geomean: %.1f KIPS\n",
+                agg, geomean);
+
+    std::string jsonPath = outDir + "/BENCH_throughput.json";
+    if (!metrics::writeFile(
+            jsonPath,
+            metrics::sweepToJson(fs.name, results,
+                                 {{"aggregateKips", agg},
+                                  {"geomeanKips", geomean},
+                                  {"reps", static_cast<double>(reps)},
+                                  {"workers", static_cast<double>(
+                                                  driver.workers())}})))
+        return 1;
+    std::printf("wrote %s (%zu jobs)\n", jsonPath.c_str(),
+                results.size());
+
+    if (baselinePath.empty())
+        return 0;
+
+    // Regression gate: recompute the baseline aggregate from its job
+    // list (rather than trusting its "extra" block) so hand-edited or
+    // older documents still compare apples to apples.
+    std::string text;
+    if (!metrics::readFile(baselinePath, text))
+        return 1;
+    metrics::JsonValue doc;
+    std::string err;
+    if (!metrics::JsonValue::parse(text, doc, err)) {
+        std::fprintf(stderr, "bench: cannot parse baseline %s: %s\n",
+                     baselinePath.c_str(), err.c_str());
+        return 1;
+    }
+    double baseInsts = 0.0;
+    double baseWall = 0.0;
+    const auto &baseJobs = doc.field("jobs");
+    for (std::size_t j = 0; j < baseJobs.size(); ++j) {
+        const auto &job = baseJobs.at(j);
+        baseInsts += static_cast<double>(
+            job.field("stats").field("committedInsts").asUint64());
+        baseWall += job.field("wallSeconds").asDouble();
+    }
+    double baseAgg = baseWall > 0.0 ? baseInsts / baseWall / 1e3 : 0.0;
+    if (baseAgg <= 0.0) {
+        std::fprintf(stderr, "bench: baseline %s has no timed jobs\n",
+                     baselinePath.c_str());
+        return 1;
+    }
+    double ratio = agg / baseAgg;
+    std::printf("baseline: %.1f KIPS (%s) — current/baseline %.2fx\n",
+                baseAgg, baselinePath.c_str(), ratio);
+    if (ratio < 1.0 - thresholdPct / 100.0) {
+        std::fprintf(stderr,
+                     "bench: FAIL — aggregate KIPS regressed %.1f%% "
+                     "(threshold %.1f%%)\n",
+                     (1.0 - ratio) * 100.0, thresholdPct);
+        return 1;
+    }
+    std::printf("bench: OK (within %.1f%% of baseline)\n",
+                thresholdPct);
+    return 0;
+}
+
 void
 printStats(const RunStats &rs)
 {
@@ -270,6 +458,8 @@ main(int argc, char **argv)
 {
     if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
         return sweepMain(argc - 2, argv + 2);
+    if (argc > 1 && std::strcmp(argv[1], "bench") == 0)
+        return benchMain(argc - 2, argv + 2);
 
     std::string app;
     std::string variant_name = "ppa";
