@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared helpers for versioned binary on-media formats.
+ *
+ * Every durable byte layout in the simulator (the NVM checkpoint
+ * area, the committed-stream trace shards) starts with an explicit
+ * magic + format-version pair and validates both before reading
+ * anything else, so a truncated, foreign, or stale-format artifact is
+ * rejected with a diagnostic instead of deserializing garbage. The
+ * checks and the CRC32 used for payload integrity live here so the
+ * formats share one implementation.
+ */
+
+#ifndef PPA_COMMON_BINARY_FORMAT_HH
+#define PPA_COMMON_BINARY_FORMAT_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace ppa
+{
+namespace binfmt
+{
+
+/**
+ * Pack an 8-character ASCII tag into the 64-bit magic word of a
+ * little-endian format: the first character lands in the lowest byte,
+ * so the tag reads left-to-right in a hex dump of the file.
+ */
+constexpr std::uint64_t
+packMagic(const char (&tag)[9])
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | static_cast<unsigned char>(tag[i]);
+    return v;
+}
+
+/**
+ * Validate a format's magic word; fatal with a diagnostic naming the
+ * artifact when it does not match (foreign or corrupt input).
+ */
+inline void
+requireMagic(std::uint64_t actual, std::uint64_t expected,
+             const char *what)
+{
+    if (actual != expected) {
+        fatal(what, " has bad magic 0x", std::hex, actual,
+              " (expected 0x", expected, "): not a ", what,
+              " or corrupted");
+    }
+}
+
+/**
+ * Validate a format's version field; fatal with a diagnostic when the
+ * serialized version differs from what this build reads. Versioning
+ * policy (docs/TRACING.md): the version bumps on any layout change,
+ * and readers never guess at unknown versions.
+ */
+inline void
+requireVersion(std::uint64_t actual, std::uint64_t expected,
+               const char *what)
+{
+    if (actual != expected) {
+        fatal(what, " has format version ", actual, " but this build ",
+              "reads version ", expected,
+              "; re-record or use a matching build");
+    }
+}
+
+namespace detail
+{
+
+/** CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) table. */
+struct Crc32Table
+{
+    std::uint32_t entry[256];
+
+    constexpr Crc32Table() : entry()
+    {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            entry[i] = c;
+        }
+    }
+};
+
+inline constexpr Crc32Table crc32Table{};
+
+} // namespace detail
+
+/**
+ * Incremental CRC-32: feed @p crc the previous return value (or 0 for
+ * the first chunk). Matches the common zlib/PNG polynomial, so shard
+ * checksums can be cross-checked with standard tools.
+ */
+inline std::uint32_t
+crc32(const void *data, std::size_t len, std::uint32_t crc = 0)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = crc ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < len; ++i)
+        c = detail::crc32Table.entry[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace binfmt
+} // namespace ppa
+
+#endif // PPA_COMMON_BINARY_FORMAT_HH

@@ -1,5 +1,6 @@
 #include "ppa/checkpoint_io.hh"
 
+#include "common/binary_format.hh"
 #include "common/logging.hh"
 
 namespace ppa
@@ -8,7 +9,15 @@ namespace ppa
 namespace
 {
 
-constexpr std::uint64_t checkpointMagic = 0x50504143'4B505431ull;
+/** 'PPACKPT1' in a little-endian hex dump of the NVM words. */
+constexpr std::uint64_t checkpointMagic = binfmt::packMagic("PPACKPT1");
+/**
+ * Checkpoint-area layout version; bump on ANY layout change. Version 2
+ * is the first layout carrying the version word itself (the original,
+ * unversioned layout is retroactively version 1 and is rejected by the
+ * magic check: its magic packed the tag in the opposite byte order).
+ */
+constexpr std::uint64_t checkpointVersion = 2;
 constexpr std::uint64_t inlineValueBit = std::uint64_t{1} << 63;
 constexpr std::uint64_t invalidMapping = ~std::uint64_t{0};
 
@@ -19,6 +28,7 @@ serializeCheckpoint(const CheckpointImage &image)
 {
     std::vector<std::uint64_t> out;
     out.push_back(checkpointMagic);
+    out.push_back(checkpointVersion);
     std::uint64_t flags = (image.valid ? 1u : 0u) |
                           (image.anyCommitted ? 2u : 0u);
     out.push_back(flags);
@@ -72,24 +82,25 @@ deserializeCheckpoint(const std::vector<std::uint64_t> &words)
         }
     };
 
-    need(0, 4);
-    if (words[0] != checkpointMagic)
-        fatal("checkpoint area has bad magic");
+    need(0, 5);
+    binfmt::requireMagic(words[0], checkpointMagic, "checkpoint area");
+    binfmt::requireVersion(words[1], checkpointVersion,
+                           "checkpoint area");
 
     CheckpointImage image;
-    image.valid = (words[1] & 1) != 0;
-    image.anyCommitted = (words[1] & 2) != 0;
-    image.lcpc = words[2];
+    image.valid = (words[2] & 1) != 0;
+    image.anyCommitted = (words[2] & 2) != 0;
+    image.lcpc = words[3];
 
-    std::uint64_t counts = words[3];
+    std::uint64_t counts = words[4];
     std::size_t n_csq = counts & 0xFFFF;
     std::size_t n_crt_int = (counts >> 16) & 0xFFFF;
     std::size_t n_crt_fp = (counts >> 32) & 0xFFFF;
     std::size_t n_mask = (counts >> 48) & 0xFFFF;
 
-    need(4, 1);
-    std::uint64_t mask_bits = words[4];
-    std::size_t pos = 5;
+    need(5, 1);
+    std::uint64_t mask_bits = words[5];
+    std::size_t pos = 6;
     for (std::size_t i = 0; i < n_csq; ++i) {
         need(pos, 2);
         std::uint64_t meta = words[pos++];

@@ -10,13 +10,16 @@
  * (de)serialization the hardware walk performs, so a checkpoint can
  * be stored in, and recovered from, raw NVM bytes.
  *
- * Layout (all fields little-endian 64-bit entries):
+ * Layout (all fields little-endian 64-bit entries; the magic and
+ * format-version words use the shared common/binary_format.hh
+ * helpers, same as the trace shards):
  *
  *   [0]  magic 'PPACKPT1'
- *   [1]  flags (bit0: valid, bit1: anyCommitted)
- *   [2]  LCPC
- *   [3]  counts: csqEntries | crtInt<<16 | crtFp<<32 | maskWords<<48
- *   [4]  MaskReg bit count
+ *   [1]  format version
+ *   [2]  flags (bit0: valid, bit1: anyCommitted)
+ *   [3]  LCPC
+ *   [4]  counts: csqEntries | crtInt<<16 | crtFp<<32 | maskWords<<48
+ *   [5]  MaskReg bit count
  *   ...  CSQ entries   (2 words each: meta, addr; meta bit63 set =>
  *        the entry carries an inline value in a third word)
  *   ...  CRT INT entries (1 word each, ~0 = invalid mapping)
@@ -43,8 +46,9 @@ std::vector<std::uint64_t> serializeCheckpoint(
 
 /**
  * Reconstruct a checkpoint image from the checkpoint area.
- * Fatal on a malformed area (bad magic / truncation): recovery from
- * a corrupt checkpoint region must not proceed silently.
+ * Fatal on a malformed area (bad magic, wrong format version, or
+ * truncation): recovery from a corrupt or foreign checkpoint region
+ * must not proceed silently.
  */
 CheckpointImage deserializeCheckpoint(
     const std::vector<std::uint64_t> &words);

@@ -8,6 +8,7 @@
 #include "check/auditor.hh"
 #include "common/logging.hh"
 #include "ppa/checkpoint_io.hh"
+#include "trace/reader.hh"
 #include "workload/generator.hh"
 
 namespace ppa
@@ -190,19 +191,49 @@ runWorkload(const WorkloadProfile &profile, SystemVariant variant,
                    sc.core.mode == PersistMode::Ppa,
                "power-failure injection requires the PPA variant");
 
-    // One deterministic stream per thread. ReplayCache additionally
-    // wraps each stream in its compiler transformation.
-    std::vector<std::unique_ptr<StreamGenerator>> gens;
+    // One deterministic stream per thread: either an in-process
+    // generator or a recorded-trace replay — the core cannot tell
+    // them apart, which is what the bitwise-identity oracle checks.
+    // ReplayCache additionally wraps each stream in its compiler
+    // transformation.
+    RunStats rs;
+    trace::TraceSet traceSet;
+    std::vector<std::unique_ptr<DynInstSource>> streams;
     std::vector<std::unique_ptr<ReplayCacheTransform>> transforms;
+    if (!knobs.traceDir.empty()) {
+        traceSet = trace::TraceSet::openOrDie(knobs.traceDir);
+        const trace::TraceMeta &meta = traceSet.metadata();
+        if (meta.threads != threads) {
+            fatal("trace '", knobs.traceDir, "' was recorded with ",
+                  meta.threads, " thread(s) but the run wants ", threads);
+        }
+        if (meta.instsPerThread != knobs.instsPerCore) {
+            fatal("trace '", knobs.traceDir, "' holds ",
+                  meta.instsPerThread, " insts per thread but the run ",
+                  "wants ", knobs.instsPerCore,
+                  " (pass matching --insts or re-record)");
+        }
+        rs.traceDir = knobs.traceDir;
+        rs.traceShards =
+            static_cast<unsigned>(traceSet.allShards().size());
+        for (unsigned t = 0; t < threads; ++t)
+            rs.traceInsts += traceSet.threadInsts(t);
+        rs.traceCrc = traceSet.combinedCrc();
+    }
     for (unsigned t = 0; t < threads; ++t) {
-        gens.push_back(std::make_unique<StreamGenerator>(
-            profile, t, knobs.seed, knobs.instsPerCore));
+        if (!knobs.traceDir.empty()) {
+            streams.push_back(
+                std::make_unique<trace::TraceReplaySource>(traceSet, t));
+        } else {
+            streams.push_back(std::make_unique<StreamGenerator>(
+                profile, t, knobs.seed, knobs.instsPerCore));
+        }
         if (variant == SystemVariant::ReplayCache) {
             transforms.push_back(std::make_unique<ReplayCacheTransform>(
-                *gens.back(), ReplayCacheParams{}));
+                *streams.back(), ReplayCacheParams{}));
             system.bindSource(t, transforms.back().get());
         } else {
-            system.bindSource(t, gens.back().get());
+            system.bindSource(t, streams.back().get());
         }
     }
 
@@ -213,7 +244,6 @@ runWorkload(const WorkloadProfile &profile, SystemVariant variant,
         knobs.warmupFraction *
         static_cast<double>(knobs.instsPerCore) * threads);
     Cycle warm_cycle = 0;
-    RunStats rs;
     if (knobs.failAtCycles.empty()) {
         while (!system.allDone() && system.cycle() < cap &&
                system.totalCommitted() < warmup_insts) {

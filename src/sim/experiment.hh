@@ -104,6 +104,15 @@ struct ExperimentKnobs
      * committed-store oracle (RunStats::replayMismatches).
      */
     std::vector<Cycle> failAtCycles;
+    /**
+     * When nonempty, drive every core from this recorded trace
+     * directory (see docs/TRACING.md) instead of in-process
+     * StreamGenerators. The run must agree with the trace manifest
+     * about threads and instsPerCore — the stream is a pure function
+     * of the trace, so a mismatch is a configuration error, not a
+     * different experiment. RunStats then carries trace provenance.
+     */
+    std::string traceDir;
 };
 
 /** Everything a figure could want from one run. */
@@ -150,6 +159,13 @@ struct RunStats
     std::uint64_t replayAddrsChecked = 0;///< Addresses diffed in total
     /** Capped sample of violation reports (context + description). */
     std::vector<std::string> auditMessages;
+
+    // Trace provenance (populated when knobs.traceDir is set): where
+    // the committed stream came from and how to recognize it.
+    std::string traceDir;            ///< Trace directory path
+    unsigned traceShards = 0;        ///< Shard files in the trace
+    std::uint64_t traceInsts = 0;    ///< Total recorded instructions
+    std::uint32_t traceCrc = 0;      ///< Combined shard-CRC fingerprint
 
     /** Boundary-stall cycles as a fraction of all cycles (Fig. 11). */
     double

@@ -450,6 +450,16 @@ runStatsToJson(const RunStats &rs)
            << "\"";
     }
     os << "]";
+    // Trace provenance: emitted only for trace-driven runs, so
+    // generator-driven results are unchanged (schema stays additive).
+    if (!rs.traceDir.empty()) {
+        char crc[16];
+        std::snprintf(crc, sizeof(crc), "%08x", rs.traceCrc);
+        os << ", \"trace\": {\"dir\": \"" << jsonEscape(rs.traceDir)
+           << "\", \"shards\": " << rs.traceShards
+           << ", \"insts\": " << rs.traceInsts << ", \"crc32\": \"" << crc
+           << "\"}";
+    }
     os << "}";
     return os.str();
 }
@@ -496,6 +506,15 @@ runStatsFromJson(const JsonValue &v)
         for (const JsonValue &m : v.field("auditMessages").items())
             rs.auditMessages.push_back(m.asString());
     }
+    if (v.hasField("trace")) {
+        const JsonValue &t = v.field("trace");
+        rs.traceDir = t.field("dir").asString();
+        rs.traceShards =
+            static_cast<unsigned>(t.field("shards").asUint64());
+        rs.traceInsts = t.field("insts").asUint64();
+        rs.traceCrc = static_cast<std::uint32_t>(
+            std::stoul(t.field("crc32").asString(), nullptr, 16));
+    }
     return rs;
 }
 
@@ -520,6 +539,8 @@ knobsToJson(const ExperimentKnobs &k)
     for (std::size_t i = 0; i < k.failAtCycles.size(); ++i)
         os << (i ? ", " : "") << k.failAtCycles[i];
     os << "]";
+    if (!k.traceDir.empty())
+        os << ", \"traceDir\": \"" << jsonEscape(k.traceDir) << "\"";
     os << "}";
     return os.str();
 }
@@ -547,6 +568,8 @@ knobsFromJson(const JsonValue &v)
         for (const JsonValue &c : v.field("failAtCycles").items())
             k.failAtCycles.push_back(c.asUint64());
     }
+    if (v.hasField("traceDir"))
+        k.traceDir = v.field("traceDir").asString();
     return k;
 }
 

@@ -1,0 +1,81 @@
+#include "trace/capture.hh"
+
+#include "common/logging.hh"
+#include "trace/reader.hh"
+#include "workload/generator.hh"
+
+namespace ppa
+{
+namespace trace
+{
+
+namespace
+{
+
+unsigned
+effectiveThreads(const WorkloadProfile &profile, const CaptureSpec &spec)
+{
+    return spec.threads > 0 ? spec.threads : profile.defaultThreads;
+}
+
+} // namespace
+
+TraceSummary
+recordWorkloadTrace(const std::string &dir, const WorkloadProfile &profile,
+                    const CaptureSpec &spec)
+{
+    unsigned threads = effectiveThreads(profile, spec);
+    PPA_ASSERT(spec.instsPerThread > 0,
+               "trace capture needs a nonzero instruction count");
+
+    TraceMeta meta;
+    meta.app = profile.name;
+    meta.seed = spec.seed;
+    meta.threads = threads;
+    meta.instsPerThread = spec.instsPerThread;
+    meta.shardInsts = spec.shardInsts;
+    meta.blockInsts = spec.blockInsts;
+
+    TraceWriter writer(dir, meta);
+    for (unsigned t = 0; t < threads; ++t) {
+        StreamGenerator gen(profile, t, spec.seed, spec.instsPerThread);
+        DynInst inst;
+        while (gen.next(inst))
+            writer.append(t, inst);
+    }
+    return writer.finish();
+}
+
+bool
+traceMatches(const std::string &dir, const WorkloadProfile &profile,
+             const CaptureSpec &spec)
+{
+    TraceSet set;
+    std::string error;
+    if (!set.load(dir, error))
+        return false;
+    const TraceMeta &meta = set.metadata();
+    return meta.app == profile.name && meta.seed == spec.seed &&
+           meta.threads == effectiveThreads(profile, spec) &&
+           meta.instsPerThread == spec.instsPerThread;
+}
+
+TraceSummary
+ensureWorkloadTrace(const std::string &dir, const WorkloadProfile &profile,
+                    const CaptureSpec &spec)
+{
+    if (traceMatches(dir, profile, spec)) {
+        TraceSet set = TraceSet::openOrDie(dir);
+        TraceSummary summary;
+        for (const ShardInfo &s : set.allShards())
+            summary.totalInsts += s.count;
+        summary.shardCount =
+            static_cast<unsigned>(set.allShards().size());
+        summary.combinedCrc = set.combinedCrc();
+        return summary;
+    }
+    return recordWorkloadTrace(dir, profile, spec);
+}
+
+} // namespace trace
+} // namespace ppa

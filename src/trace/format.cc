@@ -1,0 +1,433 @@
+#include "trace/format.hh"
+
+#include <cstdio>
+
+namespace ppa
+{
+namespace trace
+{
+
+namespace
+{
+
+/** Flags-byte bits of a record (docs/TRACING.md). */
+enum RecordFlags : std::uint8_t
+{
+    flagTaken = 1u << 0,   ///< branch committed taken
+    flagSeqPc = 1u << 1,   ///< pc == prevPc + 4; PC field omitted
+    flagHasDst = 1u << 2,  ///< destination register present
+    flagHasMem = 1u << 3,  ///< effective-address delta present
+    flagHasImm = 1u << 4,  ///< immediate delta present
+    flagSrcShift = 5,      ///< bits 5-6: source-register count (0-3)
+};
+
+/** Regs-byte bits: per-operand class flags plus the width escape. */
+enum RegsByte : std::uint8_t
+{
+    regDstFp = 1u << 0,   ///< dst is RegClass::Fp
+    regSrc0Fp = 1u << 1,  ///< srcs[0] is Fp
+    regSrc1Fp = 1u << 2,
+    regSrc2Fp = 1u << 3,
+    regWide = 1u << 4,    ///< any register id > 15: ids are full bytes
+};
+
+/** Stores (and clwb/atomics) delta against the store baseline. */
+bool
+usesStoreBaseline(Opcode op)
+{
+    return opInfo(op).isStore || op == Opcode::Clwb;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+bool
+getVarint(const std::uint8_t *data, std::size_t len, std::size_t &pos,
+          std::uint64_t &out)
+{
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 70; shift += 7) {
+        if (pos >= len)
+            return false;
+        std::uint8_t b = data[pos++];
+        v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+        if (!(b & 0x80)) {
+            out = v;
+            return true;
+        }
+    }
+    return false; // > 10 bytes: not a valid 64-bit varint
+}
+
+// ---------------------------------------------------------------------
+// BlockEncoder
+// ---------------------------------------------------------------------
+
+void
+BlockEncoder::reset()
+{
+    buf.clear();
+    count = 0;
+    prevPc = 0;
+    prevLoadAddr = 0;
+    prevStoreAddr = 0;
+    prevImm = 0;
+}
+
+void
+BlockEncoder::append(const DynInst &inst)
+{
+    std::uint8_t flags = 0;
+    if (inst.taken)
+        flags |= flagTaken;
+    bool seq_pc = inst.pc == prevPc + 4;
+    if (seq_pc)
+        flags |= flagSeqPc;
+    bool has_dst = inst.dst.valid();
+    if (has_dst)
+        flags |= flagHasDst;
+    bool has_mem = inst.memAddr != 0;
+    if (has_mem)
+        flags |= flagHasMem;
+    bool has_imm = inst.imm != 0;
+    if (has_imm)
+        flags |= flagHasImm;
+    int nsrcs = inst.numSrcs();
+    // The format stores the count, not a presence mask: sources must
+    // occupy srcs[0..n-1] (every producer in the repo does this).
+    for (int s = 0; s < nsrcs; ++s) {
+        PPA_ASSERT(inst.srcs[s].valid(),
+                   "trace format: source registers must be contiguous");
+    }
+    flags |= static_cast<std::uint8_t>(nsrcs << flagSrcShift);
+
+    buf.push_back(flags);
+    buf.push_back(static_cast<std::uint8_t>(inst.op));
+
+    if (has_dst || nsrcs > 0) {
+        std::uint8_t regs = 0;
+        bool wide = false;
+        ArchReg ids[1 + maxSrcRegs];
+        int nids = 0;
+        if (has_dst) {
+            if (inst.dst.cls == RegClass::Fp)
+                regs |= regDstFp;
+            ids[nids++] = inst.dst.idx;
+        }
+        for (int s = 0; s < nsrcs; ++s) {
+            if (inst.srcs[s].cls == RegClass::Fp)
+                regs |= static_cast<std::uint8_t>(regSrc0Fp << s);
+            ids[nids++] = inst.srcs[s].idx;
+        }
+        for (int i = 0; i < nids; ++i) {
+            PPA_ASSERT(ids[i] >= 0 && ids[i] <= 0xFF,
+                       "trace format: register id ", ids[i],
+                       " out of the encodable range");
+            if (ids[i] > 15)
+                wide = true;
+        }
+        if (wide)
+            regs |= regWide;
+        buf.push_back(regs);
+        if (wide) {
+            for (int i = 0; i < nids; ++i)
+                buf.push_back(static_cast<std::uint8_t>(ids[i]));
+        } else {
+            // Nibble packing: two 4-bit ids per byte, low nibble first.
+            for (int i = 0; i < nids; i += 2) {
+                std::uint8_t b = static_cast<std::uint8_t>(ids[i]);
+                if (i + 1 < nids)
+                    b |= static_cast<std::uint8_t>(ids[i + 1] << 4);
+                buf.push_back(b);
+            }
+        }
+    }
+
+    if (!seq_pc) {
+        putVarint(buf, zigzagEncode(static_cast<std::int64_t>(
+                           inst.pc - prevPc)));
+    }
+    prevPc = inst.pc;
+
+    if (has_mem) {
+        Addr &baseline = usesStoreBaseline(inst.op) ? prevStoreAddr
+                                                    : prevLoadAddr;
+        putVarint(buf, zigzagEncode(static_cast<std::int64_t>(
+                           inst.memAddr - baseline)));
+        baseline = inst.memAddr;
+    }
+
+    if (has_imm) {
+        putVarint(buf, zigzagEncode(static_cast<std::int64_t>(
+                           inst.imm - prevImm)));
+    }
+    prevImm = inst.imm;
+
+    ++count;
+}
+
+// ---------------------------------------------------------------------
+// BlockDecoder
+// ---------------------------------------------------------------------
+
+bool
+BlockDecoder::fail(const char *what)
+{
+    if (err.empty())
+        err = what;
+    return false;
+}
+
+bool
+BlockDecoder::next(DynInst &out)
+{
+    if (!err.empty() || pos >= len)
+        return false;
+
+    std::uint8_t flags = data[pos++];
+    if (pos >= len)
+        return fail("record truncated after flags byte");
+    std::uint8_t op_byte = data[pos++];
+    if (op_byte > static_cast<std::uint8_t>(Opcode::Halt))
+        return fail("record has an unknown opcode");
+
+    out = DynInst{};
+    out.op = static_cast<Opcode>(op_byte);
+    out.taken = (flags & flagTaken) != 0;
+    bool has_dst = (flags & flagHasDst) != 0;
+    int nsrcs = (flags >> flagSrcShift) & 0x3;
+
+    if (has_dst || nsrcs > 0) {
+        if (pos >= len)
+            return fail("record truncated before regs byte");
+        std::uint8_t regs = data[pos++];
+        int nids = (has_dst ? 1 : 0) + nsrcs;
+        ArchReg ids[1 + maxSrcRegs];
+        if (regs & regWide) {
+            for (int i = 0; i < nids; ++i) {
+                if (pos >= len)
+                    return fail("record truncated in register ids");
+                ids[i] = static_cast<ArchReg>(data[pos++]);
+            }
+        } else {
+            for (int i = 0; i < nids; i += 2) {
+                if (pos >= len)
+                    return fail("record truncated in register ids");
+                std::uint8_t b = data[pos++];
+                ids[i] = static_cast<ArchReg>(b & 0x0F);
+                if (i + 1 < nids)
+                    ids[i + 1] = static_cast<ArchReg>(b >> 4);
+            }
+        }
+        int at = 0;
+        if (has_dst) {
+            out.dst = {(regs & regDstFp) ? RegClass::Fp : RegClass::Int,
+                       ids[at++]};
+        }
+        for (int s = 0; s < nsrcs; ++s) {
+            out.srcs[s] = {(regs & (regSrc0Fp << s)) ? RegClass::Fp
+                                                     : RegClass::Int,
+                           ids[at++]};
+        }
+    }
+
+    if (flags & flagSeqPc) {
+        out.pc = prevPc + 4;
+    } else {
+        std::uint64_t zz;
+        if (!getVarint(data, len, pos, zz))
+            return fail("record truncated in PC delta");
+        out.pc = prevPc + static_cast<Addr>(zigzagDecode(zz));
+    }
+    prevPc = out.pc;
+
+    if (flags & flagHasMem) {
+        Addr &baseline = usesStoreBaseline(out.op) ? prevStoreAddr
+                                                   : prevLoadAddr;
+        std::uint64_t zz;
+        if (!getVarint(data, len, pos, zz))
+            return fail("record truncated in address delta");
+        out.memAddr = baseline + static_cast<Addr>(zigzagDecode(zz));
+        baseline = out.memAddr;
+    }
+
+    if (flags & flagHasImm) {
+        std::uint64_t zz;
+        if (!getVarint(data, len, pos, zz))
+            return fail("record truncated in immediate delta");
+        out.imm = prevImm + static_cast<Word>(zigzagDecode(zz));
+    }
+    prevImm = out.imm;
+
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Shard assembly / parsing
+// ---------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+buildShardImage(const ShardHeader &header,
+                const std::vector<std::vector<std::uint8_t>> &blocks)
+{
+    std::vector<std::uint8_t> image;
+    putU64(image, shardMagic);
+    putU32(image, formatVersion);
+    putU32(image, header.blockInsts);
+    putU64(image, header.firstIndex);
+    putU64(image, header.count);
+    putU64(image, 0); // reserved
+    PPA_ASSERT(image.size() == shardHeaderBytes,
+               "shard header layout drifted");
+
+    std::vector<std::uint64_t> offsets;
+    offsets.reserve(blocks.size());
+    std::size_t payload_start = image.size();
+    for (const auto &block : blocks) {
+        offsets.push_back(image.size() - payload_start);
+        image.insert(image.end(), block.begin(), block.end());
+    }
+    std::uint32_t crc = binfmt::crc32(image.data() + payload_start,
+                                      image.size() - payload_start);
+
+    for (std::uint64_t off : offsets)
+        putU64(image, off);
+    putU32(image, crc);
+    putU32(image, static_cast<std::uint32_t>(blocks.size()));
+    putU64(image, footerMagic);
+    return image;
+}
+
+bool
+parseShardImage(const std::vector<std::uint8_t> &image,
+                ShardHeader &header, ShardFooter &footer,
+                std::string &error)
+{
+    auto failParse = [&](const std::string &what) {
+        error = what;
+        return false;
+    };
+
+    if (image.size() < shardHeaderBytes + 16)
+        return failParse("shard smaller than header + trailer");
+    if (getU64(image.data()) != shardMagic)
+        return failParse("bad shard magic (not a PPA trace shard)");
+    std::uint32_t version = getU32(image.data() + 8);
+    if (version != formatVersion) {
+        return failParse("unsupported shard format version " +
+                         std::to_string(version) + " (this build reads " +
+                         std::to_string(formatVersion) + ")");
+    }
+    header.blockInsts = getU32(image.data() + 12);
+    header.firstIndex = getU64(image.data() + 16);
+    header.count = getU64(image.data() + 24);
+    if (header.blockInsts == 0)
+        return failParse("shard header has zero blockInsts");
+
+    const std::uint8_t *tail = image.data() + image.size() - 16;
+    if (getU64(tail + 8) != footerMagic)
+        return failParse("bad shard footer magic (truncated shard?)");
+    footer.payloadCrc = getU32(tail);
+    std::uint32_t n_blocks = getU32(tail + 4);
+
+    std::uint64_t expect_blocks =
+        (header.count + header.blockInsts - 1) / header.blockInsts;
+    if (n_blocks != expect_blocks)
+        return failParse("footer block count inconsistent with header");
+    std::size_t footer_bytes = 16 + 8 * std::size_t{n_blocks};
+    if (image.size() < shardHeaderBytes + footer_bytes)
+        return failParse("shard too small for its footer index");
+
+    std::size_t payload_bytes =
+        image.size() - shardHeaderBytes - footer_bytes;
+    const std::uint8_t *offs =
+        image.data() + shardHeaderBytes + payload_bytes;
+    footer.blockOffsets.clear();
+    footer.blockOffsets.reserve(n_blocks);
+    std::uint64_t prev = 0;
+    for (std::uint32_t b = 0; b < n_blocks; ++b) {
+        std::uint64_t off = getU64(offs + 8 * b);
+        if (off > payload_bytes || (b > 0 && off < prev))
+            return failParse("footer block offsets not monotone");
+        if (b == 0 && off != 0)
+            return failParse("first block offset must be zero");
+        footer.blockOffsets.push_back(off);
+        prev = off;
+    }
+    error.clear();
+    return true;
+}
+
+void
+shardBlockRange(const ShardHeader &header, const ShardFooter &footer,
+                const std::vector<std::uint8_t> &image, std::size_t b,
+                std::size_t &begin, std::size_t &end)
+{
+    PPA_ASSERT(b < footer.blockOffsets.size(), "block ", b,
+               " out of range");
+    std::size_t footer_bytes = 16 + 8 * footer.blockOffsets.size();
+    std::size_t payload_end = image.size() - footer_bytes;
+    begin = shardHeaderBytes +
+            static_cast<std::size_t>(footer.blockOffsets[b]);
+    end = b + 1 < footer.blockOffsets.size()
+              ? shardHeaderBytes + static_cast<std::size_t>(
+                                       footer.blockOffsets[b + 1])
+              : payload_end;
+    (void)header;
+}
+
+std::string
+shardFileName(unsigned thread, unsigned seq)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "t%02u-s%05u.ppashard", thread, seq);
+    return buf;
+}
+
+} // namespace trace
+} // namespace ppa

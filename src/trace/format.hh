@@ -1,0 +1,224 @@
+/**
+ * @file
+ * On-disk format of committed-instruction-stream traces.
+ *
+ * A trace is a directory: one text manifest plus one or more binary
+ * shard files per thread. Shards hold delta-compressed dynamic
+ * instructions in independently decodable blocks, so replay can
+ * stream a trace of any length through a fixed-size window and
+ * seekTo() any index without decoding from the start of the file.
+ * The full byte-level specification lives in docs/TRACING.md; this
+ * header is the single implementation of it.
+ *
+ * Shard layout:
+ *
+ *   [header  40 B]  magic 'PPASHRD1', version, blockInsts,
+ *                   firstIndex, count
+ *   [payload]       blocks of varint/delta-encoded records; every
+ *                   delta baseline resets at a block start
+ *   [footer]        u64 payload offset per block, payload CRC32,
+ *                   block count, magic 'PPASHFT1' (last 16 bytes are
+ *                   fixed-size, so the footer is located from EOF)
+ *
+ * Record encoding (per instruction): a flags byte, the opcode, then
+ * only the fields the flags call for — PC as a delta from the
+ * previous record (with a 1-bit fast path for sequential +4 PCs),
+ * register ids packed two per byte (nibbles) unless an id exceeds 15,
+ * load/store effective addresses as zigzag deltas against separate
+ * per-kind baselines, and the immediate as a zigzag delta against the
+ * previous immediate.
+ */
+
+#ifndef PPA_TRACE_FORMAT_HH
+#define PPA_TRACE_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/binary_format.hh"
+#include "isa/dyninst.hh"
+
+namespace ppa
+{
+namespace trace
+{
+
+/** Shard header magic ('PPASHRD1' in a hex dump). */
+constexpr std::uint64_t shardMagic = binfmt::packMagic("PPASHRD1");
+
+/** Shard footer magic ('PPASHFT1'). */
+constexpr std::uint64_t footerMagic = binfmt::packMagic("PPASHFT1");
+
+/** Trace format version; bump on ANY layout change (docs/TRACING.md). */
+constexpr std::uint32_t formatVersion = 1;
+
+/** Manifest file name inside a trace directory. */
+constexpr const char *manifestFileName = "manifest.ppatrace";
+
+/** First line of the manifest (its own magic + version). */
+constexpr const char *manifestHeaderLine = "ppa-trace-manifest 1";
+
+/** Default instructions per shard file. */
+constexpr std::uint64_t defaultShardInsts = 1u << 18;
+
+/** Default instructions per block (seek granularity). */
+constexpr std::uint32_t defaultBlockInsts = 4096;
+
+/** Fixed shard header size in bytes. */
+constexpr std::size_t shardHeaderBytes = 40;
+
+// ---------------------------------------------------------------------
+// Little-endian primitives and varints
+// ---------------------------------------------------------------------
+
+void putU32(std::vector<std::uint8_t> &out, std::uint32_t v);
+void putU64(std::vector<std::uint8_t> &out, std::uint64_t v);
+std::uint32_t getU32(const std::uint8_t *p);
+std::uint64_t getU64(const std::uint8_t *p);
+
+/** Append @p v as a LEB128-style varint (7 bits per byte). */
+void putVarint(std::vector<std::uint8_t> &out, std::uint64_t v);
+
+/**
+ * Decode a varint at @p pos (advanced past it on success).
+ * @return false on truncation or a varint longer than 10 bytes.
+ */
+bool getVarint(const std::uint8_t *data, std::size_t len,
+               std::size_t &pos, std::uint64_t &out);
+
+/** Map a signed delta onto an unsigned varint-friendly value. */
+constexpr std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+/** Inverse of zigzagEncode. */
+constexpr std::int64_t
+zigzagDecode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+// ---------------------------------------------------------------------
+// Block encode/decode
+// ---------------------------------------------------------------------
+
+/**
+ * Streaming encoder for one block of instructions. The delta
+ * baselines (previous PC, per-kind memory addresses, immediate) are
+ * block-local: reset() starts a new block that decodes without any
+ * earlier context.
+ */
+class BlockEncoder
+{
+  public:
+    /** Start a fresh block, discarding bytes and baselines. */
+    void reset();
+
+    /** Append one instruction to the block. */
+    void append(const DynInst &inst);
+
+    const std::vector<std::uint8_t> &bytes() const { return buf; }
+    std::uint32_t instCount() const { return count; }
+
+  private:
+    std::vector<std::uint8_t> buf;
+    std::uint32_t count = 0;
+    Addr prevPc = 0;
+    Addr prevLoadAddr = 0;
+    Addr prevStoreAddr = 0;
+    Word prevImm = 0;
+};
+
+/**
+ * Decoder over one block's bytes. Returns instructions with all
+ * recorded fields; DynInst::index is assigned by the caller (it is
+ * positional, not stored).
+ */
+class BlockDecoder
+{
+  public:
+    BlockDecoder(const std::uint8_t *data, std::size_t len)
+        : data(data), len(len)
+    {}
+
+    /**
+     * Decode the next instruction.
+     * @return false at end of block or on malformed bytes; check
+     *         error() to distinguish.
+     */
+    bool next(DynInst &out);
+
+    bool atEnd() const { return pos == len && err.empty(); }
+
+    /** Nonempty when decoding failed (corrupt or truncated block). */
+    const std::string &error() const { return err; }
+
+  private:
+    bool fail(const char *what);
+
+    const std::uint8_t *data;
+    std::size_t len;
+    std::size_t pos = 0;
+    std::string err;
+    Addr prevPc = 0;
+    Addr prevLoadAddr = 0;
+    Addr prevStoreAddr = 0;
+    Word prevImm = 0;
+};
+
+// ---------------------------------------------------------------------
+// Shard assembly / parsing
+// ---------------------------------------------------------------------
+
+/** Parsed shard header. */
+struct ShardHeader
+{
+    std::uint32_t blockInsts = defaultBlockInsts;
+    std::uint64_t firstIndex = 0;
+    std::uint64_t count = 0;
+};
+
+/** Parsed shard footer. */
+struct ShardFooter
+{
+    std::vector<std::uint64_t> blockOffsets; ///< payload-relative
+    std::uint32_t payloadCrc = 0;
+};
+
+/**
+ * Assemble a complete shard file image: header + the concatenated
+ * block payloads + footer (offsets, payload CRC32, trailer).
+ */
+std::vector<std::uint8_t> buildShardImage(
+    const ShardHeader &header,
+    const std::vector<std::vector<std::uint8_t>> &blocks);
+
+/**
+ * Parse and validate a shard image's header and footer (magic,
+ * version, structural consistency — NOT the payload CRC, which
+ * verifyTrace() recomputes).
+ * @return false with @p error set on a malformed shard.
+ */
+bool parseShardImage(const std::vector<std::uint8_t> &image,
+                     ShardHeader &header, ShardFooter &footer,
+                     std::string &error);
+
+/** Byte range [begin, end) of block @p b's payload within the image. */
+void shardBlockRange(const ShardHeader &header,
+                     const ShardFooter &footer,
+                     const std::vector<std::uint8_t> &image,
+                     std::size_t b, std::size_t &begin,
+                     std::size_t &end);
+
+/** Shard file name for (thread, sequence-within-thread). */
+std::string shardFileName(unsigned thread, unsigned seq);
+
+} // namespace trace
+} // namespace ppa
+
+#endif // PPA_TRACE_FORMAT_HH

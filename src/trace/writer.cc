@@ -1,0 +1,163 @@
+#include "trace/writer.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace ppa
+{
+namespace trace
+{
+
+namespace
+{
+
+void
+writeFileOrDie(const std::string &path, const void *data, std::size_t len)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    os.write(static_cast<const char *>(data),
+             static_cast<std::streamsize>(len));
+    os.flush();
+    if (!os)
+        fatal("write to '", path, "' failed (disk full?)");
+}
+
+} // namespace
+
+std::uint32_t
+combineShardCrcs(const std::vector<ShardInfo> &shards)
+{
+    std::uint32_t crc = 0;
+    for (const ShardInfo &s : shards) {
+        std::uint8_t le[4];
+        for (int i = 0; i < 4; ++i)
+            le[i] = static_cast<std::uint8_t>(s.crc32 >> (8 * i));
+        crc = binfmt::crc32(le, sizeof(le), crc);
+    }
+    return crc;
+}
+
+TraceWriter::TraceWriter(std::string dir_, TraceMeta meta_)
+    : dir(std::move(dir_)), meta(std::move(meta_))
+{
+    PPA_ASSERT(meta.threads > 0, "trace must have at least one thread");
+    PPA_ASSERT(meta.shardInsts > 0 && meta.blockInsts > 0,
+               "shard/block capacities must be nonzero");
+    // Whole blocks per shard keeps index->shard arithmetic exact.
+    meta.shardInsts -= meta.shardInsts % meta.blockInsts;
+    if (meta.shardInsts == 0)
+        meta.shardInsts = meta.blockInsts;
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        fatal("cannot create trace directory '", dir, "': ", ec.message());
+    states.resize(meta.threads);
+}
+
+void
+TraceWriter::flushBlock(ThreadState &ts)
+{
+    if (ts.encoder.instCount() == 0)
+        return;
+    ts.blockInstsTotal += ts.encoder.instCount();
+    ts.blocks.push_back(ts.encoder.bytes());
+    ts.encoder.reset();
+}
+
+void
+TraceWriter::flushShard(unsigned thread, ThreadState &ts)
+{
+    flushBlock(ts);
+    if (ts.blocks.empty())
+        return;
+
+    ShardHeader header;
+    header.blockInsts = meta.blockInsts;
+    header.firstIndex = ts.shardFirstIndex;
+    header.count = ts.blockInstsTotal;
+    std::vector<std::uint8_t> image = buildShardImage(header, ts.blocks);
+
+    ShardInfo info;
+    info.thread = thread;
+    info.seq = ts.nextSeq++;
+    info.file = shardFileName(thread, info.seq);
+    info.firstIndex = header.firstIndex;
+    info.count = header.count;
+    info.crc32 = getU32(image.data() + image.size() - 16);
+    writeFileOrDie(dir + "/" + info.file, image.data(), image.size());
+    shards.push_back(std::move(info));
+
+    ts.shardFirstIndex += ts.blockInstsTotal;
+    ts.blockInstsTotal = 0;
+    ts.blocks.clear();
+}
+
+void
+TraceWriter::append(unsigned thread, const DynInst &inst)
+{
+    PPA_ASSERT(!finished, "append() after finish()");
+    PPA_ASSERT(thread < meta.threads, "thread ", thread, " out of range");
+    ThreadState &ts = states[thread];
+    PPA_ASSERT(inst.index == ts.nextIndex, "trace capture out of order: ",
+               "expected index ", ts.nextIndex, ", got ", inst.index);
+
+    ts.encoder.append(inst);
+    ++ts.nextIndex;
+    if (ts.encoder.instCount() == meta.blockInsts)
+        flushBlock(ts);
+    if (ts.blockInstsTotal >= meta.shardInsts)
+        flushShard(thread, ts);
+}
+
+TraceSummary
+TraceWriter::finish()
+{
+    PPA_ASSERT(!finished, "finish() called twice");
+    finished = true;
+    for (unsigned t = 0; t < meta.threads; ++t)
+        flushShard(t, states[t]);
+
+    std::string text = manifestText(meta, shards);
+    writeFileOrDie(dir + "/" + manifestFileName, text.data(), text.size());
+
+    TraceSummary summary;
+    for (const ShardInfo &s : shards)
+        summary.totalInsts += s.count;
+    summary.shardCount = static_cast<unsigned>(shards.size());
+    summary.combinedCrc = combineShardCrcs(shards);
+    return summary;
+}
+
+std::string
+manifestText(const TraceMeta &meta, const std::vector<ShardInfo> &shards)
+{
+    std::string out;
+    out += manifestHeaderLine;
+    out += '\n';
+    out += "app " + meta.app + "\n";
+    out += "seed " + std::to_string(meta.seed) + "\n";
+    out += "threads " + std::to_string(meta.threads) + "\n";
+    out += "instsPerThread " + std::to_string(meta.instsPerThread) + "\n";
+    out += "shardInsts " + std::to_string(meta.shardInsts) + "\n";
+    out += "blockInsts " + std::to_string(meta.blockInsts) + "\n";
+    for (const ShardInfo &s : shards) {
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "shard %u %u %s %llu %llu %08x\n", s.thread, s.seq,
+                      s.file.c_str(),
+                      static_cast<unsigned long long>(s.firstIndex),
+                      static_cast<unsigned long long>(s.count), s.crc32);
+        out += line;
+    }
+    out += "end\n";
+    return out;
+}
+
+} // namespace trace
+} // namespace ppa

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Trace capture: write committed-instruction streams to a trace
+ * directory in the sharded on-disk format (trace/format.hh).
+ *
+ * One TraceWriter captures all threads of a run. Instructions are
+ * appended per thread in stream order; the writer cuts a shard file
+ * whenever a thread's pending block set reaches the shard capacity
+ * and writes the manifest — the directory's index and integrity
+ * record — in finish().
+ */
+
+#ifndef PPA_TRACE_WRITER_HH
+#define PPA_TRACE_WRITER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/format.hh"
+
+namespace ppa
+{
+namespace trace
+{
+
+/** Identity of a trace: what was recorded, and how to regenerate it. */
+struct TraceMeta
+{
+    std::string app;                 ///< workload profile name
+    std::uint64_t seed = 42;         ///< generator root seed
+    unsigned threads = 1;            ///< recorded stream count
+    std::uint64_t instsPerThread = 0;///< committed path length per thread
+    std::uint64_t shardInsts = defaultShardInsts;
+    std::uint32_t blockInsts = defaultBlockInsts;
+};
+
+/** One shard's manifest entry. */
+struct ShardInfo
+{
+    unsigned thread = 0;
+    unsigned seq = 0;          ///< sequence within the thread
+    std::string file;          ///< file name relative to the trace dir
+    std::uint64_t firstIndex = 0;
+    std::uint64_t count = 0;
+    std::uint32_t crc32 = 0;   ///< payload CRC from the shard footer
+};
+
+/** What finish() reports (and provenance consumers reuse). */
+struct TraceSummary
+{
+    std::uint64_t totalInsts = 0; ///< across all threads
+    unsigned shardCount = 0;
+    /** CRC32 over the shards' payload CRCs in manifest order: one
+     *  order-sensitive fingerprint of the whole trace. */
+    std::uint32_t combinedCrc = 0;
+};
+
+/** @return the combined-fingerprint CRC for a shard list. */
+std::uint32_t combineShardCrcs(const std::vector<ShardInfo> &shards);
+
+/**
+ * Streaming trace writer. Fatal on I/O errors (a partially written
+ * trace must not look usable).
+ */
+class TraceWriter
+{
+  public:
+    /**
+     * @param dir  output directory (created if absent)
+     * @param meta trace identity, stored in the manifest
+     */
+    TraceWriter(std::string dir, TraceMeta meta);
+
+    /** Append thread @p thread's next instruction (stream order). */
+    void append(unsigned thread, const DynInst &inst);
+
+    /** Flush all pending shards and write the manifest. */
+    TraceSummary finish();
+
+  private:
+    struct ThreadState
+    {
+        BlockEncoder encoder;
+        std::vector<std::vector<std::uint8_t>> blocks;
+        std::uint64_t blockInstsTotal = 0; ///< insts in `blocks`
+        std::uint64_t nextIndex = 0;       ///< next expected index
+        std::uint64_t shardFirstIndex = 0;
+        unsigned nextSeq = 0;
+    };
+
+    void flushBlock(ThreadState &ts);
+    void flushShard(unsigned thread, ThreadState &ts);
+
+    std::string dir;
+    TraceMeta meta;
+    std::vector<ThreadState> states;
+    std::vector<ShardInfo> shards;
+    bool finished = false;
+};
+
+/** Serialize the manifest text for @p meta and @p shards. */
+std::string manifestText(const TraceMeta &meta,
+                         const std::vector<ShardInfo> &shards);
+
+} // namespace trace
+} // namespace ppa
+
+#endif // PPA_TRACE_WRITER_HH

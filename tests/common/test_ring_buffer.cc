@@ -1,0 +1,150 @@
+/** @file Unit tests for the power-of-two RingBuffer. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/ring_buffer.hh"
+
+using namespace ppa;
+
+TEST(RingBuffer, StartsEmpty)
+{
+    RingBuffer<int> rb(8);
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.size(), 0u);
+    EXPECT_EQ(rb.capacity(), 8u);
+}
+
+TEST(RingBuffer, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(RingBuffer<int>(5).capacity(), 8u);
+    EXPECT_EQ(RingBuffer<int>(8).capacity(), 8u);
+    EXPECT_EQ(RingBuffer<int>(9).capacity(), 16u);
+}
+
+TEST(RingBuffer, FifoOrderAndFrontRelativeIndexing)
+{
+    RingBuffer<int> rb(4);
+    rb.push_back(10);
+    rb.push_back(20);
+    rb.push_back(30);
+    EXPECT_EQ(rb.front(), 10);
+    EXPECT_EQ(rb.back(), 30);
+    EXPECT_EQ(rb[0], 10);
+    EXPECT_EQ(rb[1], 20);
+    EXPECT_EQ(rb[2], 30);
+    rb.pop_front();
+    EXPECT_EQ(rb.front(), 20);
+    EXPECT_EQ(rb[0], 20);
+    EXPECT_EQ(rb[1], 30);
+}
+
+TEST(RingBuffer, WrapAroundKeepsFifoOrder)
+{
+    // Drive head all the way around the backing array several times
+    // with the buffer near capacity, so (head + i) & mask wraps.
+    RingBuffer<int> rb(4);
+    int next_in = 0;
+    int next_out = 0;
+    for (int i = 0; i < 3; ++i)
+        rb.push_back(next_in++);
+    for (int round = 0; round < 25; ++round) {
+        EXPECT_EQ(rb.front(), next_out);
+        rb.pop_front();
+        ++next_out;
+        rb.push_back(next_in++);
+        ASSERT_EQ(rb.size(), 3u);
+        for (std::size_t i = 0; i < rb.size(); ++i)
+            EXPECT_EQ(rb[i], next_out + static_cast<int>(i));
+    }
+}
+
+TEST(RingBuffer, FullEmptyFullTransitions)
+{
+    RingBuffer<int> rb(4);
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 4; ++i)
+            rb.push_back(round * 10 + i);
+        EXPECT_EQ(rb.size(), rb.capacity());
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_EQ(rb.front(), round * 10 + i);
+            rb.pop_front();
+        }
+        EXPECT_TRUE(rb.empty());
+    }
+}
+
+TEST(RingBuffer, CapacityOneHoldsExactlyOneElement)
+{
+    RingBuffer<int> rb(1);
+    EXPECT_EQ(rb.capacity(), 1u);
+    EXPECT_TRUE(rb.empty());
+    // Repeated single-slot cycling exercises the mask == 0 edge case.
+    for (int i = 0; i < 10; ++i) {
+        rb.push_back(i);
+        EXPECT_EQ(rb.size(), 1u);
+        EXPECT_EQ(rb.front(), i);
+        EXPECT_EQ(rb.back(), i);
+        EXPECT_EQ(rb[0], i);
+        rb.pop_front();
+        EXPECT_TRUE(rb.empty());
+    }
+}
+
+TEST(RingBuffer, OverflowAndUnderflowAreFatal)
+{
+    RingBuffer<int> rb(2);
+    rb.push_back(1);
+    rb.push_back(2);
+    EXPECT_DEATH({ rb.push_back(3); }, "overflow");
+    RingBuffer<int> empty(2);
+    EXPECT_DEATH({ empty.pop_front(); }, "empty");
+    EXPECT_DEATH({ empty.front(); }, "empty");
+    EXPECT_DEATH({ empty.back(); }, "empty");
+    EXPECT_DEATH({ empty[0]; }, "out of");
+}
+
+TEST(RingBuffer, CapacityOneOverflowIsFatal)
+{
+    RingBuffer<int> rb(1);
+    rb.push_back(7);
+    EXPECT_DEATH({ rb.push_back(8); }, "overflow");
+}
+
+TEST(RingBuffer, EmplaceBackDefaultConstructsSlot)
+{
+    RingBuffer<std::string> rb(2);
+    rb.push_back("recycled");
+    rb.pop_front();
+    // The new slot must be reset even though the backing storage was
+    // previously occupied.
+    std::string &slot = rb.emplace_back();
+    EXPECT_TRUE(slot.empty());
+    slot = "fresh";
+    EXPECT_EQ(rb.back(), "fresh");
+}
+
+TEST(RingBuffer, ClearEmptiesWithoutReallocating)
+{
+    RingBuffer<int> rb(4);
+    rb.push_back(1);
+    rb.push_back(2);
+    rb.clear();
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.capacity(), 4u);
+    rb.push_back(5);
+    EXPECT_EQ(rb.front(), 5);
+}
+
+TEST(RingBuffer, ResetChangesCapacityAndDiscardsContents)
+{
+    RingBuffer<int> rb(2);
+    rb.push_back(1);
+    rb.reset(6);
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.capacity(), 8u);
+    for (int i = 0; i < 8; ++i)
+        rb.push_back(i);
+    EXPECT_EQ(rb.size(), 8u);
+}

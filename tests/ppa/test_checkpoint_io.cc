@@ -79,6 +79,15 @@ TEST(CheckpointIo, BadMagicIsFatal)
     EXPECT_DEATH({ deserializeCheckpoint(words); }, "bad magic");
 }
 
+TEST(CheckpointIo, VersionMismatchIsFatal)
+{
+    // A checkpoint written by a different format revision must be
+    // rejected up front, not deserialized on stale layout assumptions.
+    auto words = serializeCheckpoint(sampleImage());
+    words[1] += 1;
+    EXPECT_DEATH({ deserializeCheckpoint(words); }, "format version");
+}
+
 TEST(CheckpointIo, TruncationIsFatal)
 {
     auto words = serializeCheckpoint(sampleImage());

@@ -1,0 +1,386 @@
+/** @file Unit tests for the trace on-disk format primitives. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/binary_format.hh"
+#include "common/rng.hh"
+#include "trace/format.hh"
+#include "trace/writer.hh"
+
+using namespace ppa;
+using namespace ppa::trace;
+
+TEST(TraceFormat, VarintRoundTripsRepresentativeValues)
+{
+    const std::uint64_t values[] = {
+        0, 1, 127, 128, 129, 16383, 16384, 0xDEADBEEF,
+        std::uint64_t{1} << 32, ~std::uint64_t{0},
+    };
+    for (std::uint64_t v : values) {
+        std::vector<std::uint8_t> buf;
+        putVarint(buf, v);
+        std::size_t pos = 0;
+        std::uint64_t out = 0;
+        ASSERT_TRUE(getVarint(buf.data(), buf.size(), pos, out)) << v;
+        EXPECT_EQ(out, v);
+        EXPECT_EQ(pos, buf.size()) << v;
+    }
+}
+
+TEST(TraceFormat, VarintRoundTripsRandomStream)
+{
+    Rng rng(101);
+    std::vector<std::uint64_t> values;
+    std::vector<std::uint8_t> buf;
+    for (int i = 0; i < 5000; ++i) {
+        // Mix magnitudes so every byte-length class appears.
+        std::uint64_t v = rng.next() >> (rng.below(64));
+        values.push_back(v);
+        putVarint(buf, v);
+    }
+    std::size_t pos = 0;
+    for (std::uint64_t v : values) {
+        std::uint64_t out = 0;
+        ASSERT_TRUE(getVarint(buf.data(), buf.size(), pos, out));
+        EXPECT_EQ(out, v);
+    }
+    EXPECT_EQ(pos, buf.size());
+}
+
+TEST(TraceFormat, VarintDetectsTruncation)
+{
+    std::vector<std::uint8_t> buf;
+    putVarint(buf, ~std::uint64_t{0}); // 10-byte encoding
+    for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+        std::size_t pos = 0;
+        std::uint64_t out = 0;
+        EXPECT_FALSE(getVarint(buf.data(), cut, pos, out))
+            << "cut at " << cut;
+    }
+}
+
+TEST(TraceFormat, ZigzagRoundTripsAndOrdersSmallMagnitudes)
+{
+    const std::int64_t values[] = {
+        0, 1, -1, 2, -2, 4, -4, 1234567, -1234567,
+        std::int64_t{1} << 62, -(std::int64_t{1} << 62),
+    };
+    for (std::int64_t v : values)
+        EXPECT_EQ(zigzagDecode(zigzagEncode(v)), v) << v;
+    // The point of zigzag: small |v| maps to small codes.
+    EXPECT_EQ(zigzagEncode(0), 0u);
+    EXPECT_EQ(zigzagEncode(-1), 1u);
+    EXPECT_EQ(zigzagEncode(1), 2u);
+    EXPECT_EQ(zigzagEncode(-2), 3u);
+}
+
+TEST(TraceFormat, Crc32MatchesKnownVector)
+{
+    // The standard IEEE CRC-32 check value.
+    const char *msg = "123456789";
+    EXPECT_EQ(binfmt::crc32(reinterpret_cast<const std::uint8_t *>(msg),
+                            9),
+              0xCBF43926u);
+}
+
+TEST(TraceFormat, Crc32IsIncremental)
+{
+    const std::uint8_t data[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    std::uint32_t whole = binfmt::crc32(data, sizeof(data));
+    std::uint32_t part = binfmt::crc32(data, 4);
+    part = binfmt::crc32(data + 4, sizeof(data) - 4, part);
+    EXPECT_EQ(part, whole);
+}
+
+TEST(TraceFormat, PackMagicPutsFirstCharInLowestByte)
+{
+    // Little-endian storage of the packed magic must show the literal
+    // string in a hex dump.
+    EXPECT_EQ(shardMagic & 0xFF, static_cast<std::uint64_t>('P'));
+    EXPECT_EQ((shardMagic >> 56) & 0xFF, static_cast<std::uint64_t>('1'));
+    EXPECT_NE(shardMagic, footerMagic);
+}
+
+TEST(TraceFormat, ShardFileNamesAreStableAndSortable)
+{
+    EXPECT_EQ(shardFileName(0, 0), "t00-s00000.ppashard");
+    EXPECT_EQ(shardFileName(7, 123), "t07-s00123.ppashard");
+}
+
+namespace
+{
+
+/** A random but structurally valid committed-path instruction. */
+DynInst
+randomInst(Rng &rng, std::uint64_t index, Addr &pc)
+{
+    static const Opcode ops[] = {
+        Opcode::Nop,    Opcode::IntAdd, Opcode::IntMul, Opcode::IntMov,
+        Opcode::FpAdd,  Opcode::FpMul,  Opcode::Load,   Opcode::FpLoad,
+        Opcode::Store,  Opcode::FpStore, Opcode::Branch, Opcode::Jump,
+        Opcode::AtomicRmw, Opcode::Fence, Opcode::Clwb,
+    };
+    DynInst d;
+    d.index = index;
+    // Mostly sequential PCs with occasional jumps, like a real stream.
+    if (rng.chance(0.85))
+        pc += 4;
+    else
+        pc = 0x400000 + 4 * rng.below(1 << 20);
+    d.pc = pc;
+    d.op = ops[rng.below(sizeof(ops) / sizeof(ops[0]))];
+    if (writesReg(d.op)) {
+        d.dst = destClass(d.op) == RegClass::Fp
+                    ? RegRef::fpReg(static_cast<ArchReg>(rng.below(32)))
+                    : RegRef::intReg(static_cast<ArchReg>(rng.below(16)));
+    }
+    const unsigned nsrcs = static_cast<unsigned>(rng.below(maxSrcRegs + 1));
+    for (unsigned s = 0; s < nsrcs; ++s) {
+        d.srcs[s] = rng.chance(0.3)
+                        ? RegRef::fpReg(static_cast<ArchReg>(rng.below(32)))
+                        : RegRef::intReg(static_cast<ArchReg>(rng.below(16)));
+    }
+    if (rng.chance(0.5))
+        d.imm = rng.next() >> rng.below(40);
+    if (d.isMem() || d.op == Opcode::Clwb)
+        d.memAddr = 0x10000000 + 8 * rng.below(1 << 24);
+    if (d.isBranch())
+        d.taken = rng.chance(0.6);
+    return d;
+}
+
+void
+expectSameInst(const DynInst &a, const DynInst &b, std::size_t at)
+{
+    EXPECT_EQ(a.pc, b.pc) << "at " << at;
+    EXPECT_EQ(a.op, b.op) << "at " << at;
+    EXPECT_EQ(a.dst, b.dst) << "at " << at;
+    for (int s = 0; s < maxSrcRegs; ++s)
+        EXPECT_EQ(a.srcs[s], b.srcs[s]) << "at " << at << " src " << s;
+    EXPECT_EQ(a.imm, b.imm) << "at " << at;
+    EXPECT_EQ(a.memAddr, b.memAddr) << "at " << at;
+    EXPECT_EQ(a.taken, b.taken) << "at " << at;
+}
+
+} // namespace
+
+TEST(TraceFormat, BlockRoundTripsRandomInstructions)
+{
+    Rng rng(7);
+    Addr pc = 0x400000;
+    std::vector<DynInst> ref;
+    BlockEncoder enc;
+    enc.reset();
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+        DynInst d = randomInst(rng, i, pc);
+        ref.push_back(d);
+        enc.append(d);
+    }
+    EXPECT_EQ(enc.instCount(), 2000u);
+
+    BlockDecoder dec(enc.bytes().data(), enc.bytes().size());
+    DynInst d;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_TRUE(dec.next(d)) << "at " << i << ": " << dec.error();
+        expectSameInst(d, ref[i], i);
+    }
+    EXPECT_FALSE(dec.next(d));
+    EXPECT_TRUE(dec.atEnd()) << dec.error();
+}
+
+TEST(TraceFormat, BlockHandlesWideRegisterIds)
+{
+    // FP register ids above 15 cannot be nibble-packed and take the
+    // wide escape; mixing both forms in one block must round-trip.
+    BlockEncoder enc;
+    enc.reset();
+    std::vector<DynInst> ref;
+    for (int i = 0; i < 8; ++i) {
+        DynInst d;
+        d.index = static_cast<std::uint64_t>(i);
+        d.pc = 0x1000 + 4 * static_cast<Addr>(i);
+        d.op = Opcode::FpAdd;
+        d.dst = RegRef::fpReg(static_cast<ArchReg>(i % 2 ? 31 : 3));
+        d.srcs[0] = RegRef::fpReg(static_cast<ArchReg>(16 + i));
+        d.srcs[1] = RegRef::fpReg(static_cast<ArchReg>(i));
+        ref.push_back(d);
+        enc.append(d);
+    }
+    BlockDecoder dec(enc.bytes().data(), enc.bytes().size());
+    DynInst d;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_TRUE(dec.next(d)) << dec.error();
+        expectSameInst(d, ref[i], i);
+    }
+    EXPECT_TRUE(dec.atEnd());
+}
+
+TEST(TraceFormat, DecoderFlagsTruncatedBlock)
+{
+    BlockEncoder enc;
+    enc.reset();
+    Rng rng(11);
+    Addr pc = 0x400000;
+    for (std::uint64_t i = 0; i < 50; ++i)
+        enc.append(randomInst(rng, i, pc));
+    // Cut mid-record: the decoder must stop with an error, not crash
+    // or fabricate instructions past the cut.
+    BlockDecoder dec(enc.bytes().data(), enc.bytes().size() - 3);
+    DynInst d;
+    int decoded = 0;
+    while (dec.next(d))
+        ++decoded;
+    EXPECT_LT(decoded, 50);
+    EXPECT_FALSE(dec.atEnd());
+    EXPECT_FALSE(dec.error().empty());
+}
+
+namespace
+{
+
+/** Build a two-block shard image from deterministic instructions. */
+std::vector<std::uint8_t>
+buildTestShard(ShardHeader &header, std::vector<DynInst> &ref)
+{
+    Rng rng(13);
+    Addr pc = 0x400000;
+    std::vector<std::vector<std::uint8_t>> blocks;
+    BlockEncoder enc;
+    std::uint64_t index = 0;
+    for (int b = 0; b < 2; ++b) {
+        enc.reset();
+        for (int i = 0; i < 100; ++i) {
+            DynInst d = randomInst(rng, index++, pc);
+            ref.push_back(d);
+            enc.append(d);
+        }
+        blocks.push_back(enc.bytes());
+    }
+    header.blockInsts = 100;
+    header.firstIndex = 0;
+    header.count = 200;
+    return buildShardImage(header, blocks);
+}
+
+} // namespace
+
+TEST(TraceFormat, ShardImageRoundTrips)
+{
+    ShardHeader in;
+    std::vector<DynInst> ref;
+    auto image = buildTestShard(in, ref);
+
+    ShardHeader header;
+    ShardFooter footer;
+    std::string error;
+    ASSERT_TRUE(parseShardImage(image, header, footer, error)) << error;
+    EXPECT_EQ(header.blockInsts, 100u);
+    EXPECT_EQ(header.firstIndex, 0u);
+    EXPECT_EQ(header.count, 200u);
+    ASSERT_EQ(footer.blockOffsets.size(), 2u);
+
+    // The recorded payload CRC matches a recomputation.
+    std::size_t b0begin, b0end, b1begin, b1end;
+    shardBlockRange(header, footer, image, 0, b0begin, b0end);
+    shardBlockRange(header, footer, image, 1, b1begin, b1end);
+    EXPECT_EQ(b0begin, shardHeaderBytes);
+    EXPECT_EQ(b0end, b1begin);
+    EXPECT_EQ(footer.payloadCrc,
+              binfmt::crc32(image.data() + b0begin, b1end - b0begin));
+
+    // Both blocks decode back to the original instructions.
+    std::size_t at = 0;
+    for (std::size_t b = 0; b < 2; ++b) {
+        std::size_t begin, end;
+        shardBlockRange(header, footer, image, b, begin, end);
+        BlockDecoder dec(image.data() + begin, end - begin);
+        DynInst d;
+        while (dec.next(d)) {
+            ASSERT_LT(at, ref.size());
+            expectSameInst(d, ref[at], at);
+            ++at;
+        }
+        EXPECT_TRUE(dec.atEnd()) << dec.error();
+    }
+    EXPECT_EQ(at, ref.size());
+}
+
+TEST(TraceFormat, ParseRejectsStructuralCorruption)
+{
+    ShardHeader in;
+    std::vector<DynInst> ref;
+    auto good = buildTestShard(in, ref);
+
+    ShardHeader header;
+    ShardFooter footer;
+    std::string error;
+
+    // Bad header magic.
+    auto bad = good;
+    bad[0] ^= 0xFF;
+    EXPECT_FALSE(parseShardImage(bad, header, footer, error));
+    EXPECT_NE(error.find("magic"), std::string::npos) << error;
+
+    // Unknown format version.
+    bad = good;
+    bad[8] += 1;
+    EXPECT_FALSE(parseShardImage(bad, header, footer, error));
+
+    // Bad footer magic.
+    bad = good;
+    bad[bad.size() - 1] ^= 0xFF;
+    EXPECT_FALSE(parseShardImage(bad, header, footer, error));
+
+    // Truncation anywhere in the tail.
+    bad = good;
+    bad.resize(bad.size() - 9);
+    EXPECT_FALSE(parseShardImage(bad, header, footer, error));
+
+    // Shorter than a header at all.
+    bad.assign(10, 0);
+    EXPECT_FALSE(parseShardImage(bad, header, footer, error));
+
+    // The pristine image still parses (corruption checks above did
+    // not mutate `good`).
+    EXPECT_TRUE(parseShardImage(good, header, footer, error)) << error;
+}
+
+TEST(TraceFormat, ManifestTextListsEveryShard)
+{
+    TraceMeta meta;
+    meta.app = "gcc";
+    meta.seed = 7;
+    meta.threads = 2;
+    meta.instsPerThread = 300;
+    meta.shardInsts = 200;
+    meta.blockInsts = 100;
+    std::vector<ShardInfo> shards = {
+        {0, 0, "t00-s00000.ppashard", 0, 200, 0x11111111},
+        {0, 1, "t00-s00001.ppashard", 200, 100, 0x22222222},
+        {1, 0, "t01-s00000.ppashard", 0, 200, 0x33333333},
+        {1, 1, "t01-s00001.ppashard", 200, 100, 0x44444444},
+    };
+    std::string text = manifestText(meta, shards);
+    EXPECT_EQ(text.find(manifestHeaderLine), 0u);
+    EXPECT_NE(text.find("app gcc"), std::string::npos);
+    EXPECT_NE(text.find("shard 0 1 t00-s00001.ppashard 200 100 22222222"),
+              std::string::npos);
+    EXPECT_NE(text.find("shard 1 1 t01-s00001.ppashard 200 100 44444444"),
+              std::string::npos);
+    EXPECT_NE(text.find("\nend\n"), std::string::npos);
+}
+
+TEST(TraceFormat, CombinedCrcIsOrderSensitive)
+{
+    std::vector<ShardInfo> a = {
+        {0, 0, "x", 0, 10, 0xAAAAAAAA},
+        {0, 1, "y", 10, 10, 0xBBBBBBBB},
+    };
+    std::vector<ShardInfo> swapped = {a[1], a[0]};
+    EXPECT_NE(combineShardCrcs(a), combineShardCrcs(swapped));
+    EXPECT_EQ(combineShardCrcs(a), combineShardCrcs(a));
+}

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "isa/semantics.hh"
 #include "workload/generator.hh"
 #include "workload/profile.hh"
@@ -169,6 +171,40 @@ TEST(Generator, SeekBackwardBeforeAnyForwardProgress)
     ASSERT_TRUE(a.next(da));
     ASSERT_TRUE(b.next(db));
     expectSameInst(da, db, 0);
+}
+
+TEST(Generator, EverySnapshotPointResumesBitwise)
+{
+    // Exhaustive over the snapshot grid: a backward seek to each
+    // snapshot point restores the generator's saved Rng state
+    // (getState/setState round-trip) and must resume the stream
+    // bitwise — even after an intervening run to the end of the
+    // stream has advanced the live Rng far past the saved state.
+    const std::uint64_t intervals = 4;
+    const std::uint64_t len =
+        intervals * StreamGenerator::snapshotInterval + 123;
+    const auto &p = profileByName("vacation");
+    StreamGenerator fresh(p, 0, 47, len);
+    std::vector<DynInst> ref;
+    DynInst d;
+    while (fresh.next(d))
+        ref.push_back(d);
+    ASSERT_EQ(ref.size(), len);
+
+    StreamGenerator g(p, 0, 47, len);
+    while (g.next(d)) {
+    }
+    for (std::uint64_t k = 0; k <= intervals; ++k) {
+        const std::uint64_t t =
+            std::min(k * StreamGenerator::snapshotInterval, len - 1);
+        g.seekTo(t);
+        std::uint64_t checked = 0;
+        for (std::uint64_t i = t; i < len && checked < 128;
+             ++i, ++checked) {
+            ASSERT_TRUE(g.next(d)) << "snapshot " << k << " at " << i;
+            expectSameInst(d, ref[i], i);
+        }
+    }
 }
 
 TEST(Generator, RngStateRoundTrips)

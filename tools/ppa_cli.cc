@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "common/table.hh"
@@ -31,6 +32,12 @@
 #include "sim/experiment.hh"
 #include "sim/figures.hh"
 #include "sim/report.hh"
+#include "trace/capture.hh"
+#include "trace/reader.hh"
+
+#ifndef PPA_SOURCE_DIR
+#define PPA_SOURCE_DIR "."
+#endif
 
 using namespace ppa;
 
@@ -67,6 +74,23 @@ usage()
         "recover through the\n"
         "                      serialized checkpoint (repeatable; ppa "
         "variant)\n"
+        "  --trace DIR         replay a recorded trace instead of the "
+        "generator; threads,\n"
+        "                      insts, seed and app come from the "
+        "manifest\n"
+        "  --json FILE         also write the run's RunStats JSON to "
+        "FILE\n"
+        "\n"
+        "subcommand: trace — record/inspect committed-stream traces\n"
+        "  ppa_cli trace record --app NAME --out DIR [--insts N] "
+        "[--seed N] [--threads N]\n"
+        "                       [--shard-insts N] [--block-insts N]\n"
+        "  ppa_cli trace info DIR      print the manifest and shard "
+        "table\n"
+        "  ppa_cli trace cat DIR [--thread T] [--limit N] [--start I]  "
+        "dump records as text\n"
+        "  ppa_cli trace verify DIR    check manifest, CRCs, and "
+        "decode every block\n"
         "\n"
         "subcommand: sweep — run one figure's full grid in parallel\n"
         "  ppa_cli sweep FIGURE [options]\n"
@@ -98,8 +122,14 @@ usage()
         "results)\n"
         "  --baseline FILE     compare aggregate KIPS against a prior "
         "BENCH_throughput.json\n"
+        "                      (relative paths resolve against the "
+        "CWD, then the repo root)\n"
         "  --threshold PCT     fail when aggregate KIPS regresses "
-        "more than PCT%% vs the baseline (default 15)\n");
+        "more than PCT%% vs the baseline (default 15)\n"
+        "  --trace DIR         run the grid trace-driven: record (or "
+        "reuse) one trace per\n"
+        "                      app under DIR and replay instead of "
+        "generating\n");
 }
 
 SystemVariant
@@ -229,6 +259,228 @@ sweepMain(int argc, char **argv)
     return 0;
 }
 
+int
+traceRecordMain(int argc, char **argv)
+{
+    std::string app;
+    std::string out;
+    trace::CaptureSpec spec;
+    spec.instsPerThread = 50'000;
+
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--app") {
+            app = next();
+        } else if (arg == "--out") {
+            out = next();
+        } else if (arg == "--insts") {
+            spec.instsPerThread = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--seed") {
+            spec.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--threads") {
+            spec.threads =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--shard-insts") {
+            spec.shardInsts = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--block-insts") {
+            spec.blockInsts =
+                static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+        } else {
+            std::fprintf(stderr, "unknown trace record option '%s'\n",
+                         arg.c_str());
+            return 1;
+        }
+    }
+    if (app.empty() || out.empty()) {
+        std::fprintf(stderr,
+                     "trace record: --app and --out are required\n");
+        return 1;
+    }
+
+    const WorkloadProfile &profile = profileByName(app);
+    trace::TraceSummary s = trace::recordWorkloadTrace(out, profile, spec);
+    std::printf("recorded %s: %llu insts in %u shard(s), crc %08x\n",
+                out.c_str(),
+                static_cast<unsigned long long>(s.totalInsts),
+                s.shardCount, s.combinedCrc);
+    return 0;
+}
+
+int
+traceInfoMain(const std::string &dir)
+{
+    trace::TraceSet set = trace::TraceSet::openOrDie(dir);
+    const trace::TraceMeta &meta = set.metadata();
+    TextTable t({"field", "value"});
+    t.addRow({"app", meta.app});
+    t.addRow({"seed", std::to_string(meta.seed)});
+    t.addRow({"threads", std::to_string(meta.threads)});
+    t.addRow({"insts / thread", std::to_string(meta.instsPerThread)});
+    t.addRow({"shard insts", std::to_string(meta.shardInsts)});
+    t.addRow({"block insts", std::to_string(meta.blockInsts)});
+    t.addRow({"shards", std::to_string(set.allShards().size())});
+    char crc[16];
+    std::snprintf(crc, sizeof(crc), "%08x", set.combinedCrc());
+    t.addRow({"combined crc32", crc});
+    std::printf("%s", t.render().c_str());
+
+    TextTable shards({"file", "thread", "first index", "insts", "crc32"});
+    for (const trace::ShardInfo &s : set.allShards()) {
+        std::snprintf(crc, sizeof(crc), "%08x", s.crc32);
+        shards.addRow({s.file, std::to_string(s.thread),
+                       std::to_string(s.firstIndex),
+                       std::to_string(s.count), crc});
+    }
+    std::printf("%s", shards.render().c_str());
+    return 0;
+}
+
+int
+traceCatMain(const std::string &dir, int argc, char **argv)
+{
+    unsigned thread = 0;
+    std::uint64_t limit = 32;
+    std::uint64_t start = 0;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--thread") {
+            thread =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--limit") {
+            limit = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--start") {
+            start = std::strtoull(next(), nullptr, 10);
+        } else {
+            std::fprintf(stderr, "unknown trace cat option '%s'\n",
+                         arg.c_str());
+            return 1;
+        }
+    }
+
+    trace::TraceSet set = trace::TraceSet::openOrDie(dir);
+    if (thread >= set.metadata().threads) {
+        std::fprintf(stderr, "trace cat: thread %u out of range (%u)\n",
+                     thread, set.metadata().threads);
+        return 1;
+    }
+    trace::TraceReplaySource src(set, thread);
+    if (start > 0)
+        src.seekTo(start);
+    TextTable t({"index", "pc", "op", "dst", "srcs", "imm", "memAddr",
+                 "taken"});
+    DynInst inst;
+    for (std::uint64_t n = 0; n < limit && src.next(inst); ++n) {
+        char pc[24], mem[24];
+        std::snprintf(pc, sizeof(pc), "0x%llx",
+                      static_cast<unsigned long long>(inst.pc));
+        std::snprintf(mem, sizeof(mem), "0x%llx",
+                      static_cast<unsigned long long>(inst.memAddr));
+        std::string dst = "-";
+        if (inst.dst.valid()) {
+            dst = (inst.dst.cls == RegClass::Fp ? "f" : "r") +
+                  std::to_string(inst.dst.idx);
+        }
+        std::string srcs;
+        for (int s = 0; s < inst.numSrcs(); ++s) {
+            srcs += (s ? "," : "");
+            srcs += (inst.srcs[s].cls == RegClass::Fp ? "f" : "r") +
+                    std::to_string(inst.srcs[s].idx);
+        }
+        t.addRow({std::to_string(inst.index), pc,
+                  std::string(opName(inst.op)), dst,
+                  srcs.empty() ? std::string("-") : srcs,
+                  std::to_string(inst.imm),
+                  inst.memAddr ? std::string(mem) : std::string("-"),
+                  inst.taken ? std::string("T") : std::string("-")});
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+traceVerifyMain(const std::string &dir)
+{
+    trace::VerifyResult r = trace::verifyTrace(dir);
+    for (const std::string &e : r.errors)
+        std::fprintf(stderr, "trace verify: %s: %s\n", dir.c_str(),
+                     e.c_str());
+    if (!r.ok) {
+        std::fprintf(stderr, "trace verify: %s: FAILED (%zu error(s))\n",
+                     dir.c_str(), r.errors.size());
+        return 1;
+    }
+    std::printf("trace verify: %s: OK — %llu insts, %u shard(s), "
+                "crc %08x\n",
+                dir.c_str(),
+                static_cast<unsigned long long>(r.totalInsts),
+                r.shardCount, r.combinedCrc);
+    return 0;
+}
+
+int
+traceMain(int argc, char **argv)
+{
+    if (argc < 1) {
+        std::fprintf(stderr,
+                     "trace: subcommand required "
+                     "(record | info | cat | verify)\n");
+        return 1;
+    }
+    std::string cmd = argv[0];
+    if (cmd == "record")
+        return traceRecordMain(argc - 1, argv + 1);
+    if (cmd == "--help" || cmd == "-h") {
+        usage();
+        return 0;
+    }
+    // The remaining subcommands all take the trace directory first.
+    if (argc < 2) {
+        std::fprintf(stderr, "trace %s: trace directory required\n",
+                     cmd.c_str());
+        return 1;
+    }
+    std::string dir = argv[1];
+    if (cmd == "info")
+        return traceInfoMain(dir);
+    if (cmd == "cat")
+        return traceCatMain(dir, argc - 2, argv + 2);
+    if (cmd == "verify")
+        return traceVerifyMain(dir);
+    std::fprintf(stderr, "unknown trace subcommand '%s'\n", cmd.c_str());
+    return 1;
+}
+
+/**
+ * Resolve the bench --baseline path: absolute paths and paths that
+ * exist relative to the CWD are taken as-is; other relative paths
+ * resolve against the repo root, so `ppa_cli bench --baseline
+ * bench/throughput_baseline.json` works from any directory.
+ */
+std::string
+resolveBaselinePath(const std::string &path)
+{
+    std::filesystem::path p(path);
+    if (p.is_absolute() || std::filesystem::exists(p))
+        return path;
+    return std::string(PPA_SOURCE_DIR) + "/" + path;
+}
+
 /** Aggregate simulated kilo-instructions per host-second across a
  *  result set: total committed work over total per-job wall time. */
 double
@@ -252,6 +504,7 @@ benchMain(int argc, char **argv)
     unsigned reps = 1;
     std::string outDir = metrics::resultsDir();
     std::string baselinePath;
+    std::string traceRoot;
     double thresholdPct = 15.0;
 
     for (int i = 0; i < argc; ++i) {
@@ -279,6 +532,8 @@ benchMain(int argc, char **argv)
             outDir = next();
         } else if (arg == "--baseline") {
             baselinePath = next();
+        } else if (arg == "--trace") {
+            traceRoot = next();
         } else if (arg == "--threshold") {
             thresholdPct = std::strtod(next(), nullptr);
         } else if (arg == "--help" || arg == "-h") {
@@ -292,7 +547,39 @@ benchMain(int argc, char **argv)
         }
     }
 
+    // Fail fast on a bad baseline path: a typo must not cost a full
+    // bench run before it is reported.
+    std::string resolvedBaseline;
+    if (!baselinePath.empty()) {
+        resolvedBaseline = resolveBaselinePath(baselinePath);
+        if (!std::filesystem::exists(resolvedBaseline)) {
+            std::fprintf(stderr,
+                         "bench: baseline file '%s' not found (tried "
+                         "'%s'; relative paths resolve against the "
+                         "CWD, then the repo root)\n",
+                         baselinePath.c_str(),
+                         resolvedBaseline.c_str());
+            return 1;
+        }
+    }
+
     FigureSweep fs = throughputSweep(insts, seed);
+    if (!traceRoot.empty()) {
+        // Trace-driven bench: one recording per app feeds all its
+        // variant jobs; matching traces from an earlier run are
+        // reused, so only the first run pays the capture cost.
+        for (SweepJob &job : fs.jobs) {
+            trace::CaptureSpec spec;
+            spec.seed = job.knobs.seed;
+            spec.threads = job.knobs.threads;
+            spec.instsPerThread = job.knobs.instsPerCore;
+            std::string dir = traceRoot + "/" + job.profile.name;
+            trace::ensureWorkloadTrace(dir, job.profile, spec);
+            job.knobs.traceDir = dir;
+        }
+        std::fprintf(stderr, "bench: trace-driven from %s\n",
+                     traceRoot.c_str());
+    }
     ExperimentDriver driver(jobs);
     std::fprintf(stderr,
                  "bench: %zu jobs x %u rep(s) on %u threads — %s\n",
@@ -358,14 +645,15 @@ benchMain(int argc, char **argv)
     // Regression gate: recompute the baseline aggregate from its job
     // list (rather than trusting its "extra" block) so hand-edited or
     // older documents still compare apples to apples.
+    const std::string &resolved = resolvedBaseline;
     std::string text;
-    if (!metrics::readFile(baselinePath, text))
+    if (!metrics::readFile(resolved, text))
         return 1;
     metrics::JsonValue doc;
     std::string err;
     if (!metrics::JsonValue::parse(text, doc, err)) {
         std::fprintf(stderr, "bench: cannot parse baseline %s: %s\n",
-                     baselinePath.c_str(), err.c_str());
+                     resolved.c_str(), err.c_str());
         return 1;
     }
     double baseInsts = 0.0;
@@ -380,12 +668,12 @@ benchMain(int argc, char **argv)
     double baseAgg = baseWall > 0.0 ? baseInsts / baseWall / 1e3 : 0.0;
     if (baseAgg <= 0.0) {
         std::fprintf(stderr, "bench: baseline %s has no timed jobs\n",
-                     baselinePath.c_str());
+                     resolved.c_str());
         return 1;
     }
     double ratio = agg / baseAgg;
     std::printf("baseline: %.1f KIPS (%s) — current/baseline %.2fx\n",
-                baseAgg, baselinePath.c_str(), ratio);
+                baseAgg, resolved.c_str(), ratio);
     if (ratio < 1.0 - thresholdPct / 100.0) {
         std::fprintf(stderr,
                      "bench: FAIL — aggregate KIPS regressed %.1f%% "
@@ -437,6 +725,14 @@ printStats(const RunStats &rs)
         t.addRow({"audit violations",
                   std::to_string(rs.auditViolations)});
     }
+    if (!rs.traceDir.empty()) {
+        char crc[16];
+        std::snprintf(crc, sizeof(crc), "%08x", rs.traceCrc);
+        t.addRow({"trace dir", rs.traceDir});
+        t.addRow({"trace shards", std::to_string(rs.traceShards)});
+        t.addRow({"trace insts", std::to_string(rs.traceInsts)});
+        t.addRow({"trace crc32", crc});
+    }
     if (rs.powerFailures) {
         t.addRow({"power failures injected",
                   std::to_string(rs.powerFailures)});
@@ -460,12 +756,16 @@ main(int argc, char **argv)
         return sweepMain(argc - 2, argv + 2);
     if (argc > 1 && std::strcmp(argv[1], "bench") == 0)
         return benchMain(argc - 2, argv + 2);
+    if (argc > 1 && std::strcmp(argv[1], "trace") == 0)
+        return traceMain(argc - 2, argv + 2);
 
     std::string app;
     std::string variant_name = "ppa";
+    std::string jsonPath;
     ExperimentKnobs knobs;
     knobs.instsPerCore = 50'000;
     bool compare = false;
+    bool instsGiven = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -497,6 +797,7 @@ main(int argc, char **argv)
             variant_name = next();
         } else if (arg == "--insts") {
             knobs.instsPerCore = std::strtoull(next(), nullptr, 10);
+            instsGiven = true;
         } else if (arg == "--threads") {
             knobs.threads =
                 static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
@@ -525,6 +826,10 @@ main(int argc, char **argv)
         } else if (arg == "--fail-at-cycle") {
             knobs.failAtCycles.push_back(
                 std::strtoull(next(), nullptr, 10));
+        } else if (arg == "--trace") {
+            knobs.traceDir = next();
+        } else if (arg == "--json") {
+            jsonPath = next();
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -535,6 +840,35 @@ main(int argc, char **argv)
         }
     }
 
+    if (!knobs.traceDir.empty()) {
+        // The trace manifest is authoritative for what was recorded:
+        // app, thread count, stream length, and seed all come from it.
+        trace::TraceSet set = trace::TraceSet::openOrDie(knobs.traceDir);
+        const trace::TraceMeta &meta = set.metadata();
+        if (!app.empty() && app != meta.app) {
+            std::fprintf(stderr,
+                         "--app %s conflicts with trace '%s' (recorded "
+                         "from %s)\n",
+                         app.c_str(), knobs.traceDir.c_str(),
+                         meta.app.c_str());
+            return 1;
+        }
+        if (instsGiven && knobs.instsPerCore != meta.instsPerThread) {
+            std::fprintf(stderr,
+                         "--insts %llu conflicts with trace '%s' (%llu "
+                         "insts per thread)\n",
+                         static_cast<unsigned long long>(
+                             knobs.instsPerCore),
+                         knobs.traceDir.c_str(),
+                         static_cast<unsigned long long>(
+                             meta.instsPerThread));
+            return 1;
+        }
+        app = meta.app;
+        knobs.threads = meta.threads;
+        knobs.instsPerCore = meta.instsPerThread;
+        knobs.seed = meta.seed;
+    }
     if (app.empty()) {
         usage();
         return 1;
@@ -545,6 +879,12 @@ main(int argc, char **argv)
 
     RunStats rs = runWorkload(profile, variant, knobs);
     printStats(rs);
+    if (!jsonPath.empty()) {
+        if (!metrics::writeFile(jsonPath,
+                                metrics::runStatsToJson(rs) + "\n"))
+            return 1;
+        std::printf("wrote %s\n", jsonPath.c_str());
+    }
 
     if (compare && variant != SystemVariant::MemoryMode) {
         ExperimentKnobs base_knobs = knobs;
