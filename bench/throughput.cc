@@ -17,10 +17,17 @@
  *  - PPA_BENCH_JOBS: driver worker threads (default: hardware).
  *  - PPA_BENCH_INSTS: committed instructions per core (default:
  *    throughputSweep's own).
+ *  - PPA_BENCH_TIME_PARALLEL: when >= 2, also time one long
+ *    single-app run serially vs split into that many segments
+ *    (sim/segment.hh) and record the speedup under "tpSpeedup" in the
+ *    JSON extras. Kept out of the jobs array so the aggregate-KIPS
+ *    gate keeps comparing like with like across baselines.
  *  - PPA_RESULTS_DIR: JSON output directory (default: results/).
  */
 
 #include "bench/bench_common.hh"
+
+#include "sim/segment.hh"
 
 #include <cmath>
 
@@ -45,6 +52,57 @@ jobKips(const JobResult &r)
                ? static_cast<double>(r.stats.committedInsts) /
                      r.wallSeconds / 1e3
                : 0.0;
+}
+
+/** The time-parallel series: one long single-app run, serial vs
+ *  segmented, best-of-two so the segmented pass can reuse its seeked
+ *  sources (the bench --reps fix under test in
+ *  tests/sim/test_time_parallel.cc). */
+struct TpSeries
+{
+    unsigned segments = 0;
+    double serialKips = 0.0;
+    double tpKips = 0.0;
+    double speedup = 0.0;
+};
+
+TpSeries
+runTimeParallelSeries(unsigned segments, std::uint64_t insts)
+{
+    using clock = std::chrono::steady_clock;
+    const WorkloadProfile &profile = profileByName(sweepApps().front());
+    ExperimentKnobs serial;
+    serial.instsPerCore = insts;
+    ExperimentKnobs seg = serial;
+    seg.timeParallel = segments;
+
+    TpSeries out;
+    out.segments = segments;
+    SegmentSourceCache cache;
+    double serialBest = 0.0;
+    double tpBest = 0.0;
+    for (int rep = 0; rep < 2; ++rep) {
+        auto t0 = clock::now();
+        RunStats s = runWorkload(profile, SystemVariant::Ppa, serial);
+        auto t1 = clock::now();
+        RunStats p = runWorkloadTimeParallel(profile, SystemVariant::Ppa,
+                                             seg, &cache);
+        auto t2 = clock::now();
+        double sSec = std::chrono::duration<double>(t1 - t0).count();
+        double pSec = std::chrono::duration<double>(t2 - t1).count();
+        if (sSec > 0.0)
+            serialBest = std::max(
+                serialBest,
+                static_cast<double>(s.committedInsts) / sSec / 1e3);
+        if (pSec > 0.0)
+            tpBest = std::max(
+                tpBest,
+                static_cast<double>(p.committedInsts) / pSec / 1e3);
+    }
+    out.serialKips = serialBest;
+    out.tpKips = tpBest;
+    out.speedup = serialBest > 0.0 ? tpBest / serialBest : 0.0;
+    return out;
 }
 
 void
@@ -112,15 +170,33 @@ main(int argc, char **argv)
                    TextTable::num(agg, 1)});
     report.addRow({"geomean", "-", "-", "-",
                    TextTable::num(geomean, 1)});
+
+    std::vector<std::pair<std::string, double>> extras = {
+        {"aggregateKips", agg},
+        {"geomeanKips", geomean},
+        {"workers", static_cast<double>(driver.workers())}};
+
+    unsigned tpSegments = 0;
+    if (const char *env = std::getenv("PPA_BENCH_TIME_PARALLEL"))
+        tpSegments = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    if (tpSegments >= 2) {
+        TpSeries tp = runTimeParallelSeries(
+            tpSegments, insts ? insts * 4 : 240'000);
+        report.addRow({"time-parallel serial", "ppa", "-", "-",
+                       TextTable::num(tp.serialKips, 1)});
+        report.addRow({"time-parallel x" + std::to_string(tp.segments),
+                       "ppa", "-", "-", TextTable::num(tp.tpKips, 1)});
+        extras.push_back({"tpSegments",
+                          static_cast<double>(tp.segments)});
+        extras.push_back({"tpSerialKips", tp.serialKips});
+        extras.push_back({"tpKips", tp.tpKips});
+        extras.push_back({"tpSpeedup", tp.speedup});
+    }
     report.print();
 
     std::string path =
         metrics::resultsDir() + "/BENCH_throughput.json";
-    std::string doc = metrics::sweepToJson(
-        fs.name, runs,
-        {{"aggregateKips", agg},
-         {"geomeanKips", geomean},
-         {"workers", static_cast<double>(driver.workers())}});
+    std::string doc = metrics::sweepToJson(fs.name, runs, extras);
     if (metrics::writeFile(path, doc))
         std::fprintf(stderr, "bench: wrote %s (%zu jobs)\n",
                      path.c_str(), runs.size());

@@ -8,13 +8,14 @@
 #include "check/auditor.hh"
 #include "common/logging.hh"
 #include "ppa/checkpoint_io.hh"
+#include "sim/segment.hh"
 #include "trace/reader.hh"
 #include "workload/generator.hh"
 
 namespace ppa
 {
 
-namespace
+namespace detail
 {
 
 /**
@@ -48,7 +49,7 @@ injectPowerFailure(System &system,
     }
 }
 
-} // namespace
+} // namespace detail
 
 const char *
 variantName(SystemVariant variant)
@@ -170,6 +171,11 @@ RunStats
 runWorkload(const WorkloadProfile &profile, SystemVariant variant,
             const ExperimentKnobs &knobs)
 {
+    if (knobs.timeParallel >= 2)
+        return runWorkloadTimeParallel(profile, variant, knobs);
+    PPA_ASSERT(knobs.tpFailAt.empty(),
+               "tpFailAt requires timeParallel >= 2 "
+               "(use failAtCycles for serial runs)");
     unsigned threads = knobs.threads ? knobs.threads
                                      : profile.defaultThreads;
     SystemConfig sc = makeSystemConfig(variant, knobs, threads);
@@ -268,7 +274,7 @@ runWorkload(const WorkloadProfile &profile, SystemVariant variant,
             if (next_fail < failures.size() &&
                 system.cycle() >= failures[next_fail]) {
                 ++next_fail;
-                injectPowerFailure(system, auditors, rs);
+                detail::injectPowerFailure(system, auditors, rs);
             }
             system.tick();
         }

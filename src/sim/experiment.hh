@@ -9,6 +9,7 @@
 #define PPA_SIM_EXPERIMENT_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -113,6 +114,45 @@ struct ExperimentKnobs
      * different experiment. RunStats then carries trace provenance.
      */
     std::string traceDir;
+
+    // --- Time-parallel single-run simulation (docs/PERF.md) -------------
+    /**
+     * Split this one run into this many instruction segments and
+     * simulate them concurrently (0 or 1 = the classic serial path).
+     * Segmented runs use drain-boundary semantics: each segment starts
+     * from a cold machine, re-converges microarchitectural state over
+     * a discarded warmup prefix of tpWarmupInsts, and its measured
+     * window is stitched into whole-run stats. The stitched result is
+     * a pure function of (profile, variant, knobs) — host worker count
+     * never changes it (tests/sim/test_time_parallel.cc) — and tracks
+     * the unsegmented serial run up to a warmup-truncation error that
+     * `ppa_cli --error-bound` quantifies.
+     */
+    unsigned timeParallel = 0;
+    /** Per-segment re-convergence warmup prefix in instructions per
+     *  core (stats discarded; clamped at stream start). */
+    std::uint64_t tpWarmupInsts = 2'000;
+    /** SimPoint-style sampling: simulate only segments 0, N, 2N, ...
+     *  and extrapolate the rest (1 = simulate every segment). */
+    unsigned tpSampleStride = 1;
+    /** Host threads for segment execution; 0 = min(segments,
+     *  hardware). Scheduling metadata only: results are identical for
+     *  any value (the time-parallel determinism contract). */
+    unsigned tpWorkers = 0;
+    /**
+     * Power failures for segmented runs: injected in segment
+     * `segment` once the segment's measured window has run `cycle`
+     * cycles (cycle 0 = exactly at the segment join). The classic
+     * failAtCycles knob is a configuration error when timeParallel is
+     * active, because absolute cycles of the stitched timeline are not
+     * known until after the run.
+     */
+    struct SegmentFailure
+    {
+        unsigned segment = 0;
+        Cycle cycle = 0;
+    };
+    std::vector<SegmentFailure> tpFailAt;
 };
 
 /** Everything a figure could want from one run. */
@@ -167,6 +207,19 @@ struct RunStats
     std::uint64_t traceInsts = 0;    ///< Total recorded instructions
     std::uint32_t traceCrc = 0;      ///< Combined shard-CRC fingerprint
 
+    // Time-parallel provenance (populated when knobs.timeParallel >= 2;
+    // see docs/PERF.md for the accuracy contract).
+    unsigned tpSegments = 0;          ///< Segments in the plan
+    unsigned tpSimulatedSegments = 0; ///< Segments actually simulated
+    std::uint64_t tpWarmupInsts = 0;  ///< Warmup prefix per segment
+    unsigned tpSampleStride = 1;      ///< Sampling stride (1 = exact)
+    /** Cycles spent in discarded per-segment warmup prefixes (overlap
+     *  work; not part of cycles/totalCycles). */
+    std::uint64_t tpWarmupCycles = 0;
+    /** Sampled mode only: relative standard error of per-segment CPI
+     *  across the simulated segments (0 when every segment ran). */
+    double tpCpiRelStderr = 0.0;
+
     /** Boundary-stall cycles as a fraction of all cycles (Fig. 11). */
     double
     boundaryStallRatio() const
@@ -192,6 +245,26 @@ struct RunStats
 SystemConfig makeSystemConfig(SystemVariant variant,
                               const ExperimentKnobs &knobs,
                               unsigned threads);
+
+namespace check
+{
+class Auditor;
+} // namespace check
+
+namespace detail
+{
+
+/**
+ * Shared by the classic and time-parallel runners: power-fail the
+ * whole system, round-trip every core's checkpoint through the NVM
+ * serialization, recover, and audit replay equivalence into @p rs.
+ */
+void injectPowerFailure(
+    System &system,
+    std::vector<std::unique_ptr<check::Auditor>> &auditors,
+    RunStats &rs);
+
+} // namespace detail
 
 /**
  * Run @p profile on @p variant and return its statistics.

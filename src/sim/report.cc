@@ -460,6 +460,17 @@ runStatsToJson(const RunStats &rs)
            << ", \"insts\": " << rs.traceInsts << ", \"crc32\": \"" << crc
            << "\"}";
     }
+    // Time-parallel provenance: emitted only for segmented runs, so
+    // classic results are unchanged (schema stays additive).
+    if (rs.tpSegments) {
+        os << ", \"tp\": {\"segments\": " << rs.tpSegments
+           << ", \"simulatedSegments\": " << rs.tpSimulatedSegments
+           << ", \"warmupInsts\": " << rs.tpWarmupInsts
+           << ", \"sampleStride\": " << rs.tpSampleStride
+           << ", \"warmupCycles\": " << rs.tpWarmupCycles
+           << ", \"cpiRelStderr\": "
+           << formatDouble(rs.tpCpiRelStderr) << "}";
+    }
     os << "}";
     return os.str();
 }
@@ -515,6 +526,18 @@ runStatsFromJson(const JsonValue &v)
         rs.traceCrc = static_cast<std::uint32_t>(
             std::stoul(t.field("crc32").asString(), nullptr, 16));
     }
+    if (v.hasField("tp")) {
+        const JsonValue &t = v.field("tp");
+        rs.tpSegments =
+            static_cast<unsigned>(t.field("segments").asUint64());
+        rs.tpSimulatedSegments = static_cast<unsigned>(
+            t.field("simulatedSegments").asUint64());
+        rs.tpWarmupInsts = t.field("warmupInsts").asUint64();
+        rs.tpSampleStride =
+            static_cast<unsigned>(t.field("sampleStride").asUint64());
+        rs.tpWarmupCycles = t.field("warmupCycles").asUint64();
+        rs.tpCpiRelStderr = t.field("cpiRelStderr").asDouble();
+    }
     return rs;
 }
 
@@ -541,6 +564,20 @@ knobsToJson(const ExperimentKnobs &k)
     os << "]";
     if (!k.traceDir.empty())
         os << ", \"traceDir\": \"" << jsonEscape(k.traceDir) << "\"";
+    // Time-parallel knobs: emitted only when segmentation is active,
+    // keeping classic job documents byte-stable.
+    if (k.timeParallel >= 2) {
+        os << ", \"timeParallel\": " << k.timeParallel;
+        os << ", \"tpWarmupInsts\": " << k.tpWarmupInsts;
+        os << ", \"tpSampleStride\": " << k.tpSampleStride;
+        os << ", \"tpFailAt\": [";
+        for (std::size_t i = 0; i < k.tpFailAt.size(); ++i) {
+            os << (i ? ", " : "") << "{\"segment\": "
+               << k.tpFailAt[i].segment << ", \"cycle\": "
+               << k.tpFailAt[i].cycle << "}";
+        }
+        os << "]";
+    }
     os << "}";
     return os.str();
 }
@@ -570,6 +607,22 @@ knobsFromJson(const JsonValue &v)
     }
     if (v.hasField("traceDir"))
         k.traceDir = v.field("traceDir").asString();
+    // tpWorkers is deliberately absent: host scheduling metadata,
+    // excluded from the determinism contract like driver workers.
+    if (v.hasField("timeParallel")) {
+        k.timeParallel =
+            static_cast<unsigned>(v.field("timeParallel").asUint64());
+        k.tpWarmupInsts = v.field("tpWarmupInsts").asUint64();
+        k.tpSampleStride = static_cast<unsigned>(
+            v.field("tpSampleStride").asUint64());
+        for (const JsonValue &f : v.field("tpFailAt").items()) {
+            ExperimentKnobs::SegmentFailure sf;
+            sf.segment = static_cast<unsigned>(
+                f.field("segment").asUint64());
+            sf.cycle = f.field("cycle").asUint64();
+            k.tpFailAt.push_back(sf);
+        }
+    }
     return k;
 }
 

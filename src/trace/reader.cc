@@ -356,6 +356,13 @@ TraceReplaySource::next(DynInst &out)
 void
 TraceReplaySource::seekTo(std::uint64_t index)
 {
+    // Trivial seek: the consumer cursor is already there and the
+    // stream is live, so discarding the prefetch queue would only
+    // force the producer to re-decode blocks it already delivered
+    // (the redundant re-seek `bench --reps` used to pay per rep).
+    if (index == cursor && !exhausted)
+        return;
+    ++seeks;
     {
         std::lock_guard<std::mutex> l(mu);
         ++gen;

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Documentation lint for the PPA repo (CI: the docs job).
+
+Two checks, both designed to fail loudly when code and docs drift:
+
+1. Flag coverage: every long option (``--foo``) and every subcommand
+   that ``ppa_cli --help`` advertises must be mentioned in at least
+   one markdown document. New CLI surface therefore cannot land
+   without a sentence of documentation.
+
+2. Link integrity: every intra-repo markdown link
+   (``[text](relative/path)``) in the repo's markdown files must
+   resolve to an existing file. External links (http/https/mailto)
+   and pure anchors (``#section``) are skipped; an anchor suffix on a
+   file link is stripped before the existence check.
+
+Stdlib only; no third-party packages. Usage:
+
+    python3 tools/doc_lint.py --cli build/tools/ppa_cli [--repo DIR]
+
+Exit status 0 when clean, 1 with a per-problem report otherwise.
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+# Documents that count as flag documentation. Deliberately explicit
+# (not a glob) so scratch markdown can't satisfy the check.
+DOC_FILES = [
+    "README.md",
+    "EXPERIMENTS.md",
+    "DESIGN.md",
+    "ROADMAP.md",
+    "docs/ARCHITECTURE.md",
+    "docs/CHECKING.md",
+    "docs/INTERNALS.md",
+    "docs/METRICS.md",
+    "docs/PERF.md",
+    "docs/TRACING.md",
+]
+
+# Markdown scanned for link integrity: every tracked .md file.
+SKIP_LINK_DIRS = {".git", "build", "results"}
+
+FLAG_RE = re.compile(r"(?<![\w-])(--[a-z][a-z0-9-]*)")
+SUBCOMMAND_RE = re.compile(r"^subcommand: ([a-z]+)", re.MULTILINE)
+# [text](target) — excludes images' extra ! only in that the link
+# check treats them identically, which is what we want.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def cli_surface(cli):
+    """(flags, subcommands) advertised by `ppa_cli --help`."""
+    help_text = subprocess.run(
+        [cli, "--help"], capture_output=True, text=True, check=False
+    ).stdout
+    if not help_text:
+        sys.exit(f"doc_lint: no --help output from {cli}")
+    return sorted(set(FLAG_RE.findall(help_text))), sorted(
+        set(SUBCOMMAND_RE.findall(help_text))
+    )
+
+
+def check_flags(repo, cli):
+    flags, subcommands = cli_surface(cli)
+    corpus = ""
+    for rel in DOC_FILES:
+        path = repo / rel
+        if path.is_file():
+            corpus += path.read_text(encoding="utf-8")
+    problems = []
+    for flag in flags:
+        if flag not in corpus:
+            problems.append(
+                f"flag {flag} (ppa_cli --help) is documented nowhere in "
+                + ", ".join(DOC_FILES)
+            )
+    for sub in subcommands:
+        if not re.search(rf"\b{sub}\b", corpus):
+            problems.append(f"subcommand '{sub}' is documented nowhere")
+    return problems, len(flags), len(subcommands)
+
+
+def markdown_files(repo):
+    for path in sorted(repo.rglob("*.md")):
+        rel = path.relative_to(repo)
+        if rel.parts[0] in SKIP_LINK_DIRS:
+            continue
+        yield path
+
+
+def check_links(repo):
+    problems = []
+    checked = 0
+    for path in markdown_files(repo):
+        text = path.read_text(encoding="utf-8")
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            checked += 1
+            clean = target.split("#", 1)[0]
+            if not clean:
+                continue
+            resolved = (path.parent / clean).resolve()
+            if not resolved.exists():
+                rel = path.relative_to(repo)
+                problems.append(f"{rel}: broken link -> {target}")
+    return problems, checked
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--cli", required=True, help="path to the ppa_cli binary")
+    ap.add_argument(
+        "--repo",
+        default=str(pathlib.Path(__file__).resolve().parent.parent),
+        help="repo root (default: parent of tools/)",
+    )
+    args = ap.parse_args()
+    repo = pathlib.Path(args.repo).resolve()
+
+    flag_problems, nflags, nsubs = check_flags(repo, args.cli)
+    link_problems, nlinks = check_links(repo)
+
+    for p in flag_problems + link_problems:
+        print(f"doc_lint: {p}", file=sys.stderr)
+    if flag_problems or link_problems:
+        return 1
+    print(
+        f"doc_lint: OK — {nflags} flags and {nsubs} subcommands all "
+        f"documented, {nlinks} intra-repo links resolve"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,7 @@
  *   ppa_cli sweep fig18 --jobs 8 --insts 30000 --out /tmp/res --csv
  */
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +31,7 @@
 #include "common/table.hh"
 #include "sim/driver.hh"
 #include "sim/experiment.hh"
+#include "sim/segment.hh"
 #include "sim/figures.hh"
 #include "sim/report.hh"
 #include "trace/capture.hh"
@@ -78,6 +80,30 @@ usage()
         "generator; threads,\n"
         "                      insts, seed and app come from the "
         "manifest\n"
+        "  --time-parallel K   split this one run into K instruction "
+        "segments and simulate\n"
+        "                      them concurrently (docs/PERF.md; not "
+        "replaycache)\n"
+        "  --warmup-insts N    per-segment warmup prefix in "
+        "instructions, discarded while\n"
+        "                      microarchitectural state re-converges "
+        "(default 2000)\n"
+        "  --sampled N         SimPoint-style sampling: simulate only "
+        "every Nth segment and\n"
+        "                      extrapolate, reporting a confidence "
+        "estimate (default 1)\n"
+        "  --tp-workers N      host threads for segment execution "
+        "(0 = hardware); results\n"
+        "                      are identical for any value\n"
+        "  --tp-fail S:C       inject a power failure in segment S "
+        "once its measured window\n"
+        "                      has run C cycles (C=0 = exactly at the "
+        "segment join;\n"
+        "                      repeatable; ppa variant)\n"
+        "  --error-bound       also run the unsegmented serial "
+        "reference and report the\n"
+        "                      per-stat warmup-truncation delta "
+        "(requires --time-parallel)\n"
         "  --json FILE         also write the run's RunStats JSON to "
         "FILE\n"
         "\n"
@@ -129,7 +155,15 @@ usage()
         "  --trace DIR         run the grid trace-driven: record (or "
         "reuse) one trace per\n"
         "                      app under DIR and replay instead of "
-        "generating\n");
+        "generating\n"
+        "  --time-parallel K   also time one long single-app run "
+        "serial vs split into K\n"
+        "                      segments, reusing seeked sources across "
+        "reps; records\n"
+        "                      tpSerialKips/tpKips/tpSpeedup in the "
+        "JSON extras and gates\n"
+        "                      tpSpeedup against the baseline when it "
+        "records one\n");
 }
 
 SystemVariant
@@ -502,6 +536,7 @@ benchMain(int argc, char **argv)
     std::uint64_t insts = 0;
     std::uint64_t seed = 42;
     unsigned reps = 1;
+    unsigned timeParallel = 0;
     std::string outDir = metrics::resultsDir();
     std::string baselinePath;
     std::string traceRoot;
@@ -534,6 +569,9 @@ benchMain(int argc, char **argv)
             baselinePath = next();
         } else if (arg == "--trace") {
             traceRoot = next();
+        } else if (arg == "--time-parallel") {
+            timeParallel = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
         } else if (arg == "--threshold") {
             thresholdPct = std::strtod(next(), nullptr);
         } else if (arg == "--help" || arg == "-h") {
@@ -626,15 +664,87 @@ benchMain(int argc, char **argv)
     std::printf("aggregate: %.1f KIPS   per-job geomean: %.1f KIPS\n",
                 agg, geomean);
 
+    // Single-app time-parallel series: one long run, serial vs split
+    // into K segments. The speedup is a within-host ratio, so it is
+    // comparable across machines in a way raw KIPS is not — that is
+    // what the baseline gate checks below.
+    double tpSerialKips = 0.0;
+    double tpKips = 0.0;
+    double tpSpeedup = 0.0;
+    if (timeParallel >= 2) {
+        const WorkloadProfile &profile = profileByName("gcc");
+        ExperimentKnobs serialKnobs;
+        serialKnobs.seed = seed;
+        // The long run is 4x the grid's per-job budget: segment
+        // overlap only pays off once per-segment work dominates
+        // per-segment system construction and warmup.
+        serialKnobs.instsPerCore = insts ? insts * 4 : 240'000;
+        ExperimentKnobs segKnobs = serialKnobs;
+        segKnobs.timeParallel = timeParallel;
+        std::fprintf(stderr,
+                     "bench: time-parallel series — gcc/ppa, %llu "
+                     "insts, %u segment(s)\n",
+                     static_cast<unsigned long long>(
+                         serialKnobs.instsPerCore),
+                     timeParallel);
+        SegmentSourceCache cache;
+        double serialBest = 0.0;
+        double tpBest = 0.0;
+        RunStats serialStats;
+        RunStats tpStats;
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            auto t0 = std::chrono::steady_clock::now();
+            serialStats =
+                runWorkload(profile, SystemVariant::Ppa, serialKnobs);
+            auto t1 = std::chrono::steady_clock::now();
+            tpStats = runWorkloadTimeParallel(
+                profile, SystemVariant::Ppa, segKnobs, &cache);
+            auto t2 = std::chrono::steady_clock::now();
+            double serialWall =
+                std::chrono::duration<double>(t1 - t0).count();
+            double tpWall =
+                std::chrono::duration<double>(t2 - t1).count();
+            if (rep == 0 || serialWall < serialBest)
+                serialBest = serialWall;
+            if (rep == 0 || tpWall < tpBest)
+                tpBest = tpWall;
+        }
+        tpSerialKips =
+            serialBest > 0.0
+                ? static_cast<double>(serialStats.committedInsts) /
+                      serialBest / 1e3
+                : 0.0;
+        tpKips = tpBest > 0.0
+                     ? static_cast<double>(tpStats.committedInsts) /
+                           tpBest / 1e3
+                     : 0.0;
+        tpSpeedup = tpBest > 0.0 ? serialBest / tpBest : 0.0;
+        std::printf("time-parallel: serial %.1f KIPS, %u segments "
+                    "%.1f KIPS — %.2fx speedup\n",
+                    tpSerialKips, timeParallel, tpKips, tpSpeedup);
+        std::printf("time-parallel: %llu insts re-generated by source "
+                    "seeks across %u rep(s) (cache reuse)\n",
+                    static_cast<unsigned long long>(
+                        cache.generatorReplayedInsts()),
+                    reps);
+    }
+
+    std::vector<std::pair<std::string, double>> extra = {
+        {"aggregateKips", agg},
+        {"geomeanKips", geomean},
+        {"reps", static_cast<double>(reps)},
+        {"workers", static_cast<double>(driver.workers())}};
+    if (timeParallel >= 2) {
+        extra.emplace_back("tpSegments",
+                           static_cast<double>(timeParallel));
+        extra.emplace_back("tpSerialKips", tpSerialKips);
+        extra.emplace_back("tpKips", tpKips);
+        extra.emplace_back("tpSpeedup", tpSpeedup);
+    }
     std::string jsonPath = outDir + "/BENCH_throughput.json";
-    if (!metrics::writeFile(
-            jsonPath,
-            metrics::sweepToJson(fs.name, results,
-                                 {{"aggregateKips", agg},
-                                  {"geomeanKips", geomean},
-                                  {"reps", static_cast<double>(reps)},
-                                  {"workers", static_cast<double>(
-                                                  driver.workers())}})))
+    if (!metrics::writeFile(jsonPath,
+                            metrics::sweepToJson(fs.name, results,
+                                                 extra)))
         return 1;
     std::printf("wrote %s (%zu jobs)\n", jsonPath.c_str(),
                 results.size());
@@ -680,6 +790,27 @@ benchMain(int argc, char **argv)
                      "(threshold %.1f%%)\n",
                      (1.0 - ratio) * 100.0, thresholdPct);
         return 1;
+    }
+    // Time-parallel speedup gate: a within-host ratio, so it survives
+    // machine changes that shift raw KIPS. Only enforced when both
+    // this run and the baseline measured it.
+    if (tpSpeedup > 0.0 && doc.hasField("extra") &&
+        doc.field("extra").hasField("tpSpeedup")) {
+        double baseSpeedup =
+            doc.field("extra").field("tpSpeedup").asDouble();
+        if (baseSpeedup > 0.0) {
+            double spRatio = tpSpeedup / baseSpeedup;
+            std::printf("baseline tpSpeedup: %.2fx — "
+                        "current/baseline %.2fx\n",
+                        baseSpeedup, spRatio);
+            if (spRatio < 1.0 - thresholdPct / 100.0) {
+                std::fprintf(stderr,
+                             "bench: FAIL — time-parallel speedup "
+                             "regressed %.1f%% (threshold %.1f%%)\n",
+                             (1.0 - spRatio) * 100.0, thresholdPct);
+                return 1;
+            }
+        }
     }
     std::printf("bench: OK (within %.1f%% of baseline)\n",
                 thresholdPct);
@@ -733,6 +864,21 @@ printStats(const RunStats &rs)
         t.addRow({"trace insts", std::to_string(rs.traceInsts)});
         t.addRow({"trace crc32", crc});
     }
+    if (rs.tpSegments) {
+        t.addRow({"tp segments (simulated/total)",
+                  std::to_string(rs.tpSimulatedSegments) + "/" +
+                      std::to_string(rs.tpSegments)});
+        t.addRow({"tp warmup insts / segment",
+                  std::to_string(rs.tpWarmupInsts)});
+        t.addRow({"tp warmup cycles (overlap work)",
+                  std::to_string(rs.tpWarmupCycles)});
+        if (rs.tpSampleStride > 1) {
+            t.addRow({"tp sample stride",
+                      std::to_string(rs.tpSampleStride)});
+            t.addRow({"tp CPI rel stderr",
+                      TextTable::percent(rs.tpCpiRelStderr, 2)});
+        }
+    }
     if (rs.powerFailures) {
         t.addRow({"power failures injected",
                   std::to_string(rs.powerFailures)});
@@ -766,6 +912,7 @@ main(int argc, char **argv)
     knobs.instsPerCore = 50'000;
     bool compare = false;
     bool instsGiven = false;
+    bool errorBound = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -828,6 +975,34 @@ main(int argc, char **argv)
                 std::strtoull(next(), nullptr, 10));
         } else if (arg == "--trace") {
             knobs.traceDir = next();
+        } else if (arg == "--time-parallel") {
+            knobs.timeParallel = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--warmup-insts") {
+            knobs.tpWarmupInsts = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--sampled") {
+            knobs.tpSampleStride = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--tp-workers") {
+            knobs.tpWorkers = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--tp-fail") {
+            const char *spec = next();
+            char *colon = nullptr;
+            ExperimentKnobs::SegmentFailure f;
+            f.segment = static_cast<unsigned>(
+                std::strtoul(spec, &colon, 10));
+            if (!colon || *colon != ':') {
+                std::fprintf(stderr,
+                             "--tp-fail wants SEGMENT:CYCLE, got "
+                             "'%s'\n",
+                             spec);
+                return 1;
+            }
+            f.cycle = std::strtoull(colon + 1, nullptr, 10);
+            knobs.tpFailAt.push_back(f);
+        } else if (arg == "--error-bound") {
+            errorBound = true;
         } else if (arg == "--json") {
             jsonPath = next();
         } else if (arg == "--help" || arg == "-h") {
@@ -876,6 +1051,18 @@ main(int argc, char **argv)
 
     const WorkloadProfile &profile = profileByName(app);
     SystemVariant variant = parseVariant(variant_name);
+    if (errorBound && knobs.timeParallel < 2) {
+        std::fprintf(stderr,
+                     "--error-bound requires --time-parallel K "
+                     "(K >= 2)\n");
+        return 1;
+    }
+    if (errorBound && !knobs.tpFailAt.empty()) {
+        std::fprintf(stderr,
+                     "note: --error-bound compares against a "
+                     "failure-free serial run; --tp-fail effects are "
+                     "part of the reported delta\n");
+    }
 
     RunStats rs = runWorkload(profile, variant, knobs);
     printStats(rs);
@@ -884,6 +1071,31 @@ main(int argc, char **argv)
                                 metrics::runStatsToJson(rs) + "\n"))
             return 1;
         std::printf("wrote %s\n", jsonPath.c_str());
+    }
+
+    if (errorBound) {
+        // The accuracy contract's empirical side (docs/PERF.md): how
+        // far does the segmented run drift from the unsegmented
+        // serial reference with this warmup length?
+        ExperimentKnobs serialKnobs = knobs;
+        serialKnobs.timeParallel = 0;
+        serialKnobs.tpFailAt.clear();
+        RunStats ref = runWorkload(profile, variant, serialKnobs);
+        TextTable t({"stat", "serial", "time-parallel", "rel delta"});
+        double worst = 0.0;
+        for (const StatDelta &d : statDeltas(ref, rs)) {
+            worst = std::max(worst, std::fabs(d.relative()));
+            t.addRow({d.name, TextTable::num(d.serial, 3),
+                      TextTable::num(d.segmented, 3),
+                      TextTable::percent(d.relative(), 2)});
+        }
+        std::printf("\nerror bound vs unsegmented serial run "
+                    "(warmup %llu insts/segment):\n%s"
+                    "worst-case relative delta: %s\n",
+                    static_cast<unsigned long long>(
+                        knobs.tpWarmupInsts),
+                    t.render().c_str(),
+                    TextTable::percent(worst, 2).c_str());
     }
 
     if (compare && variant != SystemVariant::MemoryMode) {
