@@ -318,6 +318,11 @@ Core::renameStage()
 
         if (rob.size() >= cfg.robEntries) {
             statRobFullStall.inc();
+            // ROB-full is a symptom when commit is already draining a
+            // region boundary; only claim the cycle if no commit-side
+            // cause fired (commitStage ran earlier this tick).
+            if (telemHook && !stallNoted)
+                noteStructuralStall(obs::StallReason::RobFull);
             return;
         }
 
@@ -816,6 +821,8 @@ Core::completeRegionBoundary(RegionEndCause cause)
 {
     if (auditObs)
         auditObs->onRegionBoundaryStart(cause);
+    if (telemHook)
+        telemHook->onRegionBoundaryComplete(curCycle, cause);
     // Reclaim the physical registers whose release was deferred
     // because MaskReg marked them as committed-store operands.
     for (unsigned g : deferredFrees) {
@@ -888,6 +895,8 @@ Core::commitOne(RobEntry &e)
     if (e.isBarrier) {
         if (!regionBoundaryConditionsMet()) {
             regions.onBoundaryStall();
+            if (telemHook)
+                noteStructuralStall(drainStallReason());
             return false;
         }
         completeRegionBoundary(RegionEndCause::PrfExhausted);
@@ -900,6 +909,12 @@ Core::commitOne(RobEntry &e)
         // committed store (Section 4.2).
         if (!regionBoundaryConditionsMet()) {
             regions.onBoundaryStall();
+            // The CSQ triggered this boundary: the cycle is CSQ-full
+            // backpressure even while the drain itself waits on the
+            // persist path (the WPQ/bandwidth split applies only to
+            // boundaries the CSQ did not force).
+            if (telemHook)
+                noteStructuralStall(obs::StallReason::CsqFull);
             return false;
         }
         completeRegionBoundary(RegionEndCause::CsqFull);
@@ -914,11 +929,15 @@ Core::commitOne(RobEntry &e)
         if (cfg.mode == PersistMode::ReplayCache &&
             outstandingClwbs > 0) {
             regions.onBoundaryStall();
+            if (telemHook)
+                noteStructuralStall(obs::StallReason::NvmBandwidth);
             return false;
         }
         if (cfg.mode == PersistMode::Ppa) {
             if (!regionBoundaryConditionsMet()) {
                 regions.onBoundaryStall();
+                if (telemHook)
+                    noteStructuralStall(drainStallReason());
                 return false;
             }
             completeRegionBoundary(RegionEndCause::SyncPrimitive);
@@ -926,6 +945,8 @@ Core::commitOne(RobEntry &e)
         if (cfg.mode == PersistMode::Capri && capri) {
             if (!capri->empty(curCycle)) {
                 regions.onBoundaryStall();
+                if (telemHook)
+                    noteStructuralStall(obs::StallReason::NvmBandwidth);
                 return false;
             }
             capriInstsInRegion = 0;
@@ -945,6 +966,8 @@ Core::commitOne(RobEntry &e)
         if (cfg.mode == PersistMode::Ppa) {
             if (!regionBoundaryConditionsMet()) {
                 regions.onBoundaryStall();
+                if (telemHook)
+                    noteStructuralStall(drainStallReason());
                 return false;
             }
             completeRegionBoundary(RegionEndCause::SyncPrimitive);
@@ -1043,6 +1066,8 @@ Core::commitStage()
         capriInstsInRegion == 0 && !rob.empty() &&
         !capri->empty(curCycle)) {
         regions.onBoundaryStall();
+        if (telemHook)
+            noteStructuralStall(obs::StallReason::NvmBandwidth);
         return;
     }
 
@@ -1069,13 +1094,55 @@ Core::tick()
     freeIntHist.sample(intFreeList.size());
     freeFpHist.sample(fpFreeList.size());
 
+    std::uint64_t commits_before = commitCount;
     commitStage();
     mergeCommittedStores();
     writebackStage();
     issueStage();
     renameStage();
     fetchStage();
+    if (telemHook) {
+        telemHook->onCycleEnd(
+            curCycle,
+            static_cast<unsigned>(commitCount - commits_before));
+        stallNoted = false;
+    }
     ++curCycle;
+}
+
+void
+Core::noteStructuralStall(obs::StallReason reason)
+{
+    if (!telemHook)
+        return;
+    // The attribution contract: at most one structural reason claims a
+    // cycle. Re-noting the same reason (e.g. commit retried within one
+    // cycle) is idempotent; a different reason is a plumbing bug.
+    PPA_ASSERT(!stallNoted || stallReason == reason,
+               "two structural-stall reasons fired in one cycle");
+    if (stallNoted)
+        return;
+    stallNoted = true;
+    stallReason = reason;
+    telemHook->onStructuralStall(reason);
+}
+
+obs::StallReason
+Core::drainStallReason() const
+{
+    // A boundary drain waits on the persist path. Distinguish
+    // structural occupancy (write buffer or an NVM write pending
+    // queue at capacity -> WPQ-full) from pacing (room everywhere,
+    // just waiting for write latency/bandwidth -> NVM-bandwidth).
+    const WriteBuffer &wb = memory.writeBuffer(coreId);
+    if (wb.queuedEntries() >= wb.capacityEntries())
+        return obs::StallReason::WpqFull;
+    const Nvm &nvm = memory.nvm();
+    for (unsigned mc = 0; mc < nvm.params().numControllers; ++mc) {
+        if (nvm.wpqOccupancy(mc, curCycle) >= nvm.params().wpqEntries)
+            return obs::StallReason::WpqFull;
+    }
+    return obs::StallReason::NvmBandwidth;
 }
 
 bool
@@ -1138,6 +1205,8 @@ Core::powerFail()
 
     if (auditObs)
         auditObs->onPowerFail(image);
+    if (telemHook)
+        telemHook->onPowerFail(curCycle);
 
     // All volatile pipeline state evaporates.
     fetchQueue.clear();
@@ -1258,6 +1327,8 @@ Core::recover(const CheckpointImage &image)
 
     if (auditObs)
         auditObs->onRecover(image);
+    if (telemHook)
+        telemHook->onRecover(curCycle);
 }
 
 } // namespace ppa

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "check/observer.hh"
+#include "common/logging.hh"
 #include "common/ring_buffer.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -50,6 +51,7 @@
 #include "isa/dyninst.hh"
 #include "isa/source.hh"
 #include "mem/hierarchy.hh"
+#include "obs/hooks.hh"
 #include "ppa/checkpoint.hh"
 #include "ppa/csq.hh"
 #include "ppa/mask_reg.hh"
@@ -157,6 +159,21 @@ class Core
     /** Read-only views for audit cross-checks. */
     const Csq &csqRef() const { return csq; }
     const MaskReg &maskRegRef() const { return maskReg; }
+
+    // ---- telemetry instrumentation (read-only observer) --------------
+    /**
+     * Attach the in-run telemetry hook (obs::Telemetry). Null by
+     * default; with no hook the only overhead is a pointer test per
+     * callback site. Pass nullptr to detach.
+     */
+    void attachTelemetry(obs::TelemetryHook *hook) { telemHook = hook; }
+
+    /** Occupancy views sampled by the telemetry counter series. */
+    std::size_t robOccupancy() const { return rob.size(); }
+    std::size_t fetchQueueDepth() const { return fetchQueue.size(); }
+    std::size_t readyQueueDepth() const { return readyQueue.size(); }
+    std::size_t freeIntRegs() const { return intFreeList.size(); }
+    std::size_t freeFpRegs() const { return fpFreeList.size(); }
 
   private:
     // ---- pipeline data structures -----------------------------------
@@ -295,6 +312,8 @@ class Core
     bool commitOne(RobEntry &e);
     void retireStoreBookkeeping(RobEntry &e);
     void releaseSqSlot(int idx);
+    void noteStructuralStall(obs::StallReason reason);
+    obs::StallReason drainStallReason() const;
 
     static std::size_t
     fwdHash(Addr word)
@@ -424,6 +443,15 @@ class Core
 
     // ---- audit -----------------------------------------------------------
     check::PipelineObserver *auditObs = nullptr;
+
+    // ---- telemetry -------------------------------------------------------
+    obs::TelemetryHook *telemHook = nullptr;
+    /** At most one structural-stall reason may fire per cycle; the
+     *  commit-side cause is noted first (commit runs first in tick)
+     *  and rename's ROB-full symptom only when nothing else claimed
+     *  the cycle. noteStructuralStall PPA_ASSERTs the contract. */
+    bool stallNoted = false;
+    obs::StallReason stallReason = obs::StallReason::RobFull;
 
     // ---- PPA state -------------------------------------------------------
     PhysRegIndexer regIndexer;

@@ -93,6 +93,12 @@ class WriteBuffer
      */
     void setDraining(bool on) { draining = on; }
 
+    /** Buffered line entries (telemetry occupancy view). */
+    std::size_t queuedEntries() const { return entries.size(); }
+
+    /** Line-entry capacity. */
+    unsigned capacityEntries() const { return capacity; }
+
     std::uint64_t coalescedStores() const { return statCoalesced.value(); }
     std::uint64_t persistOps() const { return statOps.value(); }
     std::uint64_t fullStalls() const { return statFullStall.value(); }

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Chrome trace-event / Perfetto JSON exporter for harvested telemetry
+ * (`ppa_cli ... --telemetry-trace out.json`; format notes in
+ * docs/TELEMETRY.md, validated by tools/trace_check.py).
+ */
+
+#ifndef PPA_OBS_TRACE_EXPORT_HH
+#define PPA_OBS_TRACE_EXPORT_HH
+
+#include <string>
+
+#include "obs/telemetry.hh"
+
+namespace ppa
+{
+namespace obs
+{
+
+/**
+ * Write @p t as a Chrome trace-event JSON object ({"traceEvents":
+ * [...]}): one thread track per core carrying region/drain and
+ * power-outage spans (B/E pairs), plus one counter track ("C" events)
+ * per telemetry series, with ts = simulated cycle. Events are sorted
+ * by timestamp. Returns false if the file cannot be written.
+ */
+bool writeChromeTrace(const TelemetryResult &t, const std::string &path);
+
+} // namespace obs
+} // namespace ppa
+
+#endif // PPA_OBS_TRACE_EXPORT_HH

@@ -197,6 +197,19 @@ runWorkload(const WorkloadProfile &profile, SystemVariant variant,
                    sc.core.mode == PersistMode::Ppa,
                "power-failure injection requires the PPA variant");
 
+    // Opt-in telemetry: attach at cycle 0 so whole-run stall ratios
+    // share RunStats::totalCycles as their denominator.
+    std::unique_ptr<obs::Telemetry> telemetry;
+    if (knobs.telemetry) {
+        obs::TelemetryConfig tc;
+        tc.sampleCycles = knobs.telemetrySampleCycles;
+        tc.seriesCap =
+            static_cast<std::size_t>(knobs.telemetrySeriesCap);
+        telemetry = std::make_unique<obs::Telemetry>(tc, threads);
+        for (unsigned t = 0; t < threads; ++t)
+            telemetry->attach(system.core(t), system.memory());
+    }
+
     // One deterministic stream per thread: either an in-process
     // generator or a recorded-trace replay — the core cannot tell
     // them apart, which is what the bitwise-identity oracle checks.
@@ -332,6 +345,9 @@ runWorkload(const WorkloadProfile &profile, SystemVariant variant,
     rs.nvmBytesWritten = system.memory().nvm().bytesWritten();
     rs.wpqStallCycles = system.memory().nvm().wpqStallCycles();
     rs.l2MissRatio = system.memory().l2MissRatio();
+
+    if (telemetry)
+        rs.telemetry = telemetry->harvest();
 
     for (const auto &auditor : auditors) {
         rs.auditEvents += auditor->eventCount();

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "obs/telemetry.hh"
 #include "sim/system.hh"
 #include "workload/profile.hh"
 
@@ -153,6 +154,24 @@ struct ExperimentKnobs
         Cycle cycle = 0;
     };
     std::vector<SegmentFailure> tpFailAt;
+
+    // --- In-run telemetry (docs/TELEMETRY.md) ---------------------------
+    /**
+     * Attach the obs::Telemetry collector: sampled counter series,
+     * region/power timelines, and per-cycle stall attribution land in
+     * RunStats::telemetry (serialized as `stats.telemetry`). Off by
+     * default; the off path costs one null-pointer test per hook site
+     * (the bench throughput gate enforces < 1% regression). Read-only
+     * instrumentation — simulated behaviour and every other stat are
+     * bitwise unchanged.
+     */
+    bool telemetry = false;
+    /** Counter-series sampling period in cycles (telemetry only). */
+    std::uint64_t telemetrySampleCycles = 256;
+    /** Bucket capacity per counter series; a full series merges
+     *  adjacent buckets (stride doubles) so memory stays bounded on
+     *  arbitrarily long runs (telemetry only; rounded down to even). */
+    std::uint64_t telemetrySeriesCap = 1024;
 };
 
 /** Everything a figure could want from one run. */
@@ -219,6 +238,10 @@ struct RunStats
     /** Sampled mode only: relative standard error of per-segment CPI
      *  across the simulated segments (0 when every segment ran). */
     double tpCpiRelStderr = 0.0;
+
+    /** In-run telemetry (populated when knobs.telemetry is set;
+     *  serialized additively as `stats.telemetry`). */
+    obs::TelemetryResult telemetry;
 
     /** Boundary-stall cycles as a fraction of all cycles (Fig. 11). */
     double

@@ -59,6 +59,161 @@ histFromJson(const JsonValue &v)
     return stats::Histogram::fromBins(std::move(counts), overflow);
 }
 
+const char *
+regionCauseToken(RegionEndCause cause)
+{
+    switch (cause) {
+      case RegionEndCause::PrfExhausted:
+        return "prfExhausted";
+      case RegionEndCause::CsqFull:
+        return "csqFull";
+      case RegionEndCause::SyncPrimitive:
+        return "syncPrimitive";
+      case RegionEndCause::EndOfRun:
+        return "endOfRun";
+    }
+    return "?";
+}
+
+RegionEndCause
+regionCauseFromToken(const std::string &token)
+{
+    if (token == "prfExhausted")
+        return RegionEndCause::PrfExhausted;
+    if (token == "csqFull")
+        return RegionEndCause::CsqFull;
+    if (token == "syncPrimitive")
+        return RegionEndCause::SyncPrimitive;
+    if (token == "endOfRun")
+        return RegionEndCause::EndOfRun;
+    fatal("unknown region-end cause token '", token, "'");
+}
+
+void
+uintArrayToJson(std::ostringstream &os,
+                const std::vector<std::uint64_t> &values)
+{
+    os << "[";
+    for (std::size_t i = 0; i < values.size(); ++i)
+        os << (i ? ", " : "") << values[i];
+    os << "]";
+}
+
+std::vector<std::uint64_t>
+uintArrayFromJson(const JsonValue &v)
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(v.size());
+    for (const JsonValue &e : v.items())
+        out.push_back(e.asUint64());
+    return out;
+}
+
+std::string
+telemetryToJson(const obs::TelemetryResult &t)
+{
+    std::ostringstream os;
+    os << "{\"sampleCycles\": " << t.sampleCycles
+       << ", \"seriesCap\": " << t.seriesCap
+       << ", \"coveredCycles\": " << t.coveredCycles;
+    os << ", \"stallCycles\": [";
+    for (std::size_t c = 0; c < t.stallCycles.size(); ++c) {
+        os << (c ? ", " : "") << "{";
+        for (unsigned k = 0; k < obs::kCycleClassCount; ++k) {
+            os << (k ? ", " : "") << "\""
+               << obs::cycleClassKey(static_cast<obs::CycleClass>(k))
+               << "\": " << t.stallCycles[c][k];
+        }
+        os << "}";
+    }
+    os << "]";
+    os << ", \"series\": [";
+    for (std::size_t i = 0; i < t.series.size(); ++i) {
+        const obs::TelemetrySeries &s = t.series[i];
+        os << (i ? ", " : "") << "{\"name\": \"" << jsonEscape(s.name)
+           << "\", \"core\": " << s.core << ", \"cycles\": ";
+        uintArrayToJson(os, s.cycles);
+        os << ", \"counts\": ";
+        uintArrayToJson(os, s.counts);
+        os << ", \"sums\": ";
+        uintArrayToJson(os, s.sums);
+        // Derived summary, re-emitted for plotting convenience; the
+        // reader recomputes it from the buckets above.
+        os << ", \"mean\": " << formatDouble(s.mean())
+           << ", \"p50\": " << formatDouble(s.percentile(0.50))
+           << ", \"p95\": " << formatDouble(s.percentile(0.95))
+           << ", \"max\": " << formatDouble(s.maxBucketMean()) << "}";
+    }
+    os << "]";
+    os << ", \"regionEvents\": {\"dropped\": " << t.droppedRegionEvents
+       << ", \"events\": [";
+    for (std::size_t i = 0; i < t.regionEvents.size(); ++i) {
+        const obs::TelemetryRegionEvent &e = t.regionEvents[i];
+        os << (i ? ", " : "") << "[" << e.core << ", " << e.start
+           << ", " << e.drainStart << ", " << e.end << ", \""
+           << regionCauseToken(e.cause) << "\"]";
+    }
+    os << "]}";
+    os << ", \"powerEvents\": [";
+    for (std::size_t i = 0; i < t.powerEvents.size(); ++i) {
+        const obs::TelemetryPowerEvent &e = t.powerEvents[i];
+        os << (i ? ", " : "") << "[" << e.core << ", " << e.fail << ", "
+           << e.recover << ", " << (e.recovered ? "true" : "false")
+           << "]";
+    }
+    os << "]}";
+    return os.str();
+}
+
+obs::TelemetryResult
+telemetryFromJson(const JsonValue &v)
+{
+    obs::TelemetryResult t;
+    t.enabled = true;
+    t.sampleCycles = v.field("sampleCycles").asUint64();
+    t.seriesCap = v.field("seriesCap").asUint64();
+    t.coveredCycles = v.field("coveredCycles").asUint64();
+    for (const JsonValue &row : v.field("stallCycles").items()) {
+        std::array<std::uint64_t, obs::kCycleClassCount> counts{};
+        for (unsigned k = 0; k < obs::kCycleClassCount; ++k) {
+            counts[k] =
+                row.field(obs::cycleClassKey(
+                              static_cast<obs::CycleClass>(k)))
+                    .asUint64();
+        }
+        t.stallCycles.push_back(counts);
+    }
+    for (const JsonValue &sv : v.field("series").items()) {
+        obs::TelemetrySeries s;
+        s.name = sv.field("name").asString();
+        s.core = static_cast<int>(sv.field("core").asDouble());
+        s.cycles = uintArrayFromJson(sv.field("cycles"));
+        s.counts = uintArrayFromJson(sv.field("counts"));
+        s.sums = uintArrayFromJson(sv.field("sums"));
+        t.series.push_back(std::move(s));
+    }
+    const JsonValue &re = v.field("regionEvents");
+    t.droppedRegionEvents = re.field("dropped").asUint64();
+    for (const JsonValue &ev : re.field("events").items()) {
+        obs::TelemetryRegionEvent e;
+        e.core = static_cast<unsigned>(ev.at(0).asUint64());
+        e.start = ev.at(1).asUint64();
+        e.drainStart = ev.at(2).asUint64();
+        e.end = ev.at(3).asUint64();
+        e.cause = regionCauseFromToken(ev.at(4).asString());
+        t.regionEvents.push_back(e);
+    }
+    for (const JsonValue &ev : v.field("powerEvents").items()) {
+        obs::TelemetryPowerEvent e;
+        e.core = static_cast<unsigned>(ev.at(0).asUint64());
+        e.fail = ev.at(1).asUint64();
+        e.recover = ev.at(2).asUint64();
+        e.recovered = ev.at(3).asBool();
+        t.powerEvents.push_back(e);
+    }
+    return t;
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------
@@ -471,6 +626,10 @@ runStatsToJson(const RunStats &rs)
            << ", \"cpiRelStderr\": "
            << formatDouble(rs.tpCpiRelStderr) << "}";
     }
+    // Telemetry: emitted only for telemetry-enabled runs, so classic
+    // results are unchanged (schema stays additive).
+    if (rs.telemetry.enabled)
+        os << ", \"telemetry\": " << telemetryToJson(rs.telemetry);
     os << "}";
     return os.str();
 }
@@ -538,6 +697,8 @@ runStatsFromJson(const JsonValue &v)
         rs.tpWarmupCycles = t.field("warmupCycles").asUint64();
         rs.tpCpiRelStderr = t.field("cpiRelStderr").asDouble();
     }
+    if (v.hasField("telemetry"))
+        rs.telemetry = telemetryFromJson(v.field("telemetry"));
     return rs;
 }
 
@@ -577,6 +738,13 @@ knobsToJson(const ExperimentKnobs &k)
                << k.tpFailAt[i].cycle << "}";
         }
         os << "]";
+    }
+    // Telemetry knobs: emitted only when telemetry is on, keeping
+    // classic job documents byte-stable.
+    if (k.telemetry) {
+        os << ", \"telemetry\": true";
+        os << ", \"telemetrySampleCycles\": " << k.telemetrySampleCycles;
+        os << ", \"telemetrySeriesCap\": " << k.telemetrySeriesCap;
     }
     os << "}";
     return os.str();
@@ -622,6 +790,12 @@ knobsFromJson(const JsonValue &v)
             sf.cycle = f.field("cycle").asUint64();
             k.tpFailAt.push_back(sf);
         }
+    }
+    if (v.hasField("telemetry")) {
+        k.telemetry = v.field("telemetry").asBool();
+        k.telemetrySampleCycles =
+            v.field("telemetrySampleCycles").asUint64();
+        k.telemetrySeriesCap = v.field("telemetrySeriesCap").asUint64();
     }
     return k;
 }

@@ -117,6 +117,9 @@ struct SegmentOutcome
     std::uint64_t auditEvents = 0;
     std::uint64_t auditViolations = 0;
     std::vector<std::string> auditMessages;
+    /** Measured-window telemetry (attached after the warmup prefix);
+     *  the stitcher rebases and concatenates it. */
+    obs::TelemetryResult telemetry;
 };
 
 SegmentOutcome
@@ -183,6 +186,20 @@ runSegment(const WorkloadProfile &profile, SystemVariant variant,
     out.warmEndCycle = system.cycle();
     out.warm = captureCounters(system, sc);
 
+    // Telemetry covers only the measured window: attach after the
+    // discarded warmup prefix so stitched series line up with the
+    // stitched cycle axis.
+    std::unique_ptr<obs::Telemetry> telemetry;
+    if (knobs.telemetry) {
+        obs::TelemetryConfig tc;
+        tc.sampleCycles = knobs.telemetrySampleCycles;
+        tc.seriesCap =
+            static_cast<std::size_t>(knobs.telemetrySeriesCap);
+        telemetry = std::make_unique<obs::Telemetry>(tc, threads);
+        for (unsigned t = 0; t < threads; ++t)
+            telemetry->attach(system.core(t), system.memory());
+    }
+
     if (seg.failAt.empty()) {
         system.run(cap);
     } else {
@@ -203,6 +220,8 @@ runSegment(const WorkloadProfile &profile, SystemVariant variant,
     }
     out.endCycle = system.cycle();
     out.end = captureCounters(system, sc);
+    if (telemetry)
+        out.telemetry = telemetry->harvest();
 
     for (const auto &auditor : auditors) {
         out.auditEvents += auditor->eventCount();
@@ -446,6 +465,9 @@ runWorkloadTimeParallel(const WorkloadProfile &profile,
     for (unsigned s : simIdx) {
         const SegmentOutcome &o = outcomes[s];
         Cycle seg_cycles = o.endCycle - o.warmEndCycle;
+        // Telemetry cycles are segment-relative; rebase them onto the
+        // stitched timeline at the cycles accumulated so far.
+        appendTelemetry(rs.telemetry, o.telemetry, rs.cycles);
         rs.cycles += seg_cycles;
         rs.tpWarmupCycles += o.warmEndCycle;
         std::uint64_t seg_insts =

@@ -39,6 +39,7 @@ DOC_FILES = [
     "docs/INTERNALS.md",
     "docs/METRICS.md",
     "docs/PERF.md",
+    "docs/TELEMETRY.md",
     "docs/TRACING.md",
 ]
 

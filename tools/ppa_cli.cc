@@ -29,6 +29,8 @@
 #include <string>
 
 #include "common/table.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace_export.hh"
 #include "sim/driver.hh"
 #include "sim/experiment.hh"
 #include "sim/segment.hh"
@@ -106,6 +108,34 @@ usage()
         "(requires --time-parallel)\n"
         "  --json FILE         also write the run's RunStats JSON to "
         "FILE\n"
+        "  --telemetry         attach the in-run telemetry collector "
+        "(docs/TELEMETRY.md):\n"
+        "                      sampled counter series, region/power "
+        "timelines, and\n"
+        "                      stall attribution land in "
+        "stats.telemetry\n"
+        "  --telemetry-sample N  counter-series sampling period in "
+        "cycles (default 256;\n"
+        "                      implies --telemetry)\n"
+        "  --telemetry-trace FILE  write a Chrome trace-event JSON of "
+        "the run, loadable\n"
+        "                      in Perfetto / chrome://tracing (implies "
+        "--telemetry)\n"
+        "\n"
+        "subcommand: profile — run with telemetry and print where the "
+        "cycles went\n"
+        "  ppa_cli profile APP [options]\n"
+        "  --variant V         system variant (default: ppa)\n"
+        "  --insts N           committed instructions per core "
+        "(default 50000)\n"
+        "  --threads N         thread/core count (default: profile)\n"
+        "  --seed N            workload seed (default 42)\n"
+        "  --telemetry-sample N  counter-series sampling period in "
+        "cycles (default 256)\n"
+        "  --telemetry-trace FILE  also write the Chrome trace-event "
+        "JSON\n"
+        "  --json FILE         also write the run's RunStats JSON "
+        "(with stats.telemetry)\n"
         "\n"
         "subcommand: trace — record/inspect committed-stream traces\n"
         "  ppa_cli trace record --app NAME --out DIR [--insts N] "
@@ -132,6 +162,10 @@ usage()
         "JSON\n"
         "  --audit             run every ppa-variant job with the "
         "invariant auditors attached\n"
+        "  --telemetry         run every job with telemetry attached "
+        "and write one Chrome\n"
+        "                      trace per job under "
+        "FIGURE_telemetry/\n"
         "\n"
         "subcommand: bench — host-throughput benchmark (simulated "
         "KIPS)\n"
@@ -163,7 +197,12 @@ usage()
         "                      tpSerialKips/tpKips/tpSpeedup in the "
         "JSON extras and gates\n"
         "                      tpSpeedup against the baseline when it "
-        "records one\n");
+        "records one\n"
+        "  --telemetry         also time one gcc/ppa run with and "
+        "without telemetry,\n"
+        "                      record telemetryOverheadPct in the JSON "
+        "extras, and fail\n"
+        "                      when the overhead exceeds 5%%\n");
 }
 
 SystemVariant
@@ -187,6 +226,7 @@ sweepMain(int argc, char **argv)
     std::string outDir = metrics::resultsDir();
     bool csv = false;
     bool audit = false;
+    bool telemetry = false;
 
     for (int i = 0; i < argc; ++i) {
         std::string arg = argv[i];
@@ -220,6 +260,8 @@ sweepMain(int argc, char **argv)
             csv = true;
         } else if (arg == "--audit") {
             audit = true;
+        } else if (arg == "--telemetry") {
+            telemetry = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -250,6 +292,10 @@ sweepMain(int argc, char **argv)
         for (SweepJob &job : fs.jobs)
             job.knobs.audit = true;
     }
+    if (telemetry) {
+        for (SweepJob &job : fs.jobs)
+            job.knobs.telemetry = true;
+    }
     ExperimentDriver driver(jobs);
     std::fprintf(stderr, "sweep %s: %zu jobs on %u threads — %s\n",
                  fs.name.c_str(), fs.jobs.size(), driver.workers(),
@@ -276,6 +322,29 @@ sweepMain(int argc, char **argv)
                     static_cast<unsigned long long>(violations));
         if (violations)
             return 1;
+    }
+
+    if (telemetry) {
+        // One Chrome trace per job. Figures re-run the same
+        // (workload, variant) pair under different knobs, so the job
+        // index keeps the filenames unique.
+        std::string traceDir = outDir + "/" + fs.name + "_telemetry";
+        std::error_code ec;
+        std::filesystem::create_directories(traceDir, ec);
+        for (std::size_t j = 0; j < results.size(); ++j) {
+            const JobResult &r = results[j];
+            std::string path = traceDir + "/" + std::to_string(j) +
+                               "_" + r.job.profile.name + "_" +
+                               variantToken(r.job.variant) +
+                               ".trace.json";
+            if (!obs::writeChromeTrace(r.stats.telemetry, path)) {
+                std::fprintf(stderr, "sweep: cannot write %s\n",
+                             path.c_str());
+                return 1;
+            }
+        }
+        std::printf("wrote %zu telemetry trace(s) under %s\n",
+                    results.size(), traceDir.c_str());
     }
 
     std::string jsonPath = outDir + "/" + fs.name + ".json";
@@ -537,6 +606,7 @@ benchMain(int argc, char **argv)
     std::uint64_t seed = 42;
     unsigned reps = 1;
     unsigned timeParallel = 0;
+    bool telemetry = false;
     std::string outDir = metrics::resultsDir();
     std::string baselinePath;
     std::string traceRoot;
@@ -572,6 +642,8 @@ benchMain(int argc, char **argv)
         } else if (arg == "--time-parallel") {
             timeParallel = static_cast<unsigned>(
                 std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--telemetry") {
+            telemetry = true;
         } else if (arg == "--threshold") {
             thresholdPct = std::strtod(next(), nullptr);
         } else if (arg == "--help" || arg == "-h") {
@@ -729,11 +801,55 @@ benchMain(int argc, char **argv)
                     reps);
     }
 
+    // Telemetry overhead series: one gcc/ppa run timed with the
+    // collector off and on. The docs/TELEMETRY.md overhead contract
+    // says the *enabled* collector costs < 5%; the null path is
+    // covered by the ordinary aggregate-KIPS gate above because every
+    // grid job runs with telemetry off.
+    double telemetryOverheadPct = 0.0;
+    if (telemetry) {
+        const WorkloadProfile &profile = profileByName("gcc");
+        ExperimentKnobs offKnobs;
+        offKnobs.seed = seed;
+        offKnobs.instsPerCore = insts ? insts : 60'000;
+        ExperimentKnobs onKnobs = offKnobs;
+        onKnobs.telemetry = true;
+        std::fprintf(stderr,
+                     "bench: telemetry overhead series — gcc/ppa, "
+                     "%llu insts\n",
+                     static_cast<unsigned long long>(
+                         offKnobs.instsPerCore));
+        double offBest = 0.0;
+        double onBest = 0.0;
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            auto t0 = std::chrono::steady_clock::now();
+            runWorkload(profile, SystemVariant::Ppa, offKnobs);
+            auto t1 = std::chrono::steady_clock::now();
+            runWorkload(profile, SystemVariant::Ppa, onKnobs);
+            auto t2 = std::chrono::steady_clock::now();
+            double offWall =
+                std::chrono::duration<double>(t1 - t0).count();
+            double onWall =
+                std::chrono::duration<double>(t2 - t1).count();
+            if (rep == 0 || offWall < offBest)
+                offBest = offWall;
+            if (rep == 0 || onWall < onBest)
+                onBest = onWall;
+        }
+        telemetryOverheadPct =
+            offBest > 0.0 ? (onBest / offBest - 1.0) * 100.0 : 0.0;
+        std::printf("telemetry: off %.2f ms, on %.2f ms — %.1f%% "
+                    "overhead\n",
+                    offBest * 1e3, onBest * 1e3, telemetryOverheadPct);
+    }
+
     std::vector<std::pair<std::string, double>> extra = {
         {"aggregateKips", agg},
         {"geomeanKips", geomean},
         {"reps", static_cast<double>(reps)},
         {"workers", static_cast<double>(driver.workers())}};
+    if (telemetry)
+        extra.emplace_back("telemetryOverheadPct", telemetryOverheadPct);
     if (timeParallel >= 2) {
         extra.emplace_back("tpSegments",
                            static_cast<double>(timeParallel));
@@ -748,6 +864,16 @@ benchMain(int argc, char **argv)
         return 1;
     std::printf("wrote %s (%zu jobs)\n", jsonPath.c_str(),
                 results.size());
+
+    // Absolute telemetry-overhead gate (no baseline needed: the
+    // contract is a fixed 5% bound, not a regression ratio).
+    if (telemetry && telemetryOverheadPct > 5.0) {
+        std::fprintf(stderr,
+                     "bench: FAIL — telemetry overhead %.1f%% exceeds "
+                     "the 5%% contract\n",
+                     telemetryOverheadPct);
+        return 1;
+    }
 
     if (baselinePath.empty())
         return 0;
@@ -888,9 +1014,192 @@ printStats(const RunStats &rs)
         t.addRow({"replay mismatches",
                   std::to_string(rs.replayMismatches)});
     }
+    if (rs.telemetry.enabled) {
+        t.addRow({"telemetry covered cycles / core",
+                  std::to_string(rs.telemetry.coveredCycles)});
+        t.addRow({"telemetry series",
+                  std::to_string(rs.telemetry.series.size())});
+        t.addRow({"telemetry region events",
+                  std::to_string(rs.telemetry.regionEvents.size())});
+    }
     std::printf("%s", t.render().c_str());
     for (const std::string &m : rs.auditMessages)
         std::fprintf(stderr, "audit: %s\n", m.c_str());
+}
+
+/**
+ * Print the stall-attribution and counter-series tables for a
+ * telemetry-enabled run — the body of `ppa_cli profile`. Returns
+ * false when the attribution partition does not cover the run's
+ * cycles (a contract violation the CI smoke job would catch).
+ */
+bool
+printTelemetryProfile(const RunStats &rs)
+{
+    const obs::TelemetryResult &t = rs.telemetry;
+
+    TextTable stall({"cycle class", "cycles", "share"});
+    std::uint64_t attributed = 0;
+    for (unsigned c = 0; c < obs::kCycleClassCount; ++c)
+        attributed += t.classCycles(static_cast<obs::CycleClass>(c));
+    for (unsigned c = 0; c < obs::kCycleClassCount; ++c) {
+        auto cls = static_cast<obs::CycleClass>(c);
+        std::uint64_t cyc = t.classCycles(cls);
+        stall.addRow({obs::cycleClassLabel(cls), std::to_string(cyc),
+                      TextTable::percent(
+                          attributed ? static_cast<double>(cyc) /
+                                           static_cast<double>(attributed)
+                                     : 0.0,
+                          2)});
+    }
+    stall.addRow({"total", std::to_string(attributed), "100.00%"});
+    std::printf("\nstall attribution (%zu core(s), %llu covered "
+                "cycles each):\n%s",
+                t.stallCycles.size(),
+                static_cast<unsigned long long>(t.coveredCycles),
+                stall.render().c_str());
+
+    TextTable series({"series", "core", "samples", "mean", "p95",
+                      "max bucket", "total"});
+    for (const obs::TelemetrySeries &s : t.series) {
+        series.addRow({s.name,
+                       s.core < 0 ? std::string("sys")
+                                  : std::to_string(s.core),
+                       std::to_string(s.samples()),
+                       TextTable::num(s.mean(), 2),
+                       TextTable::num(s.percentile(0.95), 2),
+                       TextTable::num(s.maxBucketMean(), 2),
+                       std::to_string(s.total())});
+    }
+    std::printf("\ncounter series (sample period %llu cycles):\n%s",
+                static_cast<unsigned long long>(t.sampleCycles),
+                series.render().c_str());
+
+    if (!t.regionEvents.empty() || t.droppedRegionEvents) {
+        std::uint64_t drainCycles = 0;
+        for (const obs::TelemetryRegionEvent &e : t.regionEvents)
+            drainCycles += e.end - e.drainStart;
+        std::printf("\nregions: %zu recorded (%llu dropped past cap), "
+                    "%llu drain cycles in recorded spans\n",
+                    t.regionEvents.size(),
+                    static_cast<unsigned long long>(
+                        t.droppedRegionEvents),
+                    static_cast<unsigned long long>(drainCycles));
+    }
+    if (!t.powerEvents.empty())
+        std::printf("power events: %zu span(s)\n",
+                    t.powerEvents.size());
+
+    // The acceptance check: every core's attribution rows partition
+    // its covered cycles, and the covered window is the whole run.
+    bool ok = true;
+    for (std::size_t core = 0; core < t.stallCycles.size(); ++core) {
+        std::uint64_t sum = 0;
+        for (std::uint64_t v : t.stallCycles[core])
+            sum += v;
+        if (sum != t.coveredCycles)
+            ok = false;
+    }
+    std::printf("attribution check: %llu cycles/core attributed, "
+                "%llu covered, run total %llu — %s\n",
+                static_cast<unsigned long long>(
+                    t.stallCycles.empty()
+                        ? 0
+                        : attributed / t.stallCycles.size()),
+                static_cast<unsigned long long>(t.coveredCycles),
+                static_cast<unsigned long long>(rs.totalCycles),
+                ok ? "OK" : "MISMATCH");
+    return ok;
+}
+
+int
+profileMain(int argc, char **argv)
+{
+    std::string app;
+    std::string variant_name = "ppa";
+    std::string tracePath;
+    std::string jsonPath;
+    ExperimentKnobs knobs;
+    knobs.instsPerCore = 50'000;
+    knobs.telemetry = true;
+
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--variant") {
+            variant_name = next();
+        } else if (arg == "--insts") {
+            knobs.instsPerCore = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--threads") {
+            knobs.threads = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--seed") {
+            knobs.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--telemetry-sample") {
+            knobs.telemetrySampleCycles =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--telemetry-trace") {
+            tracePath = next();
+        } else if (arg == "--json") {
+            jsonPath = next();
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] != '-' && app.empty()) {
+            app = arg;
+        } else {
+            std::fprintf(stderr, "unknown profile option '%s'\n",
+                         arg.c_str());
+            usage();
+            return 1;
+        }
+    }
+    if (app.empty()) {
+        std::fprintf(stderr, "profile: application name required\n");
+        usage();
+        return 1;
+    }
+
+    const WorkloadProfile &profile = profileByName(app);
+    SystemVariant variant = parseVariant(variant_name);
+    RunStats rs = runWorkload(profile, variant, knobs);
+
+    TextTable head({"metric", "value"});
+    head.addRow({"workload", rs.workload});
+    head.addRow({"variant", variantName(rs.variant)});
+    head.addRow({"threads", std::to_string(rs.threads)});
+    head.addRow({"total cycles", std::to_string(rs.totalCycles)});
+    head.addRow({"committed instructions",
+                 std::to_string(rs.committedInsts)});
+    head.addRow({"system IPC", TextTable::num(rs.ipc, 2)});
+    std::printf("%s", head.render().c_str());
+
+    bool ok = printTelemetryProfile(rs);
+
+    if (!tracePath.empty()) {
+        if (!obs::writeChromeTrace(rs.telemetry, tracePath)) {
+            std::fprintf(stderr, "profile: cannot write %s\n",
+                         tracePath.c_str());
+            return 1;
+        }
+        std::printf("wrote %s (load in https://ui.perfetto.dev or "
+                    "chrome://tracing)\n",
+                    tracePath.c_str());
+    }
+    if (!jsonPath.empty()) {
+        if (!metrics::writeFile(jsonPath,
+                                metrics::runStatsToJson(rs) + "\n"))
+            return 1;
+        std::printf("wrote %s\n", jsonPath.c_str());
+    }
+    return ok ? 0 : 1;
 }
 
 } // namespace
@@ -904,10 +1213,13 @@ main(int argc, char **argv)
         return benchMain(argc - 2, argv + 2);
     if (argc > 1 && std::strcmp(argv[1], "trace") == 0)
         return traceMain(argc - 2, argv + 2);
+    if (argc > 1 && std::strcmp(argv[1], "profile") == 0)
+        return profileMain(argc - 2, argv + 2);
 
     std::string app;
     std::string variant_name = "ppa";
     std::string jsonPath;
+    std::string telemetryTracePath;
     ExperimentKnobs knobs;
     knobs.instsPerCore = 50'000;
     bool compare = false;
@@ -1001,6 +1313,15 @@ main(int argc, char **argv)
             }
             f.cycle = std::strtoull(colon + 1, nullptr, 10);
             knobs.tpFailAt.push_back(f);
+        } else if (arg == "--telemetry") {
+            knobs.telemetry = true;
+        } else if (arg == "--telemetry-sample") {
+            knobs.telemetrySampleCycles =
+                std::strtoull(next(), nullptr, 10);
+            knobs.telemetry = true;
+        } else if (arg == "--telemetry-trace") {
+            telemetryTracePath = next();
+            knobs.telemetry = true;
         } else if (arg == "--error-bound") {
             errorBound = true;
         } else if (arg == "--json") {
@@ -1066,6 +1387,11 @@ main(int argc, char **argv)
 
     RunStats rs = runWorkload(profile, variant, knobs);
     printStats(rs);
+    if (!telemetryTracePath.empty()) {
+        if (!obs::writeChromeTrace(rs.telemetry, telemetryTracePath))
+            return 1;
+        std::printf("wrote %s\n", telemetryTracePath.c_str());
+    }
     if (!jsonPath.empty()) {
         if (!metrics::writeFile(jsonPath,
                                 metrics::runStatsToJson(rs) + "\n"))

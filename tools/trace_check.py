@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file written by ppa_cli.
+
+The exporter (src/obs/trace_export.cc) emits the JSON-object form
+({"traceEvents": [...]}) with duration spans (B/E pairs), counter
+tracks (C), and thread-name metadata (M). This checker enforces the
+properties Perfetto and chrome://tracing rely on, so a regression in
+the exporter fails CI before it ships a trace the viewers mangle:
+
+  * the document parses and has a traceEvents array;
+  * timestamps are monotonically non-decreasing in file order
+    (the exporter sorts by (ts, emission order));
+  * per (pid, tid) track, B/E events nest properly and match by name;
+  * at least one counter track exists and every C event carries a
+    numeric args.value;
+  * every non-metadata event carries ts/pid/tid.
+
+Usage: trace_check.py TRACE.json [TRACE2.json ...]
+Exits nonzero with a diagnostic per violated property.
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"trace_check: {path}: {msg}", file=sys.stderr)
+    return 1
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"cannot parse: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail(path, "no traceEvents array")
+
+    errors = 0
+    last_ts = None
+    stacks = {}  # (pid, tid) -> [names of open B spans]
+    counters = 0
+
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        name = ev.get("name", "?")
+        if ph == "M":
+            # Metadata events carry no timestamp; nothing to order.
+            continue
+        if ph not in ("B", "E", "C"):
+            errors += fail(path, f"event {i}: unexpected phase '{ph}'")
+            continue
+        for key in ("ts", "pid", "tid"):
+            if key not in ev:
+                errors += fail(path, f"event {i} ({name}): missing {key}")
+        ts = ev.get("ts", 0)
+        if last_ts is not None and ts < last_ts:
+            errors += fail(
+                path,
+                f"event {i} ({name}): ts {ts} < previous {last_ts} "
+                "(not monotonic)",
+            )
+        last_ts = ts
+
+        track = (ev.get("pid"), ev.get("tid"))
+        if ph == "B":
+            stacks.setdefault(track, []).append(name)
+        elif ph == "E":
+            stack = stacks.get(track, [])
+            if not stack:
+                errors += fail(
+                    path, f"event {i} ({name}): E with no open B on {track}"
+                )
+            elif stack[-1] != name:
+                errors += fail(
+                    path,
+                    f"event {i}: E '{name}' closes B '{stack[-1]}' "
+                    f"on {track}",
+                )
+                stack.pop()
+            else:
+                stack.pop()
+        elif ph == "C":
+            counters += 1
+            value = ev.get("args", {}).get("value")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors += fail(
+                    path,
+                    f"event {i} ({name}): counter args.value is "
+                    f"{value!r}, not a number",
+                )
+
+    for track, stack in stacks.items():
+        if stack:
+            errors += fail(
+                path, f"unclosed span(s) {stack} on track {track}"
+            )
+    if counters == 0:
+        errors += fail(path, "no counter (C) events — counter tracks missing")
+
+    if errors == 0:
+        spans = sum(1 for e in events if e.get("ph") == "B")
+        print(
+            f"trace_check: {path}: OK — {len(events)} events, "
+            f"{spans} spans, {counters} counter samples"
+        )
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = 0
+    for path in argv[1:]:
+        errors += check_file(path)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
