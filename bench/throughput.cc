@@ -128,10 +128,12 @@ main(int argc, char **argv)
     ::benchmark::Initialize(&argc, argv);
 
     std::uint64_t insts = 0;
-    if (const char *env = std::getenv("PPA_BENCH_INSTS"))
+    // Env knobs are read on the main thread before the driver spawns
+    // workers, so the mt-unsafety of getenv cannot bite.
+    if (const char *env = std::getenv("PPA_BENCH_INSTS")) // NOLINT(concurrency-mt-unsafe)
         insts = std::strtoull(env, nullptr, 10);
     unsigned workers = 0;
-    if (const char *env = std::getenv("PPA_BENCH_JOBS"))
+    if (const char *env = std::getenv("PPA_BENCH_JOBS")) // NOLINT(concurrency-mt-unsafe)
         workers = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
 
     FigureSweep fs = throughputSweep(insts);
@@ -177,7 +179,7 @@ main(int argc, char **argv)
         {"workers", static_cast<double>(driver.workers())}};
 
     unsigned tpSegments = 0;
-    if (const char *env = std::getenv("PPA_BENCH_TIME_PARALLEL"))
+    if (const char *env = std::getenv("PPA_BENCH_TIME_PARALLEL")) // NOLINT(concurrency-mt-unsafe)
         tpSegments = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
     if (tpSegments >= 2) {
         TpSeries tp = runTimeParallelSeries(

@@ -1,0 +1,333 @@
+#include "check/model.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace ppa
+{
+namespace check
+{
+
+const char *
+flavorName(PersistFlavor flavor)
+{
+    switch (flavor) {
+      case PersistFlavor::Strict:
+        return "strict";
+      case PersistFlavor::Epoch:
+        return "epoch";
+      case PersistFlavor::Relaxed:
+        return "relaxed";
+    }
+    return "?";
+}
+
+PersistModel::PersistModel(const std::vector<const Program *> &threads)
+{
+    const auto nthreads = static_cast<unsigned>(threads.size());
+    threadStores.resize(nthreads);
+    threadInsts.resize(nthreads, 0);
+
+    // Merge initial images in thread order, mirroring the engine's
+    // per-program System::seedMemory calls (later threads override).
+    for (const Program *prog : threads) {
+        prog->initialMemory().forEachWord(
+            [&](Addr a, Word v) { initial.write(a, v); });
+    }
+
+    // Shared-address bookkeeping for the race diagnostics.
+    std::map<Addr, unsigned> writerOf;
+    std::set<Addr> racy;
+    std::map<Addr, std::set<unsigned>> readers;
+
+    for (unsigned t = 0; t < nthreads; ++t) {
+        // Functional architectural execution: after each next() the
+        // executor's golden memory holds exactly the effects of the
+        // instructions generated so far, so reading the store's word
+        // right after generating it yields the committed value (for
+        // AtomicRmw, the post-RMW value).
+        ProgramExecutor ex(*threads[t]);
+        DynInst di;
+        std::uint64_t epoch = 0;
+        while (ex.next(di)) {
+            if (di.isLoad())
+                readers[di.memAddr].insert(t);
+            if (di.isStore()) {
+                auto it = writerOf.find(di.memAddr);
+                if (it == writerOf.end())
+                    writerOf.emplace(di.memAddr, t);
+                else if (it->second != t)
+                    racy.insert(di.memAddr);
+
+                ModelStore ms;
+                ms.thread = t;
+                ms.seq = threadStores[t].size();
+                ms.instIndex = di.index;
+                ms.addr = di.memAddr;
+                ms.value = ex.goldenMemory().read(di.memAddr);
+                ms.epoch = epoch;
+                ms.sync = di.isSync();
+                threadStores[t].push_back(ms);
+            }
+            if (di.isSync())
+                ++epoch;
+        }
+        threadInsts[t] = ex.generated().size();
+    }
+
+    // Clocks: component t = own store count so far; all cross-thread
+    // components zero (no static synchronization edges — see the
+    // header comment on conservatism).
+    for (unsigned t = 0; t < nthreads; ++t) {
+        for (ModelStore &ms : threadStores[t]) {
+            ms.clock.c.assign(nthreads, 0);
+            ms.clock.c[t] = ms.seq + 1;
+        }
+    }
+
+    racyAddrs.assign(racy.begin(), racy.end());
+    for (const auto &[addr, who] : readers) {
+        auto it = writerOf.find(addr);
+        if (it == writerOf.end())
+            continue;
+        for (unsigned r : who)
+            if (r != it->second) {
+                crossReadAddrs.push_back(addr);
+                break;
+            }
+    }
+}
+
+std::uint64_t
+PersistModel::totalStores() const
+{
+    std::uint64_t n = 0;
+    for (const auto &ts : threadStores)
+        n += ts.size();
+    return n;
+}
+
+Word
+PersistModel::initialValue(Addr addr) const
+{
+    return initial.read(MemImage::wordAlign(addr));
+}
+
+bool
+PersistModel::persistBefore(PersistFlavor flavor, const ModelStore &a,
+                            const ModelStore &b) const
+{
+    // Happens-before via vector clocks; a == b never qualifies.
+    if (!a.clock.leq(b.clock) || (a.thread == b.thread && a.seq == b.seq))
+        return false;
+    switch (flavor) {
+      case PersistFlavor::Strict:
+        return true;
+      case PersistFlavor::Epoch:
+        return a.epoch < b.epoch || a.addr == b.addr;
+      case PersistFlavor::Relaxed:
+        return a.addr == b.addr;
+    }
+    return false;
+}
+
+std::vector<const ModelStore *>
+PersistModel::includedStoresTo(Addr addr, const StoreCut &cut) const
+{
+    std::vector<const ModelStore *> out;
+    for (unsigned t = 0; t < threadCount(); ++t) {
+        std::uint64_t n = std::min<std::uint64_t>(
+            cut[t], threadStores[t].size());
+        for (std::uint64_t s = 0; s < n; ++s)
+            if (threadStores[t][s].addr == addr)
+                out.push_back(&threadStores[t][s]);
+    }
+    return out;
+}
+
+std::vector<const ModelStore *>
+PersistModel::includedStores(const StoreCut &cut) const
+{
+    std::vector<const ModelStore *> out;
+    for (unsigned t = 0; t < threadCount(); ++t) {
+        std::uint64_t n = std::min<std::uint64_t>(
+            cut[t], threadStores[t].size());
+        for (std::uint64_t s = 0; s < n; ++s)
+            out.push_back(&threadStores[t][s]);
+    }
+    return out;
+}
+
+PersistModel::Outcome
+PersistModel::committedState(const StoreCut &cut,
+                             const std::vector<Addr> &addrs) const
+{
+    PPA_ASSERT(cut.size() == threadCount(), "cut arity mismatch");
+    Outcome out;
+    out.reserve(addrs.size());
+    for (Addr a : addrs) {
+        Addr wa = MemImage::wordAlign(a);
+        auto included = includedStoresTo(wa, cut);
+        // Writes to one address come from one thread (the racy case
+        // is rejected upstream), so program order totally orders them
+        // and the last one is the committed value.
+        out.push_back(included.empty() ? initialValue(wa)
+                                       : included.back()->value);
+    }
+    return out;
+}
+
+bool
+PersistModel::outcomeAllowed(PersistFlavor flavor, const StoreCut &cut,
+                             const std::vector<Addr> &addrs,
+                             const Outcome &outcome) const
+{
+    PPA_ASSERT(cut.size() == threadCount(), "cut arity mismatch");
+    PPA_ASSERT(outcome.size() == addrs.size(), "outcome arity mismatch");
+
+    // Per observed address, the candidate "last persisted store"
+    // choices that produce the observed value: nullptr stands for
+    // "no store to this address persisted" (initial value).
+    std::vector<std::vector<const ModelStore *>> candidates(addrs.size());
+    std::vector<std::vector<const ModelStore *>> perAddr(addrs.size());
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        Addr wa = MemImage::wordAlign(addrs[i]);
+        perAddr[i] = includedStoresTo(wa, cut);
+        if (outcome[i] == initialValue(wa))
+            candidates[i].push_back(nullptr);
+        for (const ModelStore *s : perAddr[i])
+            if (s->value == outcome[i])
+                candidates[i].push_back(s);
+        if (candidates[i].empty())
+            return false;
+    }
+
+    const auto included = includedStores(cut);
+
+    // Try every combination of per-address choices (values can
+    // repeat, so a value may name several stores). A combination is
+    // allowed iff the persist-set P it forces — the chosen stores,
+    // plus everything Strict mandates, closed downward under
+    // persist-before — avoids every store that would overwrite a
+    // chosen address past its chosen value.
+    std::vector<std::size_t> pick(addrs.size(), 0);
+    for (;;) {
+        std::vector<const ModelStore *> required;
+        for (std::size_t i = 0; i < addrs.size(); ++i)
+            if (candidates[i][pick[i]] != nullptr)
+                required.push_back(candidates[i][pick[i]]);
+        if (flavor == PersistFlavor::Strict)
+            required = included;
+
+        // Downward closure under persist-before, within the cut.
+        std::vector<const ModelStore *> closure = required;
+        for (std::size_t head = 0; head < closure.size(); ++head) {
+            const ModelStore *r = closure[head];
+            for (const ModelStore *p : included) {
+                if (persistBefore(flavor, *p, *r) &&
+                    std::find(closure.begin(), closure.end(), p) ==
+                        closure.end()) {
+                    closure.push_back(p);
+                }
+            }
+        }
+
+        bool ok = true;
+        for (std::size_t i = 0; i < addrs.size() && ok; ++i) {
+            const ModelStore *chosen = candidates[i][pick[i]];
+            for (const ModelStore *s : perAddr[i]) {
+                bool later = chosen == nullptr || s->seq > chosen->seq;
+                if (later && std::find(closure.begin(), closure.end(),
+                                       s) != closure.end()) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if (ok)
+            return true;
+
+        // Next combination.
+        std::size_t i = 0;
+        while (i < pick.size() && ++pick[i] == candidates[i].size()) {
+            pick[i] = 0;
+            ++i;
+        }
+        if (i == pick.size())
+            return false;
+    }
+}
+
+std::vector<PersistModel::Outcome>
+PersistModel::allowedOutcomes(PersistFlavor flavor, const StoreCut &cut,
+                              const std::vector<Addr> &addrs) const
+{
+    // Candidate values per address: initial plus every included
+    // store's value.
+    std::vector<std::vector<Word>> values(addrs.size());
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        Addr wa = MemImage::wordAlign(addrs[i]);
+        std::set<Word> vs;
+        vs.insert(initialValue(wa));
+        for (const ModelStore *s : includedStoresTo(wa, cut))
+            vs.insert(s->value);
+        values[i].assign(vs.begin(), vs.end());
+    }
+
+    std::set<Outcome> out;
+    std::vector<std::size_t> pick(addrs.size(), 0);
+    for (;;) {
+        Outcome candidate;
+        candidate.reserve(addrs.size());
+        for (std::size_t i = 0; i < addrs.size(); ++i)
+            candidate.push_back(values[i][pick[i]]);
+        if (outcomeAllowed(flavor, cut, addrs, candidate))
+            out.insert(candidate);
+
+        std::size_t i = 0;
+        while (i < pick.size() && ++pick[i] == values[i].size()) {
+            pick[i] = 0;
+            ++i;
+        }
+        if (i == pick.size())
+            break;
+    }
+    return {out.begin(), out.end()};
+}
+
+std::vector<PersistModel::Outcome>
+PersistModel::reachableOutcomes(PersistFlavor flavor,
+                                const std::vector<Addr> &addrs) const
+{
+    std::set<Outcome> out;
+    StoreCut cut(threadCount(), 0);
+    for (;;) {
+        for (const Outcome &o : allowedOutcomes(flavor, cut, addrs))
+            out.insert(o);
+
+        unsigned t = 0;
+        while (t < threadCount() &&
+               ++cut[t] > threadStores[t].size()) {
+            cut[t] = 0;
+            ++t;
+        }
+        if (t == threadCount())
+            break;
+    }
+    return {out.begin(), out.end()};
+}
+
+PersistModel::StoreCut
+PersistModel::fullCut() const
+{
+    StoreCut cut(threadCount());
+    for (unsigned t = 0; t < threadCount(); ++t)
+        cut[t] = threadStores[t].size();
+    return cut;
+}
+
+} // namespace check
+} // namespace ppa

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Declarative persistency model over static litmus programs.
+ *
+ * This layer answers "what post-crash NVM states does the persistency
+ * semantics *allow*?" from the program text alone — it performs no
+ * simulation (the library ppa_check_model links only against ppa_isa
+ * and ppa_common, which makes the claim compile-checked). A
+ * PersistModel statically analyzes one isa::Program per thread,
+ * extracting every store on the committed path with its value, its
+ * per-thread program-order position, its persist epoch (the count of
+ * preceding synchronization points: Fence and AtomicRmw, the ops that
+ * end PPA regions), and a vector clock. From those it derives the
+ * persist-before constraint graph and decides, for any crash cut and
+ * any candidate outcome, whether the outcome is allowed.
+ *
+ * Three model flavors cover the repo's system variants
+ * (docs/CHECKING.md "Persistency model and litmus tests"):
+ *
+ *  - Strict: whole-system persistence (PPA). The post-crash state at
+ *    a cut is exactly the committed memory state at that cut — every
+ *    committed store persists, none may be lost or reordered.
+ *  - Epoch: epoch persistency (ReplayCache-style software WSP).
+ *    Stores separated by a synchronization point persist in epoch
+ *    order; stores within one epoch may persist in any subset.
+ *  - Relaxed: no persistency guarantees (memory-mode / volatile
+ *    baselines). Per address, NVM may hold the initial value or any
+ *    committed value (cache eviction persists at arbitrary times);
+ *    there is no cross-address ordering at all.
+ *
+ * The allowed-outcome decision is the classic persist-set
+ * formulation: an outcome is allowed at a cut iff there exists a set
+ * P of committed stores, downward-closed under persist-before, whose
+ * per-address maxima produce exactly the observed values. Strict
+ * additionally requires P to contain every committed store.
+ *
+ * Cross-thread ordering is carried by vector clocks. Static analysis
+ * cannot witness runtime communication, so two stores from different
+ * threads have incomparable clocks and are never persist-ordered —
+ * the conservative union of all interleavings. What the analysis
+ * *can* decide statically is whether that conservatism is sound: if
+ * two threads write (or one writes and another reads) the same
+ * address, the per-thread functional execution no longer predicts
+ * values, and the program is reported as racy rather than analyzed
+ * incorrectly. Litmus programs must be data-race-free with disjoint
+ * write sets; the racyAddresses() / crossThreadReads() diagnostics
+ * enforce that.
+ */
+
+#ifndef PPA_CHECK_MODEL_HH
+#define PPA_CHECK_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+#include "mem/mem_image.hh"
+
+namespace ppa
+{
+namespace check
+{
+
+/** Which persistency guarantees a system variant promises. */
+enum class PersistFlavor : std::uint8_t
+{
+    Strict,  ///< every committed store is persistent (PPA)
+    Epoch,   ///< epoch-ordered persists (software WSP baselines)
+    Relaxed, ///< per-address best effort only (volatile baselines)
+};
+
+/** Human-readable flavor name ("strict", "epoch", "relaxed"). */
+const char *flavorName(PersistFlavor flavor);
+
+/**
+ * Per-thread logical time. Component t counts thread t's stores that
+ * happen-before the clock's owner. Static analysis establishes no
+ * cross-thread synchronization edges, so clocks from different
+ * threads are incomparable and leq() reduces to per-thread program
+ * order — exactly the conservative constraint graph the model wants.
+ */
+struct VectorClock
+{
+    std::vector<std::uint64_t> c;
+
+    /** Pointwise <=: this clock happens-before-or-equals @p other. */
+    bool
+    leq(const VectorClock &other) const
+    {
+        for (std::size_t t = 0; t < c.size(); ++t)
+            if (c[t] > other.c[t])
+                return false;
+        return true;
+    }
+};
+
+/** One store on a thread's committed path, with model metadata. */
+struct ModelStore
+{
+    unsigned thread = 0;
+    /** Store sequence number within the thread (0-based). */
+    std::uint64_t seq = 0;
+    /** Committed-path instruction index of the store. */
+    std::uint64_t instIndex = 0;
+    Addr addr = 0;
+    Word value = 0;
+    /** Persist epoch: synchronization points preceding this store. */
+    std::uint64_t epoch = 0;
+    /** AtomicRmw: a synchronization point that is itself a store. */
+    bool sync = false;
+    /** Program-order clock immediately after this store. */
+    VectorClock clock;
+};
+
+/**
+ * The declarative persistency model of one multi-threaded litmus
+ * program. Construction runs each thread's Program functionally
+ * (architectural semantics only — no pipeline, no memory hierarchy)
+ * to extract the committed store sequences; every query below is
+ * answered from that static summary.
+ */
+class PersistModel
+{
+  public:
+    /** Per-thread committed-store counts describing a crash cut. */
+    using StoreCut = std::vector<std::uint64_t>;
+
+    /** Values of the observed addresses, in observation order. */
+    using Outcome = std::vector<Word>;
+
+    /** @param threads one committed-path program per thread */
+    explicit PersistModel(const std::vector<const Program *> &threads);
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(threadStores.size());
+    }
+
+    /** Thread @p t's stores in program order. */
+    const std::vector<ModelStore> &
+    stores(unsigned t) const
+    {
+        return threadStores[t];
+    }
+
+    std::uint64_t
+    storeCount(unsigned t) const
+    {
+        return threadStores[t].size();
+    }
+
+    /** Total stores over all threads. */
+    std::uint64_t totalStores() const;
+
+    /** Committed-path instruction count of thread @p t. */
+    std::uint64_t threadInstCount(unsigned t) const
+    {
+        return threadInsts[t];
+    }
+
+    /** Merged initial memory value of the word containing @p addr. */
+    Word initialValue(Addr addr) const;
+
+    /**
+     * Addresses written by more than one thread. Non-empty means the
+     * program is outside the model's sound fragment.
+     */
+    const std::vector<Addr> &racyAddresses() const { return racyAddrs; }
+
+    /**
+     * Addresses read by a thread other than their (unique) writer.
+     * Cross-thread reads make per-thread functional values
+     * unpredictable, so these are rejected too.
+     */
+    const std::vector<Addr> &
+    crossThreadReads() const
+    {
+        return crossReadAddrs;
+    }
+
+    /**
+     * Does @p a persist-before @p b under @p flavor? Requires a's
+     * clock to happen-before b's (cross-thread pairs never qualify),
+     * then applies the flavor's edge rule: Strict orders everything,
+     * Epoch orders across epochs and per-address, Relaxed orders
+     * per-address only.
+     */
+    bool persistBefore(PersistFlavor flavor, const ModelStore &a,
+                       const ModelStore &b) const;
+
+    /**
+     * The exact committed memory state at @p cut projected onto
+     * @p addrs — the one outcome Strict allows there.
+     */
+    Outcome committedState(const StoreCut &cut,
+                           const std::vector<Addr> &addrs) const;
+
+    /** Is @p outcome allowed at @p cut under @p flavor? */
+    bool outcomeAllowed(PersistFlavor flavor, const StoreCut &cut,
+                        const std::vector<Addr> &addrs,
+                        const Outcome &outcome) const;
+
+    /**
+     * Every outcome allowed at @p cut under @p flavor, sorted and
+     * deduplicated. Cost is the product of per-address candidate
+     * value counts — fine for litmus-sized programs.
+     */
+    std::vector<Outcome>
+    allowedOutcomes(PersistFlavor flavor, const StoreCut &cut,
+                    const std::vector<Addr> &addrs) const;
+
+    /**
+     * Union of allowedOutcomes over every store cut: everything the
+     * flavor allows some crash to expose. Enumerates the full
+     * per-thread prefix product; litmus-sized only.
+     */
+    std::vector<Outcome>
+    reachableOutcomes(PersistFlavor flavor,
+                      const std::vector<Addr> &addrs) const;
+
+    /** The cut covering every store of every thread. */
+    StoreCut fullCut() const;
+
+  private:
+    /** Stores to @p addr included in @p cut, in persist order. */
+    std::vector<const ModelStore *>
+    includedStoresTo(Addr addr, const StoreCut &cut) const;
+
+    /** All included stores at @p cut, any order. */
+    std::vector<const ModelStore *>
+    includedStores(const StoreCut &cut) const;
+
+    std::vector<std::vector<ModelStore>> threadStores;
+    std::vector<std::uint64_t> threadInsts;
+    MemImage initial;
+    std::vector<Addr> racyAddrs;
+    std::vector<Addr> crossReadAddrs;
+};
+
+} // namespace check
+} // namespace ppa
+
+#endif // PPA_CHECK_MODEL_HH

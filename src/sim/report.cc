@@ -929,7 +929,8 @@ readFile(const std::string &path, std::string &out)
 std::string
 resultsDir()
 {
-    if (const char *env = std::getenv("PPA_RESULTS_DIR"))
+    // Read once at startup, before any worker threads exist.
+    if (const char *env = std::getenv("PPA_RESULTS_DIR")) // NOLINT(concurrency-mt-unsafe)
         return env;
     return "results";
 }

@@ -13,8 +13,11 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "check/auditor.hh"
+#include "check/observer.hh"
+#include "isa/builder.hh"
 #include "isa/program.hh"
 #include "ppa/checkpoint.hh"
 #include "ppa/checkpoint_io.hh"
@@ -250,6 +253,165 @@ TEST(Auditor, FlagsCheckpointThatCorruptsAStoreValue)
     h2.aud.onRecover(regCarriedImage());
     h2.aud.onPowerFail(regCarriedImage());
     EXPECT_EQ(h2.aud.violationCount(), 0u);
+}
+
+namespace
+{
+
+/** Records the cycles at which region-boundary events fire. */
+struct BoundaryRecorder : check::PipelineObserver
+{
+    Cycle now = 0;
+    std::vector<Cycle> starts;
+    std::vector<Cycle> completes;
+
+    void onCycle(Cycle cycle) override { now = cycle; }
+    void
+    onRegionBoundaryStart(RegionEndCause cause) override
+    {
+        (void)cause;
+        starts.push_back(now);
+    }
+    void onRegionBoundaryComplete() override { completes.push_back(now); }
+};
+
+/** Stores at @p stride-spaced lines, a fence, more stores, halt. */
+Program
+fencedBurst(unsigned before, unsigned fences, unsigned after)
+{
+    ProgramBuilder b;
+    b.movi(1, 0x40000);
+    b.movi(2, 7);
+    for (unsigned i = 0; i < before; ++i)
+        b.st(2, 1, i * 0x100);
+    for (unsigned i = 0; i < fences; ++i)
+        b.fence();
+    for (unsigned i = 0; i < after; ++i)
+        b.st(2, 1, (before + i) * 0x100);
+    b.halt();
+    return b.program();
+}
+
+} // namespace
+
+TEST(Auditor, CrashInsideTheDrainToBoundaryWindowRecoversClean)
+{
+    // The riskiest crash cycle is the one where the persist barrier's
+    // drain has just completed but the boundary's CSQ/MaskReg clears
+    // have not executed yet. Scout the run once to learn exactly when
+    // boundaries fire, then crash fresh systems at the recorded cycle
+    // (boundary not yet executed) and one cycle after (structures
+    // freshly cleared).
+    Program prog = fencedBurst(6, 1, 6);
+    ProgramExecutor golden(prog);
+    golden.totalLength();
+
+    BoundaryRecorder recorder;
+    System scout(ppaConfig());
+    scout.seedMemory(prog.initialMemory());
+    scout.core(0).attachAuditObserver(&recorder);
+    ProgramExecutor scoutSource(prog);
+    scout.bindSource(0, &scoutSource);
+    scout.run(1'000'000);
+    ASSERT_TRUE(scout.allDone());
+    ASSERT_FALSE(recorder.starts.empty());
+    ASSERT_EQ(recorder.starts.size(), recorder.completes.size());
+
+    std::vector<Cycle> crashes;
+    for (std::size_t i = 0; i < recorder.starts.size() && i < 3; ++i) {
+        crashes.push_back(recorder.starts[i]);
+        crashes.push_back(recorder.starts[i] + 1);
+    }
+    for (Cycle fail_at : crashes) {
+        System system(ppaConfig());
+        system.seedMemory(prog.initialMemory());
+        auto oracle = std::make_shared<StoreOracle>();
+        Auditor aud(system.core(0), system.memory(), oracle);
+        aud.attach();
+        ProgramExecutor source(prog);
+        system.bindSource(0, &source);
+
+        system.runUntilCycle(fail_at);
+        auto images = system.powerFail();
+        ASSERT_TRUE(images[0].valid) << "crash at " << fail_at;
+        system.recover(images);
+
+        check::ReplayAuditResult replay = aud.verifyReplay();
+        EXPECT_EQ(replay.mismatches, 0u)
+            << "replay diverged, crash at " << fail_at;
+
+        system.run(1'000'000);
+        ASSERT_TRUE(system.allDone()) << "crash at " << fail_at;
+        EXPECT_EQ(aud.violationCount(), 0u)
+            << "crash at " << fail_at << ":\n" << joinedViolations(aud);
+        EXPECT_TRUE(system.memory().nvmImage().sameContents(
+            golden.goldenMemory()))
+            << "NVM diverged from golden, crash at " << fail_at;
+    }
+}
+
+TEST(Auditor, BackToBackZeroLengthRegionsStayClean)
+{
+    // Three consecutive fences create two regions with no stores at
+    // all. Their boundaries must still run the full clear protocol
+    // (the auditor checks clears only happen inside boundaries), and
+    // crashing anywhere around the empty-region cluster must recover.
+    Program prog = fencedBurst(2, 3, 2);
+    ProgramExecutor golden(prog);
+    golden.totalLength();
+
+    BoundaryRecorder recorder;
+    System scout(ppaConfig());
+    scout.seedMemory(prog.initialMemory());
+    scout.core(0).attachAuditObserver(&recorder);
+    ProgramExecutor scoutSource(prog);
+    scout.bindSource(0, &scoutSource);
+    scout.run(1'000'000);
+    ASSERT_TRUE(scout.allDone());
+    // Every fence ends a region, stores or not: at least the three
+    // explicit boundaries fired.
+    ASSERT_GE(recorder.starts.size(), 3u);
+
+    // A clean end-to-end pass with the auditor attached counts the
+    // empty regions too.
+    System clean(ppaConfig());
+    clean.seedMemory(prog.initialMemory());
+    auto cleanOracle = std::make_shared<StoreOracle>();
+    Auditor cleanAud(clean.core(0), clean.memory(), cleanOracle);
+    cleanAud.attach();
+    ProgramExecutor cleanSource(prog);
+    clean.bindSource(0, &cleanSource);
+    clean.run(1'000'000);
+    ASSERT_TRUE(clean.allDone());
+    EXPECT_EQ(cleanAud.violationCount(), 0u)
+        << joinedViolations(cleanAud);
+    EXPECT_GE(cleanAud.regionsAudited(), 3u);
+
+    // Crash at each boundary cycle inside the empty-region cluster.
+    for (Cycle fail_at : recorder.starts) {
+        System system(ppaConfig());
+        system.seedMemory(prog.initialMemory());
+        auto oracle = std::make_shared<StoreOracle>();
+        Auditor aud(system.core(0), system.memory(), oracle);
+        aud.attach();
+        ProgramExecutor source(prog);
+        system.bindSource(0, &source);
+
+        system.runUntilCycle(fail_at);
+        auto images = system.powerFail();
+        ASSERT_TRUE(images[0].valid) << "crash at " << fail_at;
+        system.recover(images);
+        EXPECT_EQ(aud.verifyReplay().mismatches, 0u)
+            << "crash at " << fail_at;
+
+        system.run(1'000'000);
+        ASSERT_TRUE(system.allDone()) << "crash at " << fail_at;
+        EXPECT_EQ(aud.violationCount(), 0u)
+            << "crash at " << fail_at << ":\n" << joinedViolations(aud);
+        EXPECT_TRUE(system.memory().nvmImage().sameContents(
+            golden.goldenMemory()))
+            << "crash at " << fail_at;
+    }
 }
 
 TEST(AuditorDeathTest, FailFastPanicsWithAuditContext)

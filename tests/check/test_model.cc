@@ -1,0 +1,307 @@
+/** @file
+ * Unit tests for the declarative persistency model (check/model.hh).
+ *
+ * Everything here is static analysis: a PersistModel is built from
+ * Program text alone and queried about store metadata, persist-before
+ * edges, committed states, and allowed post-crash outcomes under the
+ * three flavors. No System is ever constructed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "check/model.hh"
+#include "isa/builder.hh"
+
+using namespace ppa;
+using check::ModelStore;
+using check::PersistFlavor;
+using check::PersistModel;
+using check::VectorClock;
+
+namespace
+{
+
+constexpr ArchReg rBase = 1;
+constexpr ArchReg rVal = 2;
+constexpr ArchReg rAmo = 3;
+constexpr Addr base = 0x10000;
+constexpr Addr line = 0x100;
+
+/** data := 41 at base; fence optional; flag := 1 at base+line. */
+Program
+mpProgram(bool fenced)
+{
+    ProgramBuilder b;
+    b.movi(rBase, base);
+    b.movi(rVal, 41);
+    b.st(rVal, rBase, 0);
+    if (fenced)
+        b.fence();
+    b.movi(rVal, 1);
+    b.st(rVal, rBase, line);
+    b.halt();
+    return b.program();
+}
+
+/** Three stores of 1, 2, 3 to the same address. */
+Program
+coherenceProgram()
+{
+    ProgramBuilder b;
+    b.movi(rBase, base);
+    for (Word v = 1; v <= 3; ++v) {
+        b.movi(rVal, v);
+        b.st(rVal, rBase, 0);
+    }
+    b.halt();
+    return b.program();
+}
+
+bool
+contains(const std::vector<PersistModel::Outcome> &outcomes,
+         const PersistModel::Outcome &o)
+{
+    return std::find(outcomes.begin(), outcomes.end(), o) !=
+           outcomes.end();
+}
+
+} // namespace
+
+TEST(VectorClock, LeqIsPointwiseAndCrossThreadIncomparable)
+{
+    VectorClock a{{1, 0}};
+    VectorClock b{{2, 0}};
+    VectorClock c{{0, 1}};
+    EXPECT_TRUE(a.leq(b));
+    EXPECT_FALSE(b.leq(a));
+    EXPECT_TRUE(a.leq(a));
+    // Stores from different threads: neither orders the other.
+    EXPECT_FALSE(a.leq(c));
+    EXPECT_FALSE(c.leq(a));
+}
+
+TEST(PersistModel, ExtractsStoresValuesAndEpochs)
+{
+    Program prog = mpProgram(/*fenced=*/true);
+    PersistModel model({&prog});
+
+    ASSERT_EQ(model.threadCount(), 1u);
+    ASSERT_EQ(model.storeCount(0), 2u);
+    EXPECT_EQ(model.totalStores(), 2u);
+    EXPECT_GE(model.threadInstCount(0), 6u);
+
+    const ModelStore &data = model.stores(0)[0];
+    const ModelStore &flag = model.stores(0)[1];
+    EXPECT_EQ(data.addr, base);
+    EXPECT_EQ(data.value, 41u);
+    EXPECT_EQ(data.epoch, 0u);
+    EXPECT_EQ(flag.addr, base + line);
+    EXPECT_EQ(flag.value, 1u);
+    EXPECT_EQ(flag.epoch, 1u); // after the fence
+    EXPECT_LT(data.instIndex, flag.instIndex);
+    EXPECT_TRUE(model.racyAddresses().empty());
+    EXPECT_TRUE(model.crossThreadReads().empty());
+}
+
+TEST(PersistModel, AtomicRmwIsASynchronizingStoreWithPostRmwValue)
+{
+    ProgramBuilder b;
+    b.initMem(base, 10);
+    b.movi(rBase, base);
+    b.movi(rVal, 5);
+    b.amoadd(rAmo, rVal, rBase, 0); // mem := 10 + 5
+    b.movi(rVal, 7);
+    b.st(rVal, rBase, line);
+    b.halt();
+    Program prog = b.program();
+    PersistModel model({&prog});
+
+    ASSERT_EQ(model.storeCount(0), 2u);
+    const ModelStore &amo = model.stores(0)[0];
+    EXPECT_EQ(amo.value, 15u);
+    EXPECT_TRUE(amo.sync);
+    EXPECT_EQ(amo.epoch, 0u);
+    // The store after the RMW sits in the next epoch.
+    EXPECT_EQ(model.stores(0)[1].epoch, 1u);
+    EXPECT_EQ(model.initialValue(base), 10u);
+}
+
+TEST(PersistModel, PersistBeforeFollowsTheFlavorEdgeRules)
+{
+    Program unfenced = mpProgram(false);
+    Program fenced = mpProgram(true);
+    PersistModel near(std::vector<const Program *>{&unfenced});
+    PersistModel far(std::vector<const Program *>{&fenced});
+
+    // Same epoch, different addresses: only Strict orders them.
+    const ModelStore &a0 = near.stores(0)[0];
+    const ModelStore &a1 = near.stores(0)[1];
+    EXPECT_TRUE(near.persistBefore(PersistFlavor::Strict, a0, a1));
+    EXPECT_FALSE(near.persistBefore(PersistFlavor::Epoch, a0, a1));
+    EXPECT_FALSE(near.persistBefore(PersistFlavor::Relaxed, a0, a1));
+    // Never reflexive, never against program order.
+    EXPECT_FALSE(near.persistBefore(PersistFlavor::Strict, a1, a0));
+    EXPECT_FALSE(near.persistBefore(PersistFlavor::Strict, a0, a0));
+
+    // Across a fence the Epoch flavor gains the edge too.
+    const ModelStore &b0 = far.stores(0)[0];
+    const ModelStore &b1 = far.stores(0)[1];
+    EXPECT_TRUE(far.persistBefore(PersistFlavor::Epoch, b0, b1));
+    EXPECT_FALSE(far.persistBefore(PersistFlavor::Relaxed, b0, b1));
+
+    // Same address: every flavor keeps coherence order.
+    Program coh = coherenceProgram();
+    PersistModel cm(std::vector<const Program *>{&coh});
+    const ModelStore &c0 = cm.stores(0)[0];
+    const ModelStore &c1 = cm.stores(0)[1];
+    EXPECT_TRUE(cm.persistBefore(PersistFlavor::Relaxed, c0, c1));
+    EXPECT_TRUE(cm.persistBefore(PersistFlavor::Epoch, c0, c1));
+}
+
+TEST(PersistModel, CrossThreadStoresAreNeverPersistOrdered)
+{
+    ProgramBuilder t0;
+    t0.movi(rBase, base);
+    t0.movi(rVal, 1);
+    t0.st(rVal, rBase, 0);
+    t0.halt();
+    ProgramBuilder t1;
+    t1.movi(rBase, base);
+    t1.movi(rVal, 2);
+    t1.st(rVal, rBase, line);
+    t1.halt();
+    Program p0 = t0.program(), p1 = t1.program();
+    PersistModel model({&p0, &p1});
+
+    const ModelStore &s0 = model.stores(0)[0];
+    const ModelStore &s1 = model.stores(1)[0];
+    EXPECT_FALSE(model.persistBefore(PersistFlavor::Strict, s0, s1));
+    EXPECT_FALSE(model.persistBefore(PersistFlavor::Strict, s1, s0));
+    EXPECT_TRUE(model.racyAddresses().empty());
+}
+
+TEST(PersistModel, FlagsWriteWriteRacesAndCrossThreadReads)
+{
+    ProgramBuilder w0;
+    w0.movi(rBase, base);
+    w0.movi(rVal, 1);
+    w0.st(rVal, rBase, 0);
+    w0.halt();
+    ProgramBuilder w1;
+    w1.movi(rBase, base);
+    w1.movi(rVal, 2);
+    w1.st(rVal, rBase, 0); // same address: racy
+    w1.halt();
+    Program a = w0.program(), bprog = w1.program();
+    PersistModel racy({&a, &bprog});
+    ASSERT_EQ(racy.racyAddresses().size(), 1u);
+    EXPECT_EQ(racy.racyAddresses()[0], base);
+
+    ProgramBuilder r1;
+    r1.movi(rBase, base);
+    r1.ld(rVal, rBase, 0); // reads thread 0's address
+    r1.halt();
+    Program c = w0.program(), d = r1.program();
+    PersistModel crossRead({&c, &d});
+    EXPECT_TRUE(crossRead.racyAddresses().empty());
+    ASSERT_EQ(crossRead.crossThreadReads().size(), 1u);
+    EXPECT_EQ(crossRead.crossThreadReads()[0], base);
+}
+
+TEST(PersistModel, CommittedStateTracksTheCut)
+{
+    Program prog = mpProgram(true);
+    PersistModel model({&prog});
+    const std::vector<Addr> addrs = {base, base + line};
+
+    EXPECT_EQ(model.committedState({0}, addrs),
+              (PersistModel::Outcome{0, 0}));
+    EXPECT_EQ(model.committedState({1}, addrs),
+              (PersistModel::Outcome{41, 0}));
+    EXPECT_EQ(model.committedState(model.fullCut(), addrs),
+              (PersistModel::Outcome{41, 1}));
+}
+
+TEST(PersistModel, StrictAllowsExactlyTheCommittedState)
+{
+    Program prog = mpProgram(false);
+    PersistModel model({&prog});
+    const std::vector<Addr> addrs = {base, base + line};
+
+    for (std::uint64_t n = 0; n <= 2; ++n) {
+        PersistModel::StoreCut cut{n};
+        auto allowed =
+            model.allowedOutcomes(PersistFlavor::Strict, cut, addrs);
+        ASSERT_EQ(allowed.size(), 1u) << "cut " << n;
+        EXPECT_EQ(allowed[0], model.committedState(cut, addrs));
+    }
+    // In particular flag-without-data never appears.
+    EXPECT_FALSE(model.outcomeAllowed(PersistFlavor::Strict, {2}, addrs,
+                                      {0, 1}));
+}
+
+TEST(PersistModel, EpochAllowsIntraEpochSubsetsButNotCrossEpochSkew)
+{
+    const std::vector<Addr> addrs = {base, base + line};
+
+    // No fence: data and flag share an epoch, any subset may persist.
+    Program unfenced = mpProgram(false);
+    PersistModel near(std::vector<const Program *>{&unfenced});
+    EXPECT_TRUE(near.outcomeAllowed(PersistFlavor::Epoch, {2}, addrs,
+                                    {0, 1}));
+    EXPECT_TRUE(near.outcomeAllowed(PersistFlavor::Epoch, {2}, addrs,
+                                    {41, 0}));
+
+    // Fence between them: flag persisted implies data persisted.
+    Program fenced = mpProgram(true);
+    PersistModel far(std::vector<const Program *>{&fenced});
+    EXPECT_FALSE(far.outcomeAllowed(PersistFlavor::Epoch, {2}, addrs,
+                                    {0, 1}));
+    EXPECT_TRUE(far.outcomeAllowed(PersistFlavor::Epoch, {2}, addrs,
+                                   {41, 0}));
+    EXPECT_TRUE(far.outcomeAllowed(PersistFlavor::Epoch, {2}, addrs,
+                                   {41, 1}));
+}
+
+TEST(PersistModel, RelaxedKeepsPerAddressCoherenceOnly)
+{
+    Program coh = coherenceProgram();
+    PersistModel model(std::vector<const Program *>{&coh});
+    const std::vector<Addr> addrs = {base};
+
+    auto relaxed = model.allowedOutcomes(PersistFlavor::Relaxed,
+                                         model.fullCut(), addrs);
+    // Any committed prefix of the same-address chain, or nothing.
+    EXPECT_EQ(relaxed.size(), 4u);
+    for (Word v : {Word{0}, Word{1}, Word{2}, Word{3}})
+        EXPECT_TRUE(contains(relaxed, {v})) << v;
+
+    auto strict = model.allowedOutcomes(PersistFlavor::Strict,
+                                        model.fullCut(), addrs);
+    ASSERT_EQ(strict.size(), 1u);
+    EXPECT_EQ(strict[0], (PersistModel::Outcome{3}));
+}
+
+TEST(PersistModel, ReachableOutcomesUnionAllCuts)
+{
+    const std::vector<Addr> addrs = {base, base + line};
+
+    Program fenced = mpProgram(true);
+    PersistModel far(std::vector<const Program *>{&fenced});
+    auto strict = far.reachableOutcomes(PersistFlavor::Strict, addrs);
+    EXPECT_EQ(strict.size(), 3u);
+    EXPECT_TRUE(contains(strict, {0, 0}));
+    EXPECT_TRUE(contains(strict, {41, 0}));
+    EXPECT_TRUE(contains(strict, {41, 1}));
+    EXPECT_FALSE(contains(strict, {0, 1}));
+
+    // Epoch across the fence forbids flag-without-data too; Relaxed
+    // does not.
+    auto epoch = far.reachableOutcomes(PersistFlavor::Epoch, addrs);
+    EXPECT_FALSE(contains(epoch, {0, 1}));
+    auto relaxed = far.reachableOutcomes(PersistFlavor::Relaxed, addrs);
+    EXPECT_TRUE(contains(relaxed, {0, 1}));
+}

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Aggregate litmus conformance JSON into a per-variant table.
+
+Consumes one or more ``litmus_*.json`` documents produced by
+``ppa_cli litmus run|explore --json`` (schemaVersion 1) and renders a
+per-variant conformance summary: tests run, crash points explored,
+violations, strict-model divergences, vacuous coverage goals, and an
+overall verdict. The verdict logic mirrors the CLI's:
+
+* a variant FAILS on any violation, any corpus error, or (exhaustive
+  strict runs only) any vacuous required outcome;
+* ``--expect-divergence VARIANT`` additionally fails when the named
+  variant reported zero strict-model divergences — the aggregated
+  proof that the checker discriminates between persistency contracts
+  would be missing.
+
+Stdlib only; no third-party packages. Usage:
+
+    python3 tools/litmus_report.py results/litmus_*.json \
+        [--expect-divergence memory-mode]
+
+Exit status 0 when every verdict passes, 1 with a report otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"litmus_report: cannot read {path}: {exc}")
+    if doc.get("schemaVersion") != 1:
+        sys.exit(
+            f"litmus_report: {path}: unsupported schemaVersion "
+            f"{doc.get('schemaVersion')!r}"
+        )
+    for key in ("variant", "flavor", "mode", "tests"):
+        if key not in doc:
+            sys.exit(f"litmus_report: {path}: missing key {key!r}")
+    return doc
+
+
+def summarize(doc):
+    tests = doc["tests"]
+    row = {
+        "variant": doc["variant"],
+        "flavor": doc["flavor"],
+        "mode": doc["mode"],
+        "tests": len(tests),
+        "crashes": sum(t.get("crashPoints", 0) for t in tests),
+        "violations": sum(t.get("violations", 0) for t in tests),
+        "strict_div": sum(t.get("strictDivergences", 0) for t in tests),
+        "vacuous": sum(t.get("vacuous", 0) for t in tests),
+        "corpus_errors": sum(1 for t in tests if t.get("corpusError")),
+        "failed_tests": [t["name"] for t in tests if not t.get("pass")],
+    }
+    row["pass"] = not row["failed_tests"] and row["corpus_errors"] == 0
+    return row
+
+
+def render(rows):
+    headers = [
+        "variant", "flavor", "mode", "tests", "crashes",
+        "violations", "strict-div", "vacuous", "verdict",
+    ]
+    cells = [
+        [
+            r["variant"], r["flavor"], r["mode"], str(r["tests"]),
+            str(r["crashes"]), str(r["violations"]),
+            str(r["strict_div"]), str(r["vacuous"]),
+            "pass" if r["pass"] else "FAIL",
+        ]
+        for r in rows
+    ]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |",
+        "|-" + "-|-".join("-" * w for w in widths) + "-|",
+    ]
+    for row in cells:
+        lines.append(
+            "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+        )
+    return "\n".join(lines)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", help="litmus_*.json documents")
+    ap.add_argument(
+        "--expect-divergence",
+        metavar="VARIANT",
+        action="append",
+        default=[],
+        help="fail unless VARIANT reported >0 strict-model divergences",
+    )
+    args = ap.parse_args()
+
+    rows = [summarize(load(path)) for path in args.files]
+    print(render(rows))
+
+    problems = []
+    for row in rows:
+        for name in row["failed_tests"]:
+            problems.append(f"{row['variant']}: test {name} failed")
+    seen = {row["variant"]: row for row in rows}
+    for variant in args.expect_divergence:
+        if variant not in seen:
+            problems.append(f"no results for variant {variant}")
+        elif seen[variant]["strict_div"] == 0:
+            problems.append(
+                f"{variant}: expected strict-model divergences, saw none"
+            )
+
+    for p in problems:
+        print(f"litmus_report: {p}", file=sys.stderr)
+    if problems:
+        return 1
+    total = sum(r["crashes"] for r in rows)
+    print(
+        f"litmus_report: OK — {len(rows)} variant(s), "
+        f"{total} crash points, all conformance verdicts pass"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

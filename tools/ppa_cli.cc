@@ -28,6 +28,7 @@
 #include <filesystem>
 #include <string>
 
+#include "check/litmus.hh"
 #include "common/table.hh"
 #include "obs/telemetry.hh"
 #include "obs/trace_export.hh"
@@ -49,10 +50,13 @@ namespace
 {
 
 void
-usage()
+usageRun()
 {
     std::printf(
-        "usage: ppa_cli [options]\n"
+        "subcommand: run — simulate one application (the default "
+        "when no\n"
+        "subcommand is named)\n"
+        "  ppa_cli [run] --app NAME [options]\n"
         "  --list              list the modeled applications\n"
         "  --app NAME          application to run (required unless "
         "--list)\n"
@@ -120,8 +124,13 @@ usage()
         "  --telemetry-trace FILE  write a Chrome trace-event JSON of "
         "the run, loadable\n"
         "                      in Perfetto / chrome://tracing (implies "
-        "--telemetry)\n"
-        "\n"
+        "--telemetry)\n");
+}
+
+void
+usageProfile()
+{
+    std::printf(
         "subcommand: profile — run with telemetry and print where the "
         "cycles went\n"
         "  ppa_cli profile APP [options]\n"
@@ -135,8 +144,13 @@ usage()
         "  --telemetry-trace FILE  also write the Chrome trace-event "
         "JSON\n"
         "  --json FILE         also write the run's RunStats JSON "
-        "(with stats.telemetry)\n"
-        "\n"
+        "(with stats.telemetry)\n");
+}
+
+void
+usageTrace()
+{
+    std::printf(
         "subcommand: trace — record/inspect committed-stream traces\n"
         "  ppa_cli trace record --app NAME --out DIR [--insts N] "
         "[--seed N] [--threads N]\n"
@@ -146,8 +160,13 @@ usage()
         "  ppa_cli trace cat DIR [--thread T] [--limit N] [--start I]  "
         "dump records as text\n"
         "  ppa_cli trace verify DIR    check manifest, CRCs, and "
-        "decode every block\n"
-        "\n"
+        "decode every block\n");
+}
+
+void
+usageSweep()
+{
+    std::printf(
         "subcommand: sweep — run one figure's full grid in parallel\n"
         "  ppa_cli sweep FIGURE [options]\n"
         "  ppa_cli sweep --list    list the available figure sweeps\n"
@@ -165,8 +184,13 @@ usage()
         "  --telemetry         run every job with telemetry attached "
         "and write one Chrome\n"
         "                      trace per job under "
-        "FIGURE_telemetry/\n"
-        "\n"
+        "FIGURE_telemetry/\n");
+}
+
+void
+usageBench()
+{
+    std::printf(
         "subcommand: bench — host-throughput benchmark (simulated "
         "KIPS)\n"
         "  ppa_cli bench [options]\n"
@@ -203,6 +227,58 @@ usage()
         "                      record telemetryOverheadPct in the JSON "
         "extras, and fail\n"
         "                      when the overhead exceeds 5%%\n");
+}
+
+void
+usageLitmus()
+{
+    std::printf(
+        "subcommand: litmus — persistency-model conformance checks "
+        "(docs/CHECKING.md)\n"
+        "  ppa_cli litmus list                    show the litmus "
+        "corpus\n"
+        "  ppa_cli litmus run [TEST...] [options]     exhaustive "
+        "crash-point enumeration\n"
+        "  ppa_cli litmus explore [TEST...] [options] auditor-biased "
+        "randomized crashes\n"
+        "  --all               run the whole corpus\n"
+        "  --variant V         system variant to crash-observe "
+        "(default: ppa; memory-mode\n"
+        "                      and replaycache are judged against "
+        "their own model flavors)\n"
+        "  --schedules N       explore: crash points to sample per "
+        "test (default 64)\n"
+        "  --seed N            explore: crash-schedule RNG seed "
+        "(default 1)\n"
+        "  --json FILE         write the conformance verdicts as JSON "
+        "(tools/litmus_report.py\n"
+        "                      aggregates results/litmus_*.json)\n"
+        "  --expect-divergence fail unless at least one observed "
+        "outcome diverges from the\n"
+        "                      strict PPA model (baseline "
+        "discrimination proof)\n");
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: ppa_cli [SUBCOMMAND] [options]\n"
+        "subcommands: run (default), sweep, bench, trace, profile, "
+        "litmus\n"
+        "flags are grouped by the subcommand they belong to:\n"
+        "\n");
+    usageRun();
+    std::printf("\n");
+    usageProfile();
+    std::printf("\n");
+    usageTrace();
+    std::printf("\n");
+    usageSweep();
+    std::printf("\n");
+    usageBench();
+    std::printf("\n");
+    usageLitmus();
 }
 
 SystemVariant
@@ -263,14 +339,14 @@ sweepMain(int argc, char **argv)
         } else if (arg == "--telemetry") {
             telemetry = true;
         } else if (arg == "--help" || arg == "-h") {
-            usage();
+            usageSweep();
             return 0;
         } else if (!arg.empty() && arg[0] != '-' && figure.empty()) {
             figure = arg;
         } else {
             std::fprintf(stderr, "unknown sweep option '%s'\n",
                          arg.c_str());
-            usage();
+            usageSweep();
             return 1;
         }
     }
@@ -549,7 +625,7 @@ traceMain(int argc, char **argv)
     if (cmd == "record")
         return traceRecordMain(argc - 1, argv + 1);
     if (cmd == "--help" || cmd == "-h") {
-        usage();
+        usageTrace();
         return 0;
     }
     // The remaining subcommands all take the trace directory first.
@@ -647,12 +723,12 @@ benchMain(int argc, char **argv)
         } else if (arg == "--threshold") {
             thresholdPct = std::strtod(next(), nullptr);
         } else if (arg == "--help" || arg == "-h") {
-            usage();
+            usageBench();
             return 0;
         } else {
             std::fprintf(stderr, "unknown bench option '%s'\n",
                          arg.c_str());
-            usage();
+            usageBench();
             return 1;
         }
     }
@@ -1150,20 +1226,20 @@ profileMain(int argc, char **argv)
         } else if (arg == "--json") {
             jsonPath = next();
         } else if (arg == "--help" || arg == "-h") {
-            usage();
+            usageProfile();
             return 0;
         } else if (!arg.empty() && arg[0] != '-' && app.empty()) {
             app = arg;
         } else {
             std::fprintf(stderr, "unknown profile option '%s'\n",
                          arg.c_str());
-            usage();
+            usageProfile();
             return 1;
         }
     }
     if (app.empty()) {
         std::fprintf(stderr, "profile: application name required\n");
-        usage();
+        usageProfile();
         return 1;
     }
 
@@ -1202,6 +1278,184 @@ profileMain(int argc, char **argv)
     return ok ? 0 : 1;
 }
 
+int
+litmusMain(int argc, char **argv)
+{
+    using check::ExploreMode;
+    using check::LitmusOptions;
+    using check::LitmusResult;
+    using check::LitmusTest;
+
+    if (argc < 1) {
+        usageLitmus();
+        return 1;
+    }
+    std::string verb = argv[0];
+    if (verb == "--help" || verb == "-h") {
+        usageLitmus();
+        return 0;
+    }
+
+    if (verb == "list") {
+        TextTable t({"test", "threads", "stores", "observed", "prefix",
+                     "description"});
+        for (const LitmusTest &test : check::litmusCorpus()) {
+            std::vector<const Program *> progs;
+            for (const Program &p : test.threads)
+                progs.push_back(&p);
+            check::PersistModel model(progs);
+            t.addRow({test.name,
+                      std::to_string(test.threads.size()),
+                      std::to_string(model.totalStores()),
+                      std::to_string(test.observed.size()),
+                      test.prefixCoverage ? "yes" : "no",
+                      test.description});
+        }
+        std::printf("%s", t.render().c_str());
+        return 0;
+    }
+    if (verb != "run" && verb != "explore") {
+        std::fprintf(stderr, "unknown litmus subcommand '%s'\n",
+                     verb.c_str());
+        usageLitmus();
+        return 1;
+    }
+
+    LitmusOptions opts;
+    opts.mode = verb == "run" ? ExploreMode::Exhaustive
+                              : ExploreMode::Randomized;
+    bool all = false;
+    bool expectDivergence = false;
+    std::string jsonPath;
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--all") {
+            all = true;
+        } else if (arg == "--variant") {
+            opts.variant = parseVariant(next());
+        } else if (arg == "--schedules") {
+            opts.schedules = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--seed") {
+            opts.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--json") {
+            jsonPath = next();
+        } else if (arg == "--expect-divergence") {
+            expectDivergence = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usageLitmus();
+            return 0;
+        } else if (!arg.empty() && arg[0] != '-') {
+            names.push_back(arg);
+        } else {
+            std::fprintf(stderr, "unknown litmus option '%s'\n",
+                         arg.c_str());
+            usageLitmus();
+            return 1;
+        }
+    }
+
+    std::vector<const LitmusTest *> tests;
+    if (all) {
+        for (const LitmusTest &t : check::litmusCorpus())
+            tests.push_back(&t);
+    } else {
+        for (const std::string &name : names) {
+            const LitmusTest *t = check::findLitmusTest(name);
+            if (!t) {
+                std::fprintf(stderr,
+                             "unknown litmus test '%s' (see "
+                             "ppa_cli litmus list)\n",
+                             name.c_str());
+                return 1;
+            }
+            tests.push_back(t);
+        }
+    }
+    if (tests.empty()) {
+        std::fprintf(stderr,
+                     "litmus %s: name tests or pass --all\n",
+                     verb.c_str());
+        return 1;
+    }
+
+    std::string why;
+    if (!check::variantSupportsLitmus(opts.variant, &why)) {
+        std::fprintf(stderr, "litmus: variant '%s' unsupported: %s\n",
+                     variantToken(opts.variant), why.c_str());
+        return 1;
+    }
+
+    std::printf("litmus %s: %zu test(s), variant %s (flavor %s)%s\n",
+                verb.c_str(), tests.size(),
+                variantToken(opts.variant),
+                check::flavorName(
+                    check::flavorForVariant(opts.variant)),
+                opts.mode == ExploreMode::Randomized
+                    ? (", " + std::to_string(opts.schedules) +
+                       " crash points/test, seed " +
+                       std::to_string(opts.seed))
+                          .c_str()
+                    : "");
+
+    std::vector<LitmusResult> results;
+    std::uint64_t divergences = 0;
+    bool allPass = true;
+    for (const LitmusTest *t : tests) {
+        results.push_back(check::runLitmusTest(*t, opts));
+        divergences += results.back().strictDivergences;
+        allPass = allPass && results.back().pass();
+    }
+
+    TextTable t({"test", "crashes", "violations", "strict-div",
+                 "vacuous", "required", "distinct", "verdict"});
+    for (const LitmusResult &r : results) {
+        t.addRow({r.test, std::to_string(r.crashPoints),
+                  std::to_string(r.violations),
+                  std::to_string(r.strictDivergences),
+                  std::to_string(r.vacuous),
+                  std::to_string(r.requiredSeen) + "/" +
+                      std::to_string(r.requiredTotal),
+                  std::to_string(r.distinctOutcomes),
+                  r.corpusError ? "CORPUS-ERROR"
+                                : (r.pass() ? "pass" : "FAIL")});
+    }
+    std::printf("%s", t.render().c_str());
+    for (const LitmusResult &r : results) {
+        for (const auto &s : r.samples)
+            std::printf("%s: cycle %llu: %s\n", r.test.c_str(),
+                        static_cast<unsigned long long>(s.cycle),
+                        s.detail.c_str());
+        for (const auto &n : r.notes)
+            std::printf("%s: %s\n", r.test.c_str(), n.c_str());
+    }
+
+    if (!jsonPath.empty()) {
+        if (!metrics::writeFile(jsonPath,
+                                check::litmusResultsJson(results, opts)))
+            return 1;
+        std::printf("wrote %s\n", jsonPath.c_str());
+    }
+
+    if (expectDivergence && divergences == 0) {
+        std::printf("FAIL: expected at least one strict-model "
+                    "divergence, observed none\n");
+        return 1;
+    }
+    std::printf("%s\n", allPass ? "litmus: all conformance checks pass"
+                                : "litmus: FAILURES above");
+    return allPass ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -1215,6 +1469,12 @@ main(int argc, char **argv)
         return traceMain(argc - 2, argv + 2);
     if (argc > 1 && std::strcmp(argv[1], "profile") == 0)
         return profileMain(argc - 2, argv + 2);
+    if (argc > 1 && std::strcmp(argv[1], "litmus") == 0)
+        return litmusMain(argc - 2, argv + 2);
+    // An explicit "run" selects the default mode.
+    int shift = argc > 1 && std::strcmp(argv[1], "run") == 0 ? 1 : 0;
+    argc -= shift;
+    argv += shift;
 
     std::string app;
     std::string variant_name = "ppa";
