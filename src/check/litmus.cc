@@ -324,18 +324,6 @@ buildCorpus()
 
 // ---- engine helpers -----------------------------------------------
 
-/** Deterministic string hash for per-test RNG stream separation. */
-std::uint64_t
-fnv64(const std::string &s)
-{
-    std::uint64_t h = 1469598103934665603ull;
-    for (char ch : s) {
-        h ^= static_cast<unsigned char>(ch);
-        h *= 1099511628211ull;
-    }
-    return h;
-}
-
 /**
  * Records the cycles at which the audit observers saw persistency
  * action; the randomized explorer biases crash points toward them.
@@ -434,6 +422,84 @@ cutStr(const std::vector<std::uint64_t> &cut)
 constexpr std::size_t maxSamples = 5;
 
 } // namespace
+
+std::uint64_t
+fnv64(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (char ch : s) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+ReferenceSummary
+runReference(const LitmusTest &test, SystemVariant variant,
+             Cycle maxCycles)
+{
+    ReferenceSummary ref;
+    std::set<Cycle> interesting;
+    auto run = makeRun(test, variant);
+    std::vector<std::unique_ptr<CrashBiasObserver>> observers;
+    for (unsigned t = 0; t < run->system.numCores(); ++t) {
+        observers.push_back(
+            std::make_unique<CrashBiasObserver>(interesting));
+        run->system.core(t).attachAuditObserver(observers.back().get());
+    }
+    while (!run->system.allDone() && run->system.cycle() < maxCycles)
+        run->system.tick();
+    ref.completed = run->system.allDone();
+    ref.endCycle = run->system.cycle();
+    ref.interesting.assign(interesting.begin(), interesting.end());
+    return ref;
+}
+
+std::vector<Cycle>
+biasedCrashSchedule(const ReferenceSummary &ref, unsigned schedules,
+                    std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Cycle> crashes;
+    crashes.reserve(schedules);
+    const std::vector<Cycle> &hot = ref.interesting;
+    for (unsigned k = 0; k < schedules; ++k) {
+        Cycle c;
+        if (k % 2 == 0 && !hot.empty()) {
+            c = hot[rng.below(hot.size())];
+            // +/-2 cycle jitter around the hot spot.
+            c += rng.range(0, 4);
+            c = c > 2 ? c - 2 : 1;
+        } else {
+            c = rng.range(1, ref.endCycle);
+        }
+        crashes.push_back(
+            std::min<Cycle>(std::max<Cycle>(c, 1), ref.endCycle));
+    }
+    return crashes;
+}
+
+CrashObservation
+crashObserve(const LitmusTest &test, SystemVariant variant, Cycle cycle)
+{
+    auto run = makeRun(test, variant);
+    run->system.runUntilCycle(cycle);
+
+    CrashObservation obs;
+    obs.cut.reserve(run->system.numCores());
+    for (unsigned t = 0; t < run->system.numCores(); ++t)
+        obs.cut.push_back(run->system.core(t).committedStores());
+
+    auto images = run->system.powerFail();
+    if (variant == SystemVariant::Ppa)
+        run->system.recover(images);
+
+    obs.outcome.reserve(test.observed.size());
+    for (Addr a : test.observed)
+        obs.outcome.push_back(run->system.memory().nvmImage().read(
+            MemImage::wordAlign(a)));
+    return obs;
+}
 
 const std::vector<LitmusTest> &
 litmusCorpus()
@@ -560,103 +626,59 @@ runLitmusTest(const LitmusTest &test, const LitmusOptions &opts)
 
     // Reference run: discover the completion cycle and the cycles
     // with persistency action (for crash-point biasing).
-    std::set<Cycle> interesting;
-    Cycle endCycle = 0;
-    {
-        auto ref = makeRun(test, opts.variant);
-        std::vector<std::unique_ptr<CrashBiasObserver>> observers;
-        for (unsigned t = 0; t < ref->system.numCores(); ++t) {
-            observers.push_back(
-                std::make_unique<CrashBiasObserver>(interesting));
-            ref->system.core(t).attachAuditObserver(
-                observers.back().get());
-        }
-        while (!ref->system.allDone() &&
-               ref->system.cycle() < opts.maxCycles)
-            ref->system.tick();
-        if (!ref->system.allDone()) {
-            res.corpusError = true;
-            res.notes.push_back("reference run did not complete in " +
-                                std::to_string(opts.maxCycles) +
-                                " cycles");
-            return res;
-        }
-        endCycle = ref->system.cycle();
+    ReferenceSummary ref = runReference(test, opts.variant,
+                                        opts.maxCycles);
+    if (!ref.completed) {
+        res.corpusError = true;
+        res.notes.push_back("reference run did not complete in " +
+                            std::to_string(opts.maxCycles) + " cycles");
+        return res;
     }
 
     // Crash-point schedule.
     std::vector<Cycle> crashes;
     if (opts.mode == ExploreMode::Exhaustive) {
-        if (endCycle > opts.exhaustiveCap) {
+        if (ref.endCycle > opts.exhaustiveCap) {
             res.corpusError = true;
             res.notes.push_back(
-                "run is " + std::to_string(endCycle) +
+                "run is " + std::to_string(ref.endCycle) +
                 " cycles, over the exhaustive cap of " +
                 std::to_string(opts.exhaustiveCap) +
                 "; use the randomized explorer");
             return res;
         }
-        crashes.reserve(endCycle);
-        for (Cycle c = 1; c <= endCycle; ++c)
+        crashes.reserve(ref.endCycle);
+        for (Cycle c = 1; c <= ref.endCycle; ++c)
             crashes.push_back(c);
     } else {
-        Rng rng(opts.seed ^ fnv64(test.name));
-        std::vector<Cycle> hot(interesting.begin(), interesting.end());
-        for (unsigned k = 0; k < opts.schedules; ++k) {
-            Cycle c;
-            if (k % 2 == 0 && !hot.empty()) {
-                c = hot[rng.below(hot.size())];
-                // +/-2 cycle jitter around the hot spot.
-                c += rng.range(0, 4);
-                c = c > 2 ? c - 2 : 1;
-            } else {
-                c = rng.range(1, endCycle);
-            }
-            crashes.push_back(std::min<Cycle>(
-                std::max<Cycle>(c, 1), endCycle));
-        }
+        crashes = biasedCrashSchedule(ref, opts.schedules,
+                                      opts.seed ^ fnv64(test.name));
     }
 
     // Crash, observe, and judge.
     std::set<PersistModel::Outcome> seen;
     for (Cycle c : crashes) {
-        auto run = makeRun(test, opts.variant);
-        run->system.runUntilCycle(c);
+        CrashObservation obs = crashObserve(test, opts.variant, c);
+        seen.insert(obs.outcome);
 
-        PersistModel::StoreCut cut;
-        cut.reserve(run->system.numCores());
-        for (unsigned t = 0; t < run->system.numCores(); ++t)
-            cut.push_back(run->system.core(t).committedStores());
-
-        auto images = run->system.powerFail();
-        if (opts.variant == SystemVariant::Ppa)
-            run->system.recover(images);
-
-        PersistModel::Outcome outcome;
-        outcome.reserve(test.observed.size());
-        for (Addr a : test.observed)
-            outcome.push_back(run->system.memory().nvmImage().read(
-                MemImage::wordAlign(a)));
-        seen.insert(outcome);
-
-        bool allowed =
-            model.outcomeAllowed(res.flavor, cut, test.observed, outcome);
+        bool allowed = model.outcomeAllowed(res.flavor, obs.cut,
+                                            test.observed, obs.outcome);
         bool strict_allowed =
             res.flavor == PersistFlavor::Strict
                 ? allowed
-                : model.outcomeAllowed(PersistFlavor::Strict, cut,
-                                       test.observed, outcome);
+                : model.outcomeAllowed(PersistFlavor::Strict, obs.cut,
+                                       test.observed, obs.outcome);
         if (!allowed) {
             ++res.violations;
             if (res.samples.size() < maxSamples) {
                 LitmusSample s;
                 s.cycle = c;
-                s.cut = cut;
-                s.outcome = outcome;
-                s.detail = "outcome " + valuesStr(outcome) +
+                s.cut = obs.cut;
+                s.outcome = obs.outcome;
+                s.detail = "outcome " + valuesStr(obs.outcome) +
                            " forbidden under " +
                            flavorName(res.flavor) + " at cut " +
-                           cutStr(cut);
+                           cutStr(obs.cut);
                 res.samples.push_back(std::move(s));
             }
         }

@@ -92,6 +92,49 @@ PersistFlavor flavorForVariant(SystemVariant variant);
  */
 bool variantSupportsLitmus(SystemVariant variant, std::string *why);
 
+/** FNV-1a 64-bit string hash; mixes test identity into crash seeds. */
+std::uint64_t fnv64(const std::string &s);
+
+/**
+ * What one full (failure-free) reference execution of a test showed:
+ * whether it completed within the cycle budget, the cycle it halted
+ * on, and the sorted cycles at which the audit observers saw
+ * persistency action (region boundaries, persist enqueue/issue).
+ */
+struct ReferenceSummary
+{
+    bool completed = false;
+    Cycle endCycle = 0;
+    std::vector<Cycle> interesting;
+};
+
+/** Run @p test failure-free on @p variant for at most @p maxCycles. */
+ReferenceSummary runReference(const LitmusTest &test,
+                              SystemVariant variant, Cycle maxCycles);
+
+/**
+ * Sample @p schedules crash cycles in [1, ref.endCycle]: half jittered
+ * around the auditor-reported hot cycles, half uniform. @p seed is
+ * used as-is — callers mix in any per-test identity themselves.
+ */
+std::vector<Cycle> biasedCrashSchedule(const ReferenceSummary &ref,
+                                       unsigned schedules,
+                                       std::uint64_t seed);
+
+/** What one injected crash exposed: the cut and the observed NVM. */
+struct CrashObservation
+{
+    PersistModel::StoreCut cut;
+    PersistModel::Outcome outcome;
+};
+
+/**
+ * Run @p test on @p variant, power-fail at @p cycle, recover where
+ * the variant supports it, and read back the observed addresses.
+ */
+CrashObservation crashObserve(const LitmusTest &test,
+                              SystemVariant variant, Cycle cycle);
+
 /** How crash points are chosen. */
 enum class ExploreMode : std::uint8_t
 {

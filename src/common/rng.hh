@@ -11,7 +11,9 @@
 #define PPA_COMMON_RNG_HH
 
 #include <array>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -84,8 +86,11 @@ class Rng
     bool chance(double p) { return uniform() < p; }
 
     /**
-     * Approximately geometric draw with mean @p mean (>= 1);
-     * used for run lengths in workload synthesis.
+     * Geometric draw on {1, 2, ...} with mean @p mean (>= 1); used
+     * for run lengths in workload synthesis. Closed-form inverse-CDF
+     * sampling: one raw draw per call, O(1) in the mean, and the full
+     * untruncated tail (the old rejection loop silently capped the
+     * distribution at 100000 and cost O(mean) draws).
      */
     std::uint64_t
     geometric(double mean)
@@ -93,10 +98,15 @@ class Rng
         if (mean <= 1.0)
             return 1;
         double p = 1.0 / mean;
-        std::uint64_t n = 1;
-        while (!chance(p) && n < 100000)
-            ++n;
-        return n;
+        double u = uniform();
+        if (u <= 0.0)
+            u = 0x1.0p-53; // uniform() can return exactly 0
+        double n = std::floor(std::log(u) / std::log(1.0 - p));
+        // log(u)/log(1-p) <= 53 * mean or so; guard the uint64
+        // conversion anyway for astronomically large means.
+        if (n >= 9.0e18)
+            return std::numeric_limits<std::uint64_t>::max();
+        return 1 + static_cast<std::uint64_t>(n);
     }
 
     /**

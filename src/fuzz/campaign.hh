@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Crash-consistency fuzzing campaign driver.
+ *
+ * One campaign generates N random DRF programs (fuzz/spec.hh), runs
+ * each on a simulated variant, samples M auditor-biased power-failure
+ * cycles per program (reusing the litmus engine's bias machinery),
+ * and judges every observed post-crash state against the declarative
+ * persist model — both under the variant's own flavor (violations)
+ * and under Strict (divergences).
+ *
+ * The first offending crash of a program becomes a finding: its run
+ * is recorded through the trace subsystem and replayed from disk to
+ * the same crash cycle (confirming the simulator reproduces the
+ * observation from the recorded committed stream, with the PPA
+ * auditors attached where the variant supports them), then the
+ * violation is shrunk (fuzz/shrink.hh) and the minimal reproducer is
+ * written to the corpus directory in the litmus text format.
+ *
+ * Everything is deterministic from (options, seed): results carry no
+ * timestamps and `campaignJson` is bitwise reproducible.
+ */
+
+#ifndef PPA_FUZZ_CAMPAIGN_HH
+#define PPA_FUZZ_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/shrink.hh"
+#include "fuzz/spec.hh"
+
+namespace ppa
+{
+namespace fuzz
+{
+
+/** One campaign's configuration. */
+struct CampaignOptions
+{
+    SystemVariant variant = SystemVariant::Ppa;
+    std::uint64_t programs = 200;
+    /** Biased crash schedules sampled per program. */
+    unsigned schedules = 16;
+    std::uint64_t seed = 1;
+    GeneratorConfig gen;
+    /** Directory for minimal reproducers; empty disables writing. */
+    std::string corpusDir;
+    /** Scratch directory for trace record/replay of findings; empty
+     *  disables the replay confirmation step. */
+    std::string traceDir;
+    /** Findings to record/shrink before only counting further ones. */
+    unsigned maxFindings = 4;
+    /** Reference-run cycle budget per program. */
+    Cycle maxCycles = 200'000;
+    ShrinkLimits shrink;
+};
+
+/** One recorded, replayed, and shrunk offending program. */
+struct CampaignFinding
+{
+    std::string program;
+    std::uint64_t index = 0;
+    /** The flavor the minimal reproducer is judged against. */
+    check::PersistFlavor flavor = check::PersistFlavor::Strict;
+    /** Forbidden by Strict but allowed by the variant's own flavor. */
+    bool strictOnly = false;
+    Cycle cycle = 0;       ///< offending cycle as first observed
+    Cycle shrunkCycle = 0; ///< earliest violating cycle after shrink
+    unsigned threadsBefore = 0, threadsAfter = 0;
+    std::uint64_t actionsBefore = 0, actionsAfter = 0;
+    unsigned shrinkSteps = 0;
+    std::uint64_t shrinkJudged = 0;
+    bool shrinkBudgetExhausted = false;
+    bool replayAttempted = false;
+    /** Replay from the recorded trace reproduced cut and outcome. */
+    bool replayConfirmed = false;
+    std::uint64_t replayAuditViolations = 0;
+    std::string reproducerFile; ///< path written, or empty
+    std::string detail;
+};
+
+/** Aggregate verdict of one campaign. */
+struct CampaignResult
+{
+    SystemVariant variant = SystemVariant::Ppa;
+    check::PersistFlavor flavor = check::PersistFlavor::Strict;
+    std::uint64_t programs = 0;
+    std::uint64_t crashPoints = 0;
+    /** Crash observations the variant's own flavor forbids. */
+    std::uint64_t violations = 0;
+    /** Crash observations Strict forbids. */
+    std::uint64_t strictDivergences = 0;
+    /** Programs that could not be judged (outside the model fragment
+     *  or reference run incomplete). Nonzero means a generator bug. */
+    std::uint64_t skipped = 0;
+    std::vector<CampaignFinding> findings;
+    std::vector<std::string> notes;
+
+    /** A variant conforms when its own flavor is never violated. */
+    bool pass() const { return violations == 0 && skipped == 0; }
+};
+
+/** Run one campaign. The variant must support crash observation. */
+CampaignResult runCampaign(const CampaignOptions &opts);
+
+/** Serialize one campaign as a schemaVersion-1 JSON document. */
+std::string campaignJson(const CampaignResult &res,
+                         const CampaignOptions &opts);
+
+/** Reproducer text: judge header plus the spec serialization. */
+std::string reproducerText(const Violation &v);
+
+/**
+ * Parse a reproducer produced by reproducerText. Only spec, variant,
+ * flavor, and cycle are recorded; cut/outcome are re-derived by
+ * running the reproducer.
+ */
+bool parseReproducerText(const std::string &text, Violation &out,
+                         std::string &error);
+
+} // namespace fuzz
+} // namespace ppa
+
+#endif // PPA_FUZZ_CAMPAIGN_HH

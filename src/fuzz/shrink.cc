@@ -1,0 +1,176 @@
+#include "fuzz/shrink.hh"
+
+#include <memory>
+#include <utility>
+
+namespace ppa
+{
+namespace fuzz
+{
+
+namespace
+{
+
+/** Static model of a lowered spec; false when outside the fragment. */
+bool
+buildModel(const check::LitmusTest &test,
+           std::unique_ptr<check::PersistModel> &model)
+{
+    std::vector<const Program *> progs;
+    progs.reserve(test.threads.size());
+    for (const Program &p : test.threads)
+        progs.push_back(&p);
+    model = std::make_unique<check::PersistModel>(progs);
+    return model->racyAddresses().empty() &&
+           model->crossThreadReads().empty();
+}
+
+/**
+ * Is the candidate spec structurally runnable? Thread blocks must be
+ * non-empty (thread removal is its own reduction) and something must
+ * still be observed.
+ */
+bool
+specUsable(const FuzzSpec &spec)
+{
+    if (spec.threads.empty() || spec.observed.empty())
+        return false;
+    for (const ThreadSpec &ts : spec.threads)
+        if (ts.actions.empty())
+            return false;
+    return true;
+}
+
+} // namespace
+
+bool
+findEarliestViolation(const FuzzSpec &spec, SystemVariant variant,
+                      check::PersistFlavor flavor,
+                      const ShrinkLimits &limits, std::uint64_t &judged,
+                      Violation &out)
+{
+    if (!specUsable(spec))
+        return false;
+    check::LitmusTest test = lowerSpec(spec);
+    std::unique_ptr<check::PersistModel> model;
+    if (!buildModel(test, model))
+        return false;
+
+    check::ReferenceSummary ref =
+        check::runReference(test, variant, limits.maxCycles);
+    if (!ref.completed)
+        return false;
+
+    for (Cycle c = 1; c <= ref.endCycle; ++c) {
+        if (judged >= limits.maxCrashSims)
+            return false;
+        ++judged;
+        check::CrashObservation obs =
+            check::crashObserve(test, variant, c);
+        if (!model->outcomeAllowed(flavor, obs.cut, test.observed,
+                                   obs.outcome)) {
+            out.spec = spec;
+            out.variant = variant;
+            out.flavor = flavor;
+            out.cycle = c;
+            out.cut = std::move(obs.cut);
+            out.outcome = std::move(obs.outcome);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<FuzzSpec>
+enumerateReductions(const FuzzSpec &spec)
+{
+    std::vector<FuzzSpec> candidates;
+    // 1. Drop one whole thread.
+    if (spec.threads.size() > 1) {
+        for (std::size_t t = 0; t < spec.threads.size(); ++t) {
+            FuzzSpec c = spec;
+            c.threads.erase(c.threads.begin() +
+                            static_cast<std::ptrdiff_t>(t));
+            candidates.push_back(std::move(c));
+        }
+    }
+    // 2. Drop one action.
+    for (std::size_t t = 0; t < spec.threads.size(); ++t) {
+        for (std::size_t i = 0; i < spec.threads[t].actions.size();
+             ++i) {
+            FuzzSpec c = spec;
+            auto &as = c.threads[t].actions;
+            as.erase(as.begin() + static_cast<std::ptrdiff_t>(i));
+            candidates.push_back(std::move(c));
+        }
+    }
+    // 3. Drop one observed address (keep at least one).
+    if (spec.observed.size() > 1) {
+        for (std::size_t i = 0; i < spec.observed.size(); ++i) {
+            FuzzSpec c = spec;
+            c.observed.erase(c.observed.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+            candidates.push_back(std::move(c));
+        }
+    }
+    return candidates;
+}
+
+bool
+isOneMinimal(const Violation &v, const ShrinkLimits &limits,
+             std::uint64_t &judged)
+{
+    for (const FuzzSpec &c : enumerateReductions(v.spec)) {
+        Violation cand;
+        if (findEarliestViolation(c, v.variant, v.flavor, limits,
+                                  judged, cand))
+            return false;
+    }
+    return true;
+}
+
+ShrinkResult
+shrinkViolation(const Violation &v, const ShrinkLimits &limits)
+{
+    ShrinkResult res;
+    res.min = v;
+
+    // Schedule shrink: the earliest violating cycle of the current
+    // program. (Also re-anchors cut/outcome if the caller's came from
+    // a biased sample.)
+    {
+        Violation earliest;
+        if (findEarliestViolation(v.spec, v.variant, v.flavor, limits,
+                                  res.judged, earliest))
+            res.min = std::move(earliest);
+        else if (res.judged >= limits.maxCrashSims)
+            res.budgetExhausted = true;
+    }
+
+    // Program shrink: greedy first-accepted 1-step reductions, in a
+    // fixed order, until a full pass accepts nothing.
+    bool reduced = true;
+    while (reduced && !res.budgetExhausted) {
+        reduced = false;
+        std::vector<FuzzSpec> candidates =
+            enumerateReductions(res.min.spec);
+        for (FuzzSpec &c : candidates) {
+            if (res.judged >= limits.maxCrashSims) {
+                res.budgetExhausted = true;
+                break;
+            }
+            Violation cand;
+            if (findEarliestViolation(c, res.min.variant, res.min.flavor,
+                                      limits, res.judged, cand)) {
+                res.min = std::move(cand);
+                ++res.steps;
+                reduced = true;
+                break; // restart candidate enumeration on the new min
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace fuzz
+} // namespace ppa

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Model-checked shrinking of fuzzer-found persistency violations.
+ *
+ * A Violation is one crash observation the persist model forbids:
+ * spec, variant, the flavor that forbids it, the crash cycle, and the
+ * observed (cut, outcome). The shrinker minimizes first the schedule
+ * (earliest violating cycle) and then the program (greedy 1-step
+ * reductions: drop a thread, drop an action, drop an observed
+ * address), accepting a reduction only when the reduced program still
+ * exhibits *some* crash cycle whose outcome `PersistModel::
+ * outcomeAllowed` rejects under the same flavor. The search over
+ * crash cycles is exhaustive over the reduced program's reference
+ * run, so "the reduction passes" is a definite verdict, not a
+ * sampling artifact — and the result is 1-minimal by construction:
+ * every further single reduction is violation-free.
+ *
+ * Shrinking is RNG-free and deterministic: candidates are enumerated
+ * in a fixed order and judged by exhaustive cycle scan. Termination
+ * is structural (every accepted step strictly shrinks the spec) with
+ * a crash-simulation budget as a belt-and-braces cap.
+ */
+
+#ifndef PPA_FUZZ_SHRINK_HH
+#define PPA_FUZZ_SHRINK_HH
+
+#include <cstdint>
+
+#include "fuzz/spec.hh"
+
+namespace ppa
+{
+namespace fuzz
+{
+
+/** One model-forbidden crash observation. */
+struct Violation
+{
+    FuzzSpec spec;
+    SystemVariant variant = SystemVariant::MemoryMode;
+    /** The flavor whose allowed set rejects the outcome. */
+    check::PersistFlavor flavor = check::PersistFlavor::Strict;
+    Cycle cycle = 0;
+    check::PersistModel::StoreCut cut;
+    check::PersistModel::Outcome outcome;
+};
+
+/** Limits for one search/shrink invocation. */
+struct ShrinkLimits
+{
+    /** Reference runs longer than this reject the candidate. */
+    Cycle maxCycles = 20'000;
+    /** Cap on crash simulations across the whole shrink. */
+    std::uint64_t maxCrashSims = 500'000;
+};
+
+/**
+ * Exhaustively scan every crash cycle of @p spec's reference run for
+ * an outcome @p flavor forbids; earliest hit wins. @p judged is
+ * incremented per crash simulation.
+ * @return true with @p out filled when a violation exists within the
+ *         limits.
+ */
+bool findEarliestViolation(const FuzzSpec &spec, SystemVariant variant,
+                           check::PersistFlavor flavor,
+                           const ShrinkLimits &limits,
+                           std::uint64_t &judged, Violation &out);
+
+/** What a shrink did, plus the minimized violation. */
+struct ShrinkResult
+{
+    Violation min;
+    /** Accepted 1-step reductions. */
+    unsigned steps = 0;
+    /** Crash simulations spent (search + candidate judging). */
+    std::uint64_t judged = 0;
+    /** True when the budget stopped shrinking early; `min` is still a
+     *  genuine violation, just not necessarily 1-minimal. */
+    bool budgetExhausted = false;
+};
+
+/** Minimize @p v. @p v itself must be a real violation. */
+ShrinkResult shrinkViolation(const Violation &v,
+                             const ShrinkLimits &limits = {});
+
+/**
+ * Every 1-step reduction of @p spec, in the shrinker's candidate
+ * order: drop a thread, drop an action, drop an observed address.
+ */
+std::vector<FuzzSpec> enumerateReductions(const FuzzSpec &spec);
+
+/**
+ * Is @p v 1-minimal — does every single reduction of its spec pass
+ * (no crash cycle violates @p v.flavor)? This is exactly the
+ * shrinker's fixpoint condition, exposed for reproducer checking.
+ */
+bool isOneMinimal(const Violation &v, const ShrinkLimits &limits,
+                  std::uint64_t &judged);
+
+} // namespace fuzz
+} // namespace ppa
+
+#endif // PPA_FUZZ_SHRINK_HH

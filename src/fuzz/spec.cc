@@ -1,0 +1,332 @@
+#include "fuzz/spec.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "common/rng.hh"
+#include "isa/builder.hh"
+
+namespace ppa
+{
+namespace fuzz
+{
+
+namespace
+{
+
+// Same register conventions as the litmus corpus (check/litmus.cc).
+constexpr ArchReg rBase = 1;  ///< base pointer of the thread's lines
+constexpr ArchReg rOne = 2;   ///< constant 1 (divisor of the chain)
+constexpr ArchReg rChain = 3; ///< head of the retire-spacing chain
+constexpr ArchReg rVal = 4;   ///< store data, derived from the chain
+constexpr ArchReg rAmo = 5;   ///< AtomicRmw old-value destination
+constexpr ArchReg rLd = 6;    ///< load destination (never store data)
+
+constexpr Addr fuzzBase = 0x40000; ///< clear of the litmus range
+constexpr Addr lineBytes = 0x100;  ///< one cache line per spec line
+
+} // namespace
+
+const char *
+actionKindName(ActionKind kind)
+{
+    switch (kind) {
+      case ActionKind::Store:
+        return "store";
+      case ActionKind::Load:
+        return "load";
+      case ActionKind::Fence:
+        return "fence";
+      case ActionKind::Atomic:
+        return "atomic";
+      case ActionKind::Delay:
+        return "delay";
+    }
+    return "?";
+}
+
+FuzzSpec
+generateSpec(const GeneratorConfig &cfg, std::uint64_t seed,
+             std::uint64_t index)
+{
+    // Mix (seed, index) through the test-identity hash so programs of
+    // one campaign draw from unrelated streams and any single program
+    // can be regenerated without replaying the campaign.
+    Rng rng(seed ^ check::fnv64("fuzz-program-" + std::to_string(index)));
+
+    FuzzSpec spec;
+    spec.name = "fz-" + std::to_string(seed) + "-" +
+                std::to_string(index);
+    spec.linesPerThread = std::max(1u, cfg.linesPerThread);
+
+    const unsigned threads = static_cast<unsigned>(
+        rng.range(std::max(1u, cfg.minThreads),
+                  std::max(1u, cfg.maxThreads)));
+
+    const double wsum = cfg.storeWeight + cfg.loadWeight +
+                        cfg.fenceWeight + cfg.atomicWeight +
+                        cfg.delayWeight;
+
+    for (unsigned t = 0; t < threads; ++t) {
+        ThreadSpec ts;
+        ts.base = fuzzBase +
+                  static_cast<Addr>(t) * spec.linesPerThread * lineBytes;
+        const unsigned actions = static_cast<unsigned>(
+            rng.range(std::max(1u, cfg.minActions),
+                      std::max(1u, cfg.maxActions)));
+        Word nextValue = 1;
+        while (ts.actions.size() < actions) {
+            double u = rng.uniform() * wsum;
+            Action a;
+            if ((u -= cfg.storeWeight) < 0)
+                a.kind = ActionKind::Store;
+            else if ((u -= cfg.loadWeight) < 0)
+                a.kind = ActionKind::Load;
+            else if ((u -= cfg.fenceWeight) < 0)
+                a.kind = ActionKind::Fence;
+            else if ((u -= cfg.atomicWeight) < 0)
+                a.kind = ActionKind::Atomic;
+            else
+                a.kind = ActionKind::Delay;
+
+            unsigned burst = 1;
+            if (a.kind == ActionKind::Store && cfg.burstMax > 1 &&
+                rng.chance(cfg.burstChance))
+                burst = static_cast<unsigned>(
+                    rng.range(2, std::max(2u, cfg.burstMax)));
+            for (unsigned k = 0;
+                 k < burst && ts.actions.size() < actions; ++k) {
+                a.line = static_cast<unsigned>(
+                    rng.below(spec.linesPerThread));
+                a.value = (a.kind == ActionKind::Store ||
+                           a.kind == ActionKind::Atomic)
+                              ? nextValue++
+                              : 0;
+                ts.actions.push_back(a);
+            }
+        }
+        // Keep every thread relevant to the persistency question: a
+        // thread with no write would only add scheduling noise.
+        bool writes = std::any_of(
+            ts.actions.begin(), ts.actions.end(), [](const Action &a) {
+                return a.kind == ActionKind::Store ||
+                       a.kind == ActionKind::Atomic;
+            });
+        if (!writes) {
+            ts.actions.back().kind = ActionKind::Store;
+            ts.actions.back().line = static_cast<unsigned>(
+                rng.below(spec.linesPerThread));
+            ts.actions.back().value = nextValue++;
+        }
+        spec.threads.push_back(std::move(ts));
+    }
+
+    // Observe a subset of the lines that were actually written.
+    std::set<Addr> written;
+    for (const ThreadSpec &ts : spec.threads)
+        for (const Action &a : ts.actions)
+            if (a.kind == ActionKind::Store ||
+                a.kind == ActionKind::Atomic)
+                written.insert(ts.base + a.line * lineBytes);
+    std::vector<Addr> pool(written.begin(), written.end());
+    const unsigned observe = static_cast<unsigned>(std::min<std::size_t>(
+        pool.size(), std::max(1u, cfg.maxObserved)));
+    for (unsigned k = 0; k < observe; ++k) {
+        std::size_t pick = static_cast<std::size_t>(
+            rng.below(pool.size()));
+        spec.observed.push_back(pool[pick]);
+        pool.erase(pool.begin() +
+                   static_cast<std::ptrdiff_t>(pick));
+    }
+    std::sort(spec.observed.begin(), spec.observed.end());
+    return spec;
+}
+
+check::LitmusTest
+lowerSpec(const FuzzSpec &spec)
+{
+    check::LitmusTest test;
+    test.name = spec.name;
+    test.description = "fuzz-generated program";
+    test.observed = spec.observed;
+    test.prefixCoverage = false;
+
+    for (const ThreadSpec &ts : spec.threads) {
+        ProgramBuilder b;
+        b.movi(rBase, ts.base);
+        b.movi(rOne, 1);
+        b.movi(rChain, 1);
+        for (const Action &a : ts.actions) {
+            const Word off = a.line * lineBytes;
+            switch (a.kind) {
+              case ActionKind::Store:
+                // Data hangs off the chain (rChain stays 1), so the
+                // store cannot retire before the preceding divides.
+                b.addi(rVal, rChain, a.value - 1);
+                b.st(rVal, rBase, off);
+                break;
+              case ActionKind::Load:
+                b.ld(rLd, rBase, off);
+                break;
+              case ActionKind::Fence:
+                b.fence();
+                break;
+              case ActionKind::Atomic:
+                b.addi(rVal, rChain, a.value - 1);
+                b.amoadd(rAmo, rVal, rBase, off);
+                break;
+              case ActionKind::Delay:
+                b.div(rChain, rChain, rOne);
+                break;
+            }
+        }
+        b.halt();
+        test.threads.push_back(b.program());
+    }
+    return test;
+}
+
+std::string
+specText(const FuzzSpec &spec)
+{
+    std::ostringstream os;
+    os << "name " << spec.name << "\n";
+    os << "linesPerThread " << spec.linesPerThread << "\n";
+    for (const ThreadSpec &ts : spec.threads) {
+        os << "thread 0x" << std::hex << ts.base << std::dec << "\n";
+        for (const Action &a : ts.actions) {
+            os << "  " << actionKindName(a.kind);
+            if (a.kind == ActionKind::Store ||
+                a.kind == ActionKind::Atomic)
+                os << " " << a.line << " " << a.value;
+            else if (a.kind == ActionKind::Load)
+                os << " " << a.line;
+            os << "\n";
+        }
+        os << "end-thread\n";
+    }
+    for (Addr a : spec.observed)
+        os << "observe 0x" << std::hex << a << std::dec << "\n";
+    return os.str();
+}
+
+namespace
+{
+
+bool
+parseU64(const std::string &tok, std::uint64_t &out)
+{
+    if (tok.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    int base = tok.size() > 2 && tok[0] == '0' &&
+                       (tok[1] == 'x' || tok[1] == 'X')
+                   ? 16
+                   : 10;
+    out = std::strtoull(tok.c_str(), &end, base);
+    return errno != ERANGE && end == tok.c_str() + tok.size();
+}
+
+} // namespace
+
+bool
+parseSpecText(const std::string &text, FuzzSpec &out, std::string &error)
+{
+    out = FuzzSpec{};
+    std::istringstream is(text);
+    std::string line;
+    ThreadSpec *cur = nullptr;
+    int lineno = 0;
+    auto fail = [&](const std::string &what) {
+        error = "spec line " + std::to_string(lineno) + ": " + what;
+        return false;
+    };
+    while (std::getline(is, line)) {
+        ++lineno;
+        std::istringstream ls(line);
+        std::string key;
+        if (!(ls >> key))
+            continue; // blank
+        if (key == "name") {
+            if (!(ls >> out.name))
+                return fail("missing name");
+        } else if (key == "linesPerThread") {
+            std::string tok;
+            std::uint64_t v = 0;
+            if (!(ls >> tok) || !parseU64(tok, v) || v == 0)
+                return fail("bad linesPerThread");
+            out.linesPerThread = static_cast<unsigned>(v);
+        } else if (key == "thread") {
+            std::string tok;
+            std::uint64_t base = 0;
+            if (!(ls >> tok) || !parseU64(tok, base))
+                return fail("bad thread base");
+            out.threads.push_back(ThreadSpec{});
+            cur = &out.threads.back();
+            cur->base = base;
+        } else if (key == "end-thread") {
+            if (!cur)
+                return fail("end-thread outside a thread block");
+            if (cur->actions.empty())
+                return fail("thread with no actions");
+            cur = nullptr;
+        } else if (key == "observe") {
+            std::string tok;
+            std::uint64_t a = 0;
+            if (!(ls >> tok) || !parseU64(tok, a))
+                return fail("bad observe address");
+            out.observed.push_back(a);
+        } else if (key == "store" || key == "load" || key == "fence" ||
+                   key == "atomic" || key == "delay") {
+            if (!cur)
+                return fail("action outside a thread block");
+            Action a;
+            if (key == "store")
+                a.kind = ActionKind::Store;
+            else if (key == "load")
+                a.kind = ActionKind::Load;
+            else if (key == "fence")
+                a.kind = ActionKind::Fence;
+            else if (key == "atomic")
+                a.kind = ActionKind::Atomic;
+            else
+                a.kind = ActionKind::Delay;
+            if (a.kind == ActionKind::Store ||
+                a.kind == ActionKind::Atomic) {
+                std::string ltok, vtok;
+                std::uint64_t l = 0, v = 0;
+                if (!(ls >> ltok >> vtok) || !parseU64(ltok, l) ||
+                    !parseU64(vtok, v) || v == 0)
+                    return fail("bad " + key + " operands");
+                a.line = static_cast<unsigned>(l);
+                a.value = v;
+            } else if (a.kind == ActionKind::Load) {
+                std::string ltok;
+                std::uint64_t l = 0;
+                if (!(ls >> ltok) || !parseU64(ltok, l))
+                    return fail("bad load operand");
+                a.line = static_cast<unsigned>(l);
+            }
+            if (a.line >= out.linesPerThread)
+                return fail("line index out of region");
+            cur->actions.push_back(a);
+        } else {
+            return fail("unknown key '" + key + "'");
+        }
+    }
+    if (cur)
+        return fail("unterminated thread block");
+    if (out.threads.empty())
+        return fail("no threads");
+    if (out.observed.empty())
+        return fail("no observed addresses");
+    error.clear();
+    return true;
+}
+
+} // namespace fuzz
+} // namespace ppa

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Random-program IR for the crash-consistency fuzzer.
+ *
+ * A FuzzSpec is a tiny multi-threaded program in a deliberately
+ * restricted shape: each thread owns a private region of cache lines
+ * and performs a sequence of actions (store, load, fence, atomic,
+ * delay) against its own region only. Threads never touch another
+ * thread's lines, so every generated program is inside the persist
+ * model's sound fragment (data-race-free, disjoint write sets) by
+ * construction — `PersistModel` can judge any crash state of it.
+ *
+ * The IR, not the lowered isa::Program, is what the shrinker edits:
+ * removing a thread or an action from a FuzzSpec yields another valid
+ * FuzzSpec, while editing lowered instruction streams would have to
+ * re-discover the dependence-chain scaffolding. Lowering reuses the
+ * litmus corpus conventions (value-carrying divide chains between
+ * actions) so that consecutive stores retire on distinct cycles and
+ * crash cuts can land between any two of them.
+ *
+ * Specs serialize to a line-oriented text format (`specText` /
+ * `parseSpecText`) used for the minimal reproducers checked into
+ * tests/fuzz/corpus/.
+ */
+
+#ifndef PPA_FUZZ_SPEC_HH
+#define PPA_FUZZ_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/litmus.hh"
+#include "isa/program.hh"
+
+namespace ppa
+{
+namespace fuzz
+{
+
+/** What one step of a fuzzed thread does to its own region. */
+enum class ActionKind : std::uint8_t
+{
+    Store,  ///< chained store of `value` to line `line`
+    Load,   ///< load from line `line` (own region, DRF-safe)
+    Fence,  ///< epoch/region boundary
+    Atomic, ///< amoadd of `value` to line `line` (sync boundary)
+    Delay,  ///< one 20-cycle divide on the retire-spacing chain
+};
+
+/** Token for @p kind in the reproducer text format. */
+const char *actionKindName(ActionKind kind);
+
+struct Action
+{
+    ActionKind kind = ActionKind::Store;
+    unsigned line = 0; ///< line index within the thread's region
+    Word value = 0;    ///< store/atomic data; >= 1, unique per thread
+};
+
+/** One thread: a private base address plus its action sequence. */
+struct ThreadSpec
+{
+    Addr base = 0;
+    std::vector<Action> actions;
+};
+
+/**
+ * A complete fuzzed program. Observed addresses are absolute so that
+ * removing a thread during shrinking never re-labels the outcome
+ * vector of the remaining ones.
+ */
+struct FuzzSpec
+{
+    std::string name;
+    std::vector<ThreadSpec> threads;
+    std::vector<Addr> observed;
+    unsigned linesPerThread = 4;
+};
+
+/** Generator tuning knobs; defaults match the campaign driver. */
+struct GeneratorConfig
+{
+    unsigned minThreads = 1;
+    unsigned maxThreads = 3;
+    /** Actions per thread (inclusive range). */
+    unsigned minActions = 3;
+    unsigned maxActions = 12;
+    /** Region size: lines a thread may touch (line = 256 B). */
+    unsigned linesPerThread = 4;
+    /** Per-action kind weights; renormalized internally. */
+    double storeWeight = 0.50;
+    double loadWeight = 0.08;
+    double fenceWeight = 0.14;
+    double atomicWeight = 0.08;
+    double delayWeight = 0.20;
+    /** Chance a store opens a back-to-back burst (CSQ/WPQ pressure). */
+    double burstChance = 0.25;
+    unsigned burstMax = 6;
+    /** Cap on observed addresses per program. */
+    unsigned maxObserved = 4;
+};
+
+/**
+ * Deterministically generate program @p index of a campaign seeded
+ * with @p seed. The draw depends only on (cfg, seed, index) — never
+ * on previously generated programs — so any program of a campaign
+ * can be regenerated in isolation.
+ */
+FuzzSpec generateSpec(const GeneratorConfig &cfg, std::uint64_t seed,
+                      std::uint64_t index);
+
+/**
+ * Lower @p spec to a litmus test runnable by the check engine. Uses
+ * the corpus register conventions: stores hang off a value-preserving
+ * divide chain so each one retires on its own cycle.
+ */
+check::LitmusTest lowerSpec(const FuzzSpec &spec);
+
+/** Serialize @p spec in the reproducer text format. */
+std::string specText(const FuzzSpec &spec);
+
+/**
+ * Parse the text format back into @p out.
+ * @return false with a diagnostic in @p error on malformed input.
+ */
+bool parseSpecText(const std::string &text, FuzzSpec &out,
+                   std::string &error);
+
+} // namespace fuzz
+} // namespace ppa
+
+#endif // PPA_FUZZ_SPEC_HH

@@ -1,6 +1,8 @@
 #include "trace/reader.hh"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -35,6 +37,33 @@ payloadBytes(const std::vector<std::uint8_t> &image,
 {
     std::size_t footer_bytes = 16 + 8 * footer.blockOffsets.size();
     return image.size() - shardHeaderBytes - footer_bytes;
+}
+
+/**
+ * Strict hex parse of a manifest CRC field. Unlike std::stoul this
+ * never throws: empty input, non-hex characters, trailing garbage,
+ * and values past 32 bits all return false — a corrupt manifest must
+ * surface as a diagnostic, not an uncaught exception.
+ */
+bool
+parseHexCrc(const std::string &text, std::uint32_t &out)
+{
+    if (text.empty())
+        return false;
+    for (char ch : text) {
+        bool hex = (ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f') ||
+                   (ch >= 'A' && ch <= 'F');
+        if (!hex)
+            return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 16);
+    if (errno == ERANGE || end != text.c_str() + text.size() ||
+        v > 0xFFFFFFFFull)
+        return false;
+    out = static_cast<std::uint32_t>(v);
+    return true;
 }
 
 /** Instructions in block @p b of a shard with @p header. */
@@ -104,8 +133,9 @@ TraceSet::load(const std::string &dir_, std::string &error)
                 crcHex;
             if (!ls)
                 return failLoad("malformed shard line: '" + line + "'");
-            s.crc32 = static_cast<std::uint32_t>(
-                std::stoul(crcHex, nullptr, 16));
+            if (!parseHexCrc(crcHex, s.crc32))
+                return failLoad("shard line has a malformed crc32 "
+                                "field '" + crcHex + "'");
             shards.push_back(std::move(s));
             continue; // shard lines carry >1 token; skip the check below
         } else if (key == "end") {

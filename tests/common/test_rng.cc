@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -86,6 +87,61 @@ TEST(Rng, GeometricOfSmallMeanIsOne)
     Rng r(19);
     EXPECT_EQ(r.geometric(0.5), 1u);
     EXPECT_EQ(r.geometric(1.0), 1u);
+}
+
+TEST(Rng, GeometricLargeMeanIsUntruncated)
+{
+    // The old rejection-loop implementation silently capped every
+    // draw at 100000, biasing the sample mean of a mean-100000
+    // geometric down to ~63000. The closed-form draw must hit the
+    // requested mean and produce tail values past the old cap.
+    Rng r(41);
+    const int n = 2000;
+    double sum = 0.0;
+    std::uint64_t max_draw = 0;
+    for (int i = 0; i < n; ++i) {
+        std::uint64_t v = r.geometric(100000.0);
+        sum += static_cast<double>(v);
+        max_draw = std::max(max_draw, v);
+    }
+    EXPECT_NEAR(sum / n, 100000.0, 10000.0);
+    EXPECT_GT(max_draw, 100000u);
+}
+
+TEST(Rng, GeometricDeterministicForSameSeed)
+{
+    Rng a(43), b(43);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.geometric(7.0), b.geometric(7.0));
+}
+
+TEST(Rng, GeometricConsumesExactlyOneDraw)
+{
+    // The inverse-CDF draw costs one raw next() regardless of the
+    // mean, so a geometric call keeps two same-seed generators in
+    // lockstep with a single next() on the other.
+    Rng a(47), b(47);
+    a.geometric(1000.0);
+    b.next();
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(a.next(), b.next()) << "draw " << i;
+}
+
+TEST(Rng, GeometricStateRoundTrip)
+{
+    // setState must reproduce the *geometric* stream bitwise, not
+    // just the raw one.
+    Rng r(53);
+    for (int i = 0; i < 77; ++i)
+        r.geometric(16.0);
+    auto saved = r.getState();
+    std::vector<std::uint64_t> ref;
+    for (int i = 0; i < 128; ++i)
+        ref.push_back(r.geometric(16.0));
+    Rng other(0xFEEDFACE);
+    other.setState(saved);
+    for (int i = 0; i < 128; ++i)
+        EXPECT_EQ(other.geometric(16.0), ref[i]) << "draw " << i;
 }
 
 TEST(Rng, GetStateDoesNotAdvanceStream)

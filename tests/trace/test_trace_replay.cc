@@ -207,6 +207,109 @@ TEST(TraceReplay, VerifyDetectsCorruptionTruncationAndMissingShard)
     EXPECT_TRUE(trace::verifyTrace(dir).ok);
 }
 
+TEST(TraceReplay, LoadRejectsCorruptManifestGracefully)
+{
+    // The fuzzer records every violating run, so manifest-parsing is a
+    // load-bearing garbage-in path: every corruption must come back as
+    // a clean load failure with a diagnostic, never a throw or abort.
+    const std::string dir = scratchDir("manifest");
+    const auto &p = profileByName("gcc");
+    trace::CaptureSpec spec;
+    spec.seed = 3;
+    spec.instsPerThread = 1000;
+    trace::recordWorkloadTrace(dir, p, spec);
+
+    const fs::path manifest = fs::path(dir) / trace::manifestFileName;
+    std::string original;
+    {
+        std::ifstream in(manifest);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        original = ss.str();
+    }
+
+    auto writeManifest = [&](const std::string &text) {
+        std::ofstream out(manifest, std::ios::trunc);
+        out << text;
+    };
+    auto expectLoadFails = [&](const std::string &text,
+                               const std::string &needle) {
+        writeManifest(text);
+        trace::TraceSet set;
+        std::string error;
+        EXPECT_FALSE(set.load(dir, error)) << text;
+        EXPECT_NE(error.find(needle), std::string::npos) << error;
+    };
+
+    // Garbage in the crc32 hex field (used to throw std::invalid_argument
+    // out of std::stoul and abort the process).
+    auto corruptCrc = [&](const std::string &repl) {
+        std::string text = original;
+        auto at = text.find("shard ");
+        EXPECT_NE(at, std::string::npos);
+        auto eol = text.find('\n', at);
+        auto sp = text.rfind(' ', eol);
+        return text.substr(0, sp + 1) + repl + text.substr(eol);
+    };
+    expectLoadFails(corruptCrc("nothex!"), "crc32");
+    expectLoadFails(corruptCrc(""), "malformed");
+    // Overflow past 32 bits must be rejected, not silently truncated.
+    expectLoadFails(corruptCrc("1ffffffff"), "crc32");
+
+    // Zero-length manifest and truncated manifest (no 'end' sentinel).
+    expectLoadFails("", "header");
+    auto endAt = original.rfind("end");
+    ASSERT_NE(endAt, std::string::npos);
+    expectLoadFails(original.substr(0, endAt), "end");
+
+    // The pristine text still loads.
+    writeManifest(original);
+    trace::TraceSet set;
+    std::string error;
+    EXPECT_TRUE(set.load(dir, error)) << error;
+}
+
+TEST(TraceReplay, VerifyRejectsZeroLengthAndCorruptFooterShard)
+{
+    const std::string dir = scratchDir("zerolen");
+    const auto &p = profileByName("gcc");
+    trace::CaptureSpec spec;
+    spec.seed = 3;
+    spec.instsPerThread = 1000;
+    trace::recordWorkloadTrace(dir, p, spec);
+    ASSERT_TRUE(trace::verifyTrace(dir).ok);
+
+    const fs::path shard = fs::path(dir) / trace::shardFileName(0, 0);
+    std::vector<char> original(fs::file_size(shard));
+    {
+        std::ifstream in(shard, std::ios::binary);
+        in.read(original.data(),
+                static_cast<std::streamsize>(original.size()));
+    }
+    auto writeShard = [&](const std::vector<char> &bytes) {
+        std::ofstream out(shard, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    };
+
+    // A zero-length shard file must verify-fail cleanly.
+    writeShard({});
+    auto res = trace::verifyTrace(dir);
+    EXPECT_FALSE(res.ok);
+    EXPECT_FALSE(res.errors.empty());
+
+    // A corrupted footer magic must be a structural error.
+    auto corrupt = original;
+    corrupt[corrupt.size() - 1] ^= 0xFF;
+    writeShard(corrupt);
+    res = trace::verifyTrace(dir);
+    EXPECT_FALSE(res.ok);
+    EXPECT_FALSE(res.errors.empty());
+
+    writeShard(original);
+    EXPECT_TRUE(trace::verifyTrace(dir).ok);
+}
+
 TEST(TraceReplay, RunStatsBitwiseIdenticalToDirectRun)
 {
     const std::string dir = scratchDir("runstats");

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Argument-validation conformance test for ppa_cli.
+
+Drives the binary with malformed or out-of-range arguments and asserts
+each invocation exits nonzero with a diagnostic that names the
+offending flag. This pins the CLI's error contract: garbage numerics
+must never be silently coerced (the old ``std::stoul``-based parsing
+accepted ``12x`` as 12 and aborted on ``abc``), zero must be rejected
+where a count is structurally positive, and every rejection must point
+the user at ``--help``.
+
+Stdlib only; no third-party packages. Usage:
+
+    python3 tools/cli_errors_test.py --cli build/tools/ppa_cli
+
+Exit status 0 when every case rejects as specified, 1 otherwise.
+"""
+
+import argparse
+import subprocess
+import sys
+
+# (argv suffix, required diagnostic substring). Every case must exit
+# nonzero and print the substring on stdout or stderr.
+CASES = [
+    # fuzz campaign numerics: zero and garbage.
+    (["fuzz", "run", "--programs", "0"], "--programs must be positive"),
+    (["fuzz", "run", "--programs", "abc"],
+     "--programs wants an unsigned integer"),
+    (["fuzz", "run", "--schedules", "0"], "--schedules must be positive"),
+    (["fuzz", "run", "--seed", "12x"], "--seed wants an unsigned integer"),
+    (["fuzz", "run", "--max-findings", "zz"],
+     "--max-findings wants an unsigned integer"),
+    # trailing garbage and negatives must not be coerced.
+    (["run", "--app", "gcc", "--fail-at-cycle", "0"],
+     "--fail-at-cycle must be positive"),
+    (["run", "--app", "gcc", "--fail-at-cycle", "-5"],
+     "--fail-at-cycle wants an unsigned integer"),
+    (["run", "--app", "gcc", "--fail-at-cycle", "10garbage"],
+     "--fail-at-cycle wants an unsigned integer"),
+    # --tp-fail SEGMENT:CYCLE: each half validated, colon required.
+    (["run", "--app", "gcc", "--time-parallel", "2",
+      "--tp-fail", "2:x"], "--tp-fail cycle wants an unsigned integer"),
+    (["run", "--app", "gcc", "--time-parallel", "2",
+      "--tp-fail", "y:100"],
+     "--tp-fail segment wants an unsigned integer"),
+    (["run", "--app", "gcc", "--time-parallel", "2",
+      "--tp-fail", "nope"], "--tp-fail wants SEGMENT:CYCLE"),
+    (["run", "--app", "gcc", "--time-parallel", "2",
+      "--tp-fail", "2:0"], "--tp-fail cycle must be positive"),
+    # litmus numerics share the same parser.
+    (["litmus", "run", "--schedules", "0"], "--schedules must be positive"),
+    (["litmus", "run", "--seed", ""], "--seed wants an unsigned integer"),
+    # structural errors: unknown verbs, unreadable reproducers.
+    (["fuzz", "bogus"], "unknown fuzz subcommand"),
+    (["fuzz", "repro", "/nonexistent/ppa-fuzz-missing.litmus"],
+     "cannot open"),
+]
+
+
+def run_case(cli, argv, needle):
+    proc = subprocess.run(
+        [cli] + argv,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        timeout=60,
+    )
+    if proc.returncode == 0:
+        return f"{' '.join(argv)}: expected nonzero exit, got 0"
+    if needle not in proc.stdout:
+        head = proc.stdout.splitlines()[:2]
+        return (
+            f"{' '.join(argv)}: diagnostic missing {needle!r} "
+            f"(got {head})"
+        )
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--cli", required=True, help="path to ppa_cli")
+    args = ap.parse_args()
+
+    problems = []
+    for argv, needle in CASES:
+        err = run_case(args.cli, argv, needle)
+        if err:
+            problems.append(err)
+
+    for p in problems:
+        print(f"cli_errors_test: {p}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"cli_errors_test: OK — {len(CASES)} malformed invocations "
+          "all rejected with diagnostics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

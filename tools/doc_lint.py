@@ -36,6 +36,7 @@ DOC_FILES = [
     "ROADMAP.md",
     "docs/ARCHITECTURE.md",
     "docs/CHECKING.md",
+    "docs/FUZZING.md",
     "docs/INTERNALS.md",
     "docs/METRICS.md",
     "docs/PERF.md",

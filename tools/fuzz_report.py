@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Aggregate fuzz campaign JSON into a per-variant table.
+
+Consumes one or more ``fuzz_*.json`` documents produced by
+``ppa_cli fuzz run --json`` (schemaVersion 1) and renders a
+per-variant campaign summary: programs generated, crash points
+explored, own-flavor violations, strict-model divergences, skipped
+programs, findings (with shrink and replay statistics), and an
+overall verdict. The verdict logic mirrors the CLI's:
+
+* a campaign FAILS on any own-flavor violation, or when a recorded
+  finding's trace replay did not reconfirm the observation;
+* ``--expect-divergence VARIANT`` additionally fails when the named
+  variant reported zero strict-model divergences — for memory-mode
+  that would mean the fuzzer lost its ability to expose the
+  persistency gap the strict model forbids.
+
+Stdlib only; no third-party packages. Usage:
+
+    python3 tools/fuzz_report.py results/fuzz_*.json \
+        [--expect-divergence memory-mode]
+
+Exit status 0 when every verdict passes, 1 with a report otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"fuzz_report: cannot read {path}: {exc}")
+    if doc.get("schemaVersion") != 1:
+        sys.exit(
+            f"fuzz_report: {path}: unsupported schemaVersion "
+            f"{doc.get('schemaVersion')!r}"
+        )
+    for key in ("variant", "flavor", "seed", "programs", "findings"):
+        if key not in doc:
+            sys.exit(f"fuzz_report: {path}: missing key {key!r}")
+    return doc
+
+
+def summarize(doc):
+    findings = doc["findings"]
+    row = {
+        "variant": doc["variant"],
+        "flavor": doc["flavor"],
+        "seed": doc["seed"],
+        "programs": doc["programs"],
+        "crashes": doc.get("crashPoints", 0),
+        "violations": doc.get("violations", 0),
+        "strict_div": doc.get("strictDivergences", 0),
+        "skipped": doc.get("skipped", 0),
+        "findings": len(findings),
+        "shrink_steps": sum(f.get("shrinkSteps", 0) for f in findings),
+        "budget_exhausted": sum(
+            1 for f in findings if f.get("shrinkBudgetExhausted")
+        ),
+        "replay_failed": [
+            f["program"]
+            for f in findings
+            if f.get("replayAttempted") and not f.get("replayConfirmed")
+        ],
+        "pass": bool(doc.get("pass")),
+    }
+    row["pass"] = row["pass"] and not row["replay_failed"]
+    return row
+
+
+def render(rows):
+    headers = [
+        "variant", "flavor", "seed", "programs", "crashes",
+        "violations", "strict-div", "skipped", "findings",
+        "shrink-steps", "verdict",
+    ]
+    cells = [
+        [
+            r["variant"], r["flavor"], str(r["seed"]),
+            str(r["programs"]), str(r["crashes"]),
+            str(r["violations"]), str(r["strict_div"]),
+            str(r["skipped"]), str(r["findings"]),
+            str(r["shrink_steps"]),
+            "pass" if r["pass"] else "FAIL",
+        ]
+        for r in rows
+    ]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |",
+        "|-" + "-|-".join("-" * w for w in widths) + "-|",
+    ]
+    for row in cells:
+        lines.append(
+            "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+        )
+    return "\n".join(lines)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", help="fuzz_*.json documents")
+    ap.add_argument(
+        "--expect-divergence",
+        metavar="VARIANT",
+        action="append",
+        default=[],
+        help="fail unless VARIANT reported >0 strict-model divergences",
+    )
+    args = ap.parse_args()
+
+    rows = [summarize(load(path)) for path in args.files]
+    print(render(rows))
+
+    problems = []
+    for row in rows:
+        if row["violations"]:
+            problems.append(
+                f"{row['variant']}: {row['violations']} own-flavor "
+                f"violation(s) under {row['flavor']}"
+            )
+        for name in row["replay_failed"]:
+            problems.append(
+                f"{row['variant']}: finding {name} failed trace replay"
+            )
+        if row["budget_exhausted"]:
+            problems.append(
+                f"{row['variant']}: {row['budget_exhausted']} finding(s) "
+                "hit the shrink budget (reproducers may not be minimal)"
+            )
+        if not row["pass"]:
+            problems.append(f"{row['variant']}: campaign verdict FAIL")
+    seen = {row["variant"]: row for row in rows}
+    for variant in args.expect_divergence:
+        if variant not in seen:
+            problems.append(f"no results for variant {variant}")
+        elif seen[variant]["strict_div"] == 0:
+            problems.append(
+                f"{variant}: expected strict-model divergences, saw none"
+            )
+        elif seen[variant]["findings"] == 0:
+            problems.append(
+                f"{variant}: strict divergences but no shrunk findings"
+            )
+
+    # Deduplicate: a FAIL verdict usually co-occurs with its cause.
+    uniq = list(dict.fromkeys(problems))
+    for p in uniq:
+        print(f"fuzz_report: {p}", file=sys.stderr)
+    if uniq:
+        return 1
+    total = sum(r["crashes"] for r in rows)
+    print(
+        f"fuzz_report: OK — {len(rows)} variant(s), "
+        f"{total} crash points, all campaign verdicts pass"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,8 @@
 
 #include "check/litmus.hh"
 #include "common/table.hh"
+#include "fuzz/campaign.hh"
+#include "fuzz/shrink.hh"
 #include "obs/telemetry.hh"
 #include "obs/trace_export.hh"
 #include "sim/driver.hh"
@@ -260,12 +262,44 @@ usageLitmus()
 }
 
 void
+usageFuzz()
+{
+    std::printf(
+        "subcommand: fuzz — crash-consistency fuzzing campaign "
+        "(docs/FUZZING.md)\n"
+        "  ppa_cli fuzz run [options]   generate programs, crash them, "
+        "judge, shrink\n"
+        "  ppa_cli fuzz repro FILE      re-judge a minimal reproducer "
+        "file\n"
+        "  --variant V         variant to crash-observe (default: "
+        "ppa)\n"
+        "  --programs N        generated programs per campaign "
+        "(default 200)\n"
+        "  --schedules N       biased crash points per program "
+        "(default 16)\n"
+        "  --seed N            campaign seed; results are bitwise "
+        "reproducible from it (default 1)\n"
+        "  --max-findings N    offending programs to record, replay, "
+        "and shrink (default 4)\n"
+        "  --corpus-out DIR    write minimal reproducers here as "
+        ".litmus files\n"
+        "  --trace-out DIR     record findings as traces here and "
+        "confirm them by replay\n"
+        "  --json FILE         write the campaign verdict as JSON "
+        "(tools/fuzz_report.py aggregates)\n"
+        "  --expect-divergence fail unless the campaign found at "
+        "least one strict-forbidden state\n"
+        "  --check-minimal     repro: also verify the reproducer is "
+        "1-minimal\n");
+}
+
+void
 usage()
 {
     std::printf(
         "usage: ppa_cli [SUBCOMMAND] [options]\n"
         "subcommands: run (default), sweep, bench, trace, profile, "
-        "litmus\n"
+        "litmus, fuzz\n"
         "flags are grouped by the subcommand they belong to:\n"
         "\n");
     usageRun();
@@ -279,6 +313,8 @@ usage()
     usageBench();
     std::printf("\n");
     usageLitmus();
+    std::printf("\n");
+    usageFuzz();
 }
 
 SystemVariant
@@ -287,6 +323,45 @@ parseVariant(const std::string &name)
     SystemVariant v;
     if (!variantFromToken(name, v)) {
         std::fprintf(stderr, "unknown variant '%s'\n", name.c_str());
+        std::exit(1);
+    }
+    return v;
+}
+
+/**
+ * Strict decimal parse for flag values: the whole token must be
+ * digits and fit 64 bits. strtoull's permissiveness (empty strings,
+ * trailing garbage, silent wraparound) would turn a typo into a
+ * quietly misconfigured run.
+ */
+std::uint64_t
+parseCount(const char *flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (*text == '\0' || *end != '\0' || errno == ERANGE ||
+        *text == '-' || *text == '+') {
+        std::fprintf(stderr,
+                     "%s wants an unsigned integer, got '%s' (see "
+                     "ppa_cli --help)\n",
+                     flag, text);
+        std::exit(1);
+    }
+    return v;
+}
+
+/** Like parseCount, but zero is rejected too (a vacuous campaign or
+ *  schedule count silently tests nothing). */
+std::uint64_t
+parsePositiveCount(const char *flag, const char *text)
+{
+    std::uint64_t v = parseCount(flag, text);
+    if (v == 0) {
+        std::fprintf(stderr,
+                     "%s must be positive, got '%s' (see ppa_cli "
+                     "--help)\n",
+                     flag, text);
         std::exit(1);
     }
     return v;
@@ -1344,9 +1419,9 @@ litmusMain(int argc, char **argv)
             opts.variant = parseVariant(next());
         } else if (arg == "--schedules") {
             opts.schedules = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 10));
+                parsePositiveCount("--schedules", next()));
         } else if (arg == "--seed") {
-            opts.seed = std::strtoull(next(), nullptr, 10);
+            opts.seed = parseCount("--seed", next());
         } else if (arg == "--json") {
             jsonPath = next();
         } else if (arg == "--expect-divergence") {
@@ -1456,6 +1531,210 @@ litmusMain(int argc, char **argv)
     return allPass ? 0 : 1;
 }
 
+int
+fuzzReproMain(int argc, char **argv)
+{
+    std::string file;
+    bool checkMinimal = false;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--check-minimal")
+            checkMinimal = true;
+        else if (arg == "--help" || arg == "-h") {
+            usageFuzz();
+            return 0;
+        } else if (!arg.empty() && arg[0] != '-' && file.empty())
+            file = arg;
+        else {
+            std::fprintf(stderr, "unknown fuzz repro option '%s'\n",
+                         arg.c_str());
+            usageFuzz();
+            return 1;
+        }
+    }
+    if (file.empty()) {
+        std::fprintf(stderr, "fuzz repro: name a reproducer file\n");
+        usageFuzz();
+        return 1;
+    }
+
+    std::string text;
+    if (!metrics::readFile(file, text))
+        return 1;
+    fuzz::Violation v;
+    std::string error;
+    if (!fuzz::parseReproducerText(text, v, error)) {
+        std::fprintf(stderr, "%s: %s\n", file.c_str(), error.c_str());
+        return 1;
+    }
+
+    fuzz::ShrinkLimits limits;
+    std::uint64_t judged = 0;
+    fuzz::Violation found;
+    if (!fuzz::findEarliestViolation(v.spec, v.variant, v.flavor,
+                                     limits, judged, found)) {
+        std::printf("%s: FAIL — no crash cycle violates %s on %s "
+                    "anymore (%llu crash sims)\n",
+                    file.c_str(), check::flavorName(v.flavor),
+                    variantToken(v.variant),
+                    static_cast<unsigned long long>(judged));
+        return 1;
+    }
+    std::printf("%s: violation confirmed on %s under %s at cycle %llu"
+                " (recorded %llu)\n",
+                file.c_str(), variantToken(v.variant),
+                check::flavorName(v.flavor),
+                static_cast<unsigned long long>(found.cycle),
+                static_cast<unsigned long long>(v.cycle));
+    if (checkMinimal) {
+        if (!fuzz::isOneMinimal(found, limits, judged)) {
+            std::printf("%s: FAIL — a 1-step reduction still "
+                        "violates; reproducer is not minimal\n",
+                        file.c_str());
+            return 1;
+        }
+        std::printf("%s: 1-minimal (every further reduction passes; "
+                    "%llu crash sims)\n",
+                    file.c_str(),
+                    static_cast<unsigned long long>(judged));
+    }
+    return 0;
+}
+
+int
+fuzzMain(int argc, char **argv)
+{
+    if (argc < 1) {
+        usageFuzz();
+        return 1;
+    }
+    std::string verb = argv[0];
+    if (verb == "--help" || verb == "-h") {
+        usageFuzz();
+        return 0;
+    }
+    if (verb == "repro")
+        return fuzzReproMain(argc - 1, argv + 1);
+    if (verb != "run") {
+        std::fprintf(stderr, "unknown fuzz subcommand '%s'\n",
+                     verb.c_str());
+        usageFuzz();
+        return 1;
+    }
+
+    fuzz::CampaignOptions opts;
+    opts.programs = 200;
+    opts.schedules = 16;
+    opts.seed = 1;
+    bool expectDivergence = false;
+    std::string jsonPath;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--variant") {
+            opts.variant = parseVariant(next());
+        } else if (arg == "--programs") {
+            opts.programs = parsePositiveCount("--programs", next());
+        } else if (arg == "--schedules") {
+            opts.schedules = static_cast<unsigned>(
+                parsePositiveCount("--schedules", next()));
+        } else if (arg == "--seed") {
+            opts.seed = parseCount("--seed", next());
+        } else if (arg == "--max-findings") {
+            opts.maxFindings = static_cast<unsigned>(
+                parseCount("--max-findings", next()));
+        } else if (arg == "--corpus-out") {
+            opts.corpusDir = next();
+        } else if (arg == "--trace-out") {
+            opts.traceDir = next();
+        } else if (arg == "--json") {
+            jsonPath = next();
+        } else if (arg == "--expect-divergence") {
+            expectDivergence = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usageFuzz();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown fuzz option '%s'\n",
+                         arg.c_str());
+            usageFuzz();
+            return 1;
+        }
+    }
+
+    std::string why;
+    if (!check::variantSupportsLitmus(opts.variant, &why)) {
+        std::fprintf(stderr, "fuzz: variant '%s' unsupported: %s\n",
+                     variantToken(opts.variant), why.c_str());
+        return 1;
+    }
+
+    std::printf("fuzz run: %llu program(s) x %u crash point(s), "
+                "variant %s (flavor %s), seed %llu\n",
+                static_cast<unsigned long long>(opts.programs),
+                opts.schedules, variantToken(opts.variant),
+                check::flavorName(check::flavorForVariant(opts.variant)),
+                static_cast<unsigned long long>(opts.seed));
+
+    fuzz::CampaignResult res = fuzz::runCampaign(opts);
+
+    TextTable t({"programs", "crashes", "violations", "strict-div",
+                 "skipped", "findings", "verdict"});
+    t.addRow({std::to_string(res.programs),
+              std::to_string(res.crashPoints),
+              std::to_string(res.violations),
+              std::to_string(res.strictDivergences),
+              std::to_string(res.skipped),
+              std::to_string(res.findings.size()),
+              res.pass() ? "pass" : "FAIL"});
+    std::printf("%s", t.render().c_str());
+    for (const fuzz::CampaignFinding &f : res.findings) {
+        std::printf("%s: %s; shrunk %u->%u threads, %llu->%llu "
+                    "actions, cycle %llu (%u steps)%s%s\n",
+                    f.program.c_str(), f.detail.c_str(),
+                    f.threadsBefore, f.threadsAfter,
+                    static_cast<unsigned long long>(f.actionsBefore),
+                    static_cast<unsigned long long>(f.actionsAfter),
+                    static_cast<unsigned long long>(f.shrunkCycle),
+                    f.shrinkSteps,
+                    f.replayAttempted
+                        ? (f.replayConfirmed ? "; replay confirmed"
+                                             : "; REPLAY DIVERGED")
+                        : "",
+                    f.reproducerFile.empty()
+                        ? ""
+                        : ("; wrote " + f.reproducerFile).c_str());
+    }
+    for (const std::string &n : res.notes)
+        std::printf("note: %s\n", n.c_str());
+
+    if (!jsonPath.empty()) {
+        if (!metrics::writeFile(jsonPath, fuzz::campaignJson(res, opts)))
+            return 1;
+        std::printf("wrote %s\n", jsonPath.c_str());
+    }
+
+    bool ok = res.pass();
+    for (const fuzz::CampaignFinding &f : res.findings)
+        if (f.replayAttempted && !f.replayConfirmed)
+            ok = false;
+    if (expectDivergence && res.strictDivergences == 0) {
+        std::printf("FAIL: expected at least one strict-forbidden "
+                    "state, observed none\n");
+        ok = false;
+    }
+    std::printf("%s\n", ok ? "fuzz: campaign verdict pass"
+                           : "fuzz: FAILURES above");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -1471,6 +1750,8 @@ main(int argc, char **argv)
         return profileMain(argc - 2, argv + 2);
     if (argc > 1 && std::strcmp(argv[1], "litmus") == 0)
         return litmusMain(argc - 2, argv + 2);
+    if (argc > 1 && std::strcmp(argv[1], "fuzz") == 0)
+        return fuzzMain(argc - 2, argv + 2);
     // An explicit "run" selects the default mode.
     int shift = argc > 1 && std::strcmp(argv[1], "run") == 0 ? 1 : 0;
     argc -= shift;
@@ -1544,7 +1825,7 @@ main(int argc, char **argv)
             knobs.audit = true;
         } else if (arg == "--fail-at-cycle") {
             knobs.failAtCycles.push_back(
-                std::strtoull(next(), nullptr, 10));
+                parsePositiveCount("--fail-at-cycle", next()));
         } else if (arg == "--trace") {
             knobs.traceDir = next();
         } else if (arg == "--time-parallel") {
@@ -1559,19 +1840,20 @@ main(int argc, char **argv)
             knobs.tpWorkers = static_cast<unsigned>(
                 std::strtoul(next(), nullptr, 10));
         } else if (arg == "--tp-fail") {
-            const char *spec = next();
-            char *colon = nullptr;
-            ExperimentKnobs::SegmentFailure f;
-            f.segment = static_cast<unsigned>(
-                std::strtoul(spec, &colon, 10));
-            if (!colon || *colon != ':') {
+            const std::string spec = next();
+            auto colon = spec.find(':');
+            if (colon == std::string::npos) {
                 std::fprintf(stderr,
                              "--tp-fail wants SEGMENT:CYCLE, got "
                              "'%s'\n",
-                             spec);
+                             spec.c_str());
                 return 1;
             }
-            f.cycle = std::strtoull(colon + 1, nullptr, 10);
+            ExperimentKnobs::SegmentFailure f;
+            f.segment = static_cast<unsigned>(parseCount(
+                "--tp-fail segment", spec.substr(0, colon).c_str()));
+            f.cycle = parsePositiveCount(
+                "--tp-fail cycle", spec.substr(colon + 1).c_str());
             knobs.tpFailAt.push_back(f);
         } else if (arg == "--telemetry") {
             knobs.telemetry = true;
