@@ -1,0 +1,159 @@
+#include "baselines/durability.hh"
+
+#include "common/logging.hh"
+
+namespace ppa
+{
+
+namespace
+{
+
+/** Is @p inst the transaction-ending store to the publish word? */
+bool
+isPublish(const DynInst &inst, const DurabilityParams &cfg)
+{
+    return inst.isStore() &&
+           inst.memAddr == MemImage::wordAlign(cfg.publishAddr);
+}
+
+DynInst
+makeClwb(const DynInst &after, Addr addr)
+{
+    DynInst clwb;
+    clwb.index = after.index;
+    clwb.op = Opcode::Clwb;
+    clwb.memAddr = MemImage::wordAlign(addr);
+    return clwb;
+}
+
+DynInst
+makeFence(const DynInst &at)
+{
+    DynInst fence;
+    fence.index = at.index;
+    fence.op = Opcode::Fence;
+    return fence;
+}
+
+/**
+ * A copy of store @p s redirected to @p addr: same opcode and data
+ * register (the core re-executes real dataflow, so the copy persists
+ * the same value), new effective address.
+ */
+DynInst
+redirectStore(const DynInst &s, Addr addr)
+{
+    DynInst copy = s;
+    copy.memAddr = MemImage::wordAlign(addr);
+    return copy;
+}
+
+} // namespace
+
+UndoRedoLogTransform::UndoRedoLogTransform(DynInstSource &inner,
+                                           const DurabilityParams &p)
+    : src(inner), cfg(p)
+{
+    PPA_ASSERT(cfg.logWords && (cfg.logWords & (cfg.logWords - 1)) == 0,
+               "log ring size must be a power of two, got ",
+               cfg.logWords);
+}
+
+bool
+UndoRedoLogTransform::next(DynInst &out)
+{
+    if (!pending.empty()) {
+        out = pending.front();
+        pending.pop_front();
+        return true;
+    }
+
+    DynInst inst;
+    if (!src.next(inst))
+        return false;
+
+    if (isPublish(inst, cfg)) {
+        // Commit point: fence (log durable), publish, commit record,
+        // clwb of the record, fence (record durable).
+        out = makeFence(inst);
+        pending.push_back(inst);
+        DynInst record = redirectStore(inst, cfg.commitAddr);
+        pending.push_back(record);
+        pending.push_back(makeClwb(inst, cfg.commitAddr));
+        pending.push_back(makeFence(inst));
+        fenceCount += 2;
+        ++clwbCount;
+        ++txnCount;
+        txnStores = 0;
+        return true;
+    }
+
+    out = inst;
+    if (inst.isStore()) {
+        // Shadow the store into the log ring and write the line back.
+        Addr slot = cfg.logBase + (logCursor & (cfg.logWords - 1)) * 8;
+        ++logCursor;
+        pending.push_back(redirectStore(inst, slot));
+        pending.push_back(makeClwb(inst, slot));
+        ++logStoreCount;
+        ++clwbCount;
+        ++txnStores;
+    }
+    return true;
+}
+
+void
+UndoRedoLogTransform::seekTo(std::uint64_t index)
+{
+    pending.clear();
+    txnStores = 0;
+    src.seekTo(index);
+}
+
+DelayFreeTransform::DelayFreeTransform(DynInstSource &inner,
+                                       const DurabilityParams &p)
+    : src(inner), cfg(p)
+{
+}
+
+bool
+DelayFreeTransform::next(DynInst &out)
+{
+    if (!pending.empty()) {
+        out = pending.front();
+        pending.pop_front();
+        return true;
+    }
+
+    DynInst inst;
+    if (!src.next(inst))
+        return false;
+
+    if (isPublish(inst, cfg)) {
+        // Publish barrier: all prior writebacks acknowledged, then the
+        // publish store and its (asynchronous) writeback.
+        out = makeFence(inst);
+        pending.push_back(inst);
+        pending.push_back(makeClwb(inst, inst.memAddr));
+        ++fenceCount;
+        ++clwbCount;
+        ++txnCount;
+        return true;
+    }
+
+    out = inst;
+    if (inst.isStore()) {
+        pending.push_back(makeClwb(inst, inst.memAddr));
+        ++clwbCount;
+    }
+    return true;
+}
+
+void
+DelayFreeTransform::seekTo(std::uint64_t index)
+{
+    pending.clear();
+    src.seekTo(index);
+}
+
+} // namespace ppa

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Software-durability baselines for the serving study (docs/SERVING.md).
+ *
+ * Two committed-stream transformations in the mold of the ReplayCache
+ * baseline, modeling what software must add per transaction to obtain
+ * failure atomicity on an eADR-less persistent-memory system:
+ *
+ *  - UndoRedoLogTransform: a logging software transaction a la
+ *    *Persistent Memory Transactions* [Marathe et al.]: every data
+ *    store is shadowed by a log-ring store plus a clwb of the log
+ *    line; the transaction commit point is a fence (log durable), a
+ *    commit-record store, a clwb of the commit record, and a second
+ *    fence. Recovery can redo committed transactions from the log, so
+ *    the durable frontier is the last persisted commit record.
+ *
+ *  - DelayFreeTransform: a flush-on-publish scheme a la *Delay-Free
+ *    Concurrency on Faulty Persistent Memory* [Ben-David et al.]:
+ *    every data store is followed by a clwb of its line, and a single
+ *    fence precedes the publish store so that a published value is
+ *    never observable before the data it advertises is durable. No
+ *    log and no post-publish fence: recovery is constant-time, at the
+ *    cost of a wider data-loss window (the publish itself persists
+ *    asynchronously).
+ *
+ * Both transforms detect transaction boundaries structurally: the
+ * caller nominates one word address per stream (the "publish" or
+ * "ack" word); a store to that address ends the transaction. Injected
+ * instructions reuse the index of the preceding original instruction
+ * so LCPC-style bookkeeping stays monotonic (same convention as
+ * ReplayCacheTransform); the transforms are performance/durability
+ * models, not functional recovery implementations.
+ */
+
+#ifndef PPA_BASELINES_DURABILITY_HH
+#define PPA_BASELINES_DURABILITY_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "isa/source.hh"
+#include "mem/mem_image.hh"
+
+namespace ppa
+{
+
+/** Shared configuration of the software-durability transforms. */
+struct DurabilityParams
+{
+    /** Word address whose stores mark transaction ends (the request
+     *  acknowledgement / publish word). Word-aligned. */
+    Addr publishAddr = 0;
+    /** Commit-record word (undo/redo logging only); must be disjoint
+     *  from data and publish addresses. */
+    Addr commitAddr = 0;
+    /** Base of the per-stream redo-log ring (undo/redo logging only). */
+    Addr logBase = 0;
+    /** Log ring size in words; must be a power of two. */
+    std::uint64_t logWords = 4096;
+};
+
+/**
+ * Undo/redo-logging software transaction, as a committed-stream
+ * transformation. Per data store: a log-ring store (same data
+ * register, log address) and a clwb of the log line. Per transaction
+ * end: fence, the publish store, a commit-record copy of it, clwb of
+ * the commit record, fence.
+ */
+class UndoRedoLogTransform : public DynInstSource
+{
+  public:
+    UndoRedoLogTransform(DynInstSource &inner,
+                         const DurabilityParams &params);
+
+    bool next(DynInst &out) override;
+    void seekTo(std::uint64_t index) override;
+
+    /** Log-ring stores injected so far. */
+    std::uint64_t injectedLogStores() const { return logStoreCount; }
+    /** clwb instructions injected so far. */
+    std::uint64_t injectedClwbs() const { return clwbCount; }
+    /** Commit fences injected so far. */
+    std::uint64_t injectedFences() const { return fenceCount; }
+    /** Transactions committed (publish stores seen) so far. */
+    std::uint64_t committedTxns() const { return txnCount; }
+    /** Data stores logged since the last commit record — what
+     *  software recovery would have to undo after a crash here. */
+    std::uint64_t openTxnStores() const { return txnStores; }
+
+  private:
+    DynInstSource &src;
+    DurabilityParams cfg;
+
+    std::deque<DynInst> pending;
+    std::uint64_t logCursor = 0;
+    std::uint64_t txnStores = 0;
+    std::uint64_t logStoreCount = 0;
+    std::uint64_t clwbCount = 0;
+    std::uint64_t fenceCount = 0;
+    std::uint64_t txnCount = 0;
+};
+
+/**
+ * Flush-on-publish durable structure, as a committed-stream
+ * transformation. Per data store: a clwb of its line. Per transaction
+ * end: fence, the publish store, a clwb of the publish line (no
+ * trailing fence — the publish persists asynchronously).
+ */
+class DelayFreeTransform : public DynInstSource
+{
+  public:
+    DelayFreeTransform(DynInstSource &inner,
+                       const DurabilityParams &params);
+
+    bool next(DynInst &out) override;
+    void seekTo(std::uint64_t index) override;
+
+    /** clwb instructions injected so far. */
+    std::uint64_t injectedClwbs() const { return clwbCount; }
+    /** Publish fences injected so far. */
+    std::uint64_t injectedFences() const { return fenceCount; }
+    /** Transactions published so far. */
+    std::uint64_t committedTxns() const { return txnCount; }
+
+  private:
+    DynInstSource &src;
+    DurabilityParams cfg;
+
+    std::deque<DynInst> pending;
+    std::uint64_t clwbCount = 0;
+    std::uint64_t fenceCount = 0;
+    std::uint64_t txnCount = 0;
+};
+
+} // namespace ppa
+
+#endif // PPA_BASELINES_DURABILITY_HH

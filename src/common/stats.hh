@@ -150,6 +150,16 @@ class Histogram
         return bins.size() - 1;
     }
 
+    // Named quantiles, including the serving-tail ones (p99.9,
+    // p99.99). All are the ceil-rank order statistic above — exact,
+    // not interpolated — so p9999() of < 10000 samples degenerates
+    // toward max(), never past it.
+    std::size_t p50() const { return percentile(0.50); }
+    std::size_t p95() const { return percentile(0.95); }
+    std::size_t p99() const { return percentile(0.99); }
+    std::size_t p999() const { return percentile(0.999); }
+    std::size_t p9999() const { return percentile(0.9999); }
+
     /** Mean of the observed values. */
     double
     mean() const

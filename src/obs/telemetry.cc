@@ -274,6 +274,19 @@ appendTelemetry(TelemetryResult &dst, const TelemetryResult &seg,
             shifted.recover += cycle_offset;
         dst.powerEvents.push_back(shifted);
     }
+
+    for (const TelemetryRequestSpan &e : seg.requestSpans) {
+        if (dst.requestSpans.size() >= kRequestSpanCap) {
+            ++dst.droppedRequestSpans;
+            continue;
+        }
+        TelemetryRequestSpan shifted = e;
+        shifted.arrival += cycle_offset;
+        shifted.start += cycle_offset;
+        shifted.finish += cycle_offset;
+        dst.requestSpans.push_back(shifted);
+    }
+    dst.droppedRequestSpans += seg.droppedRequestSpans;
 }
 
 // --------------------------------------------------------------------

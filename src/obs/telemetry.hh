@@ -131,6 +131,25 @@ struct TelemetryPowerEvent
     bool recovered = false;
 };
 
+/** Hard cap on recorded per-request spans per run; requests past the
+ *  cap are counted, not stored. */
+inline constexpr std::size_t kRequestSpanCap = 4096;
+
+/**
+ * One served request on the open-loop timeline (docs/SERVING.md):
+ * arrival from the arrival process, start/finish from the Lindley
+ * remapping of simulated ack-commit service times. Only the serving
+ * harness fills these; classic runs leave the list empty.
+ */
+struct TelemetryRequestSpan
+{
+    unsigned core = 0;
+    std::uint64_t seq = 0; ///< request sequence number (from 1)
+    std::uint64_t arrival = 0;
+    std::uint64_t start = 0;
+    std::uint64_t finish = 0;
+};
+
 /**
  * Harvested telemetry for one run: a value type inside RunStats,
  * serialized as the additive `stats.telemetry` block.
@@ -148,6 +167,9 @@ struct TelemetryResult
     std::vector<TelemetryRegionEvent> regionEvents;
     std::uint64_t droppedRegionEvents = 0;
     std::vector<TelemetryPowerEvent> powerEvents;
+    /** Request spans (serving harness only; empty elsewhere). */
+    std::vector<TelemetryRequestSpan> requestSpans;
+    std::uint64_t droppedRequestSpans = 0;
 
     /** Cycles in @p c summed across cores. */
     std::uint64_t classCycles(CycleClass c) const;

@@ -136,6 +136,27 @@ writeChromeTrace(const TelemetryResult &t, const std::string &path)
         sink.span(tid, e.fail, end, "power-outage");
     }
 
+    // Request spans (serving harness) on per-core tracks (tid
+    // 2000+core). Spans are [start, finish) on the open-loop
+    // timeline; the Lindley recursion guarantees start_{i+1} >=
+    // finish_i per core, so B/E pairs never overlap within a track.
+    bool request_track[64] = {};
+    for (const TelemetryRequestSpan &e : t.requestSpans) {
+        unsigned tid = 2000 + e.core;
+        if (e.core < 64 && !request_track[e.core]) {
+            request_track[e.core] = true;
+            char buf[192];
+            std::snprintf(
+                buf, sizeof(buf),
+                R"({"name":"thread_name","ph":"M","pid":0,)"
+                R"("tid":%u,"args":{"name":"core %u requests"}})",
+                tid, e.core);
+            sink.add(0, buf);
+        }
+        std::uint64_t end = std::max(e.finish, e.start + 1);
+        sink.span(tid, e.start, end, "req " + std::to_string(e.seq));
+    }
+
     // Counter tracks: one "C" stream per series, bucket means at
     // bucket start cycles.
     for (const TelemetrySeries &s : t.series) {

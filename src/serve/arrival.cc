@@ -1,0 +1,102 @@
+#include "serve/arrival.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ppa
+{
+namespace serve
+{
+
+const char *
+arrivalToken(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Poisson:
+        return "poisson";
+      case ArrivalKind::Bursty:
+        return "bursty";
+    }
+    return "?";
+}
+
+bool
+arrivalFromToken(const std::string &token, ArrivalKind &out)
+{
+    if (token == "poisson") {
+        out = ArrivalKind::Poisson;
+        return true;
+    }
+    if (token == "bursty") {
+        out = ArrivalKind::Bursty;
+        return true;
+    }
+    return false;
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalParams &params,
+                               std::uint64_t seed)
+    : cfg(params), rng(seed)
+{
+    PPA_ASSERT(cfg.meanGap > 0.0, "arrival mean gap must be positive");
+    if (cfg.kind == ArrivalKind::Bursty) {
+        PPA_ASSERT(cfg.period > 0.0, "burst period must be positive");
+        PPA_ASSERT(cfg.onFraction > 0.0 && cfg.onFraction < 1.0,
+                   "on-fraction must lie in (0, 1)");
+        PPA_ASSERT(cfg.burstFactor > 0.0,
+                   "burst factor must be positive");
+        PPA_ASSERT(cfg.burstFactor * cfg.onFraction <= 1.0,
+                   "burst factor times on-fraction must be <= 1 "
+                   "(the off-period rate would be negative)");
+        double base = 1.0 / cfg.meanGap;
+        rateOn = base * cfg.burstFactor;
+        rateOff = base * (1.0 - cfg.burstFactor * cfg.onFraction) /
+                  (1.0 - cfg.onFraction);
+    }
+}
+
+double
+ArrivalProcess::rateAt(double t) const
+{
+    double phase = std::fmod(t, cfg.period);
+    return phase < cfg.onFraction * cfg.period ? rateOn : rateOff;
+}
+
+double
+ArrivalProcess::segmentEnd(double t) const
+{
+    double cycleStart = std::floor(t / cfg.period) * cfg.period;
+    double onEnd = cycleStart + cfg.onFraction * cfg.period;
+    return t < onEnd ? onEnd : cycleStart + cfg.period;
+}
+
+double
+ArrivalProcess::next()
+{
+    double u = rng.uniform();
+    if (u <= 0.0)
+        u = 0x1.0p-53; // uniform() can return exactly 0
+    double e = -std::log(u); // unit-rate exponential
+
+    if (cfg.kind == ArrivalKind::Poisson) {
+        now += e * cfg.meanGap;
+        return now;
+    }
+
+    // Integrate the exponential over the piecewise-constant rate.
+    for (;;) {
+        double rate = rateAt(now);
+        double end = segmentEnd(now);
+        double capacity = rate * (end - now);
+        if (rate > 0.0 && e <= capacity) {
+            now += e / rate;
+            return now;
+        }
+        e -= capacity;
+        now = end;
+    }
+}
+
+} // namespace serve
+} // namespace ppa

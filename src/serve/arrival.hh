@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Open-loop request arrival processes (docs/SERVING.md).
+ *
+ * The serving harness models arrival in *simulated cycles*: each
+ * per-thread stream owns one ArrivalProcess that emits a monotone
+ * sequence of arrival timestamps, deterministic from its Rng seed.
+ *
+ * Two processes:
+ *  - Poisson: exponential interarrivals at rate 1 / meanGap.
+ *  - Bursty on-off (MMPP-2): a square-wave rate function with period
+ *    `period`, ON for `onFraction` of it at `burstFactor` times the
+ *    base rate and OFF at the complementary rate, chosen so the
+ *    long-run mean rate still equals 1 / meanGap. Sampling integrates
+ *    the exponential over the piecewise-constant rate, so the process
+ *    is exact, not thinned.
+ */
+
+#ifndef PPA_SERVE_ARRIVAL_HH
+#define PPA_SERVE_ARRIVAL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+
+namespace ppa
+{
+namespace serve
+{
+
+enum class ArrivalKind : std::uint8_t
+{
+    Poisson,
+    Bursty,
+};
+
+/** CLI/serialization token ("poisson", "bursty"). */
+const char *arrivalToken(ArrivalKind kind);
+
+/** Parse an arrival token; false for unknown tokens. */
+bool arrivalFromToken(const std::string &token, ArrivalKind &out);
+
+struct ArrivalParams
+{
+    ArrivalKind kind = ArrivalKind::Poisson;
+    /** Long-run mean interarrival gap per stream, in cycles (> 0).
+     *  The default keeps a PPA server under capacity while the
+     *  software-durability baselines saturate — the regime the
+     *  serving study is about. */
+    double meanGap = 256.0;
+    /** ON-period rate multiplier (bursty only); burstFactor *
+     *  onFraction must be <= 1 so the OFF rate stays non-negative. */
+    double burstFactor = 4.0;
+    /** ON/OFF square-wave period in cycles (bursty only). */
+    double period = 65536.0;
+    /** Fraction of each period spent ON, in (0, 1) (bursty only). */
+    double onFraction = 0.25;
+};
+
+/**
+ * Generates one monotone arrival-timestamp stream. Owns its Rng so a
+ * process can be reconstructed bit-identically from (params, seed).
+ */
+class ArrivalProcess
+{
+  public:
+    ArrivalProcess(const ArrivalParams &params, std::uint64_t seed);
+
+    /** Timestamp (cycles) of the next arrival; strictly advances the
+     *  internal clock by at least an infinitesimal gap. */
+    double next();
+
+  private:
+    /** Instantaneous rate at absolute time @p t (bursty only). */
+    double rateAt(double t) const;
+    /** End of the constant-rate segment containing @p t. */
+    double segmentEnd(double t) const;
+
+    ArrivalParams cfg;
+    Rng rng;
+    double now = 0.0;
+    double rateOn = 0.0;
+    double rateOff = 0.0;
+};
+
+} // namespace serve
+} // namespace ppa
+
+#endif // PPA_SERVE_ARRIVAL_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Log-bucketed latency histogram (HDR-histogram style).
+ *
+ * Request latencies span many orders of magnitude (a lightly loaded
+ * server answers in hundreds of cycles; an overloaded open-loop queue
+ * grows without bound), so the dense unit-bin stats::Histogram is the
+ * wrong shape. This one uses log-linear buckets: values below
+ * 2^subBits land in exact unit buckets, larger values in 2^subBits
+ * sub-buckets per power of two — constant ~0.1% relative resolution
+ * in ~1 KiB of state, deterministic, and mergeable.
+ *
+ * percentile() uses the same ceil-rank convention as
+ * stats::Histogram::percentile and returns the bucket's lower bound
+ * (a value <= the true order statistic, within one sub-bucket).
+ */
+
+#ifndef PPA_SERVE_LATENCY_HH
+#define PPA_SERVE_LATENCY_HH
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace ppa
+{
+namespace serve
+{
+
+class LogHistogram
+{
+  public:
+    static constexpr unsigned subBits = 4;
+    static constexpr std::uint64_t subBuckets = 1u << subBits;
+    /** 64-bit values occupy groups 0..(64 - subBits); sized with
+     *  headroom to a round power of two. */
+    static constexpr std::size_t bucketCount = (64 - subBits + 1)
+                                               << subBits;
+
+    LogHistogram() : bins(bucketCount, 0) {}
+
+    /** Bucket index of value @p v. */
+    static std::size_t
+    bucketIndex(std::uint64_t v)
+    {
+        if (v < subBuckets)
+            return static_cast<std::size_t>(v);
+        unsigned msb = 63 - static_cast<unsigned>(std::countl_zero(v));
+        unsigned shift = msb - subBits;
+        return ((static_cast<std::size_t>(shift) + 1) << subBits) +
+               static_cast<std::size_t>((v >> shift) &
+                                        (subBuckets - 1));
+    }
+
+    /** Smallest value mapping to bucket @p idx. */
+    static std::uint64_t
+    bucketLo(std::size_t idx)
+    {
+        std::uint64_t group = idx >> subBits;
+        std::uint64_t offset = idx & (subBuckets - 1);
+        if (group == 0)
+            return offset;
+        return (subBuckets + offset) << (group - 1);
+    }
+
+    void
+    sample(std::uint64_t v)
+    {
+        ++bins[bucketIndex(v)];
+        ++n;
+        sum += static_cast<double>(v);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+
+    std::uint64_t count() const { return n; }
+    std::uint64_t min() const { return n ? lo : 0; }
+    std::uint64_t max() const { return n ? hi : 0; }
+    double mean() const
+    {
+        return n ? sum / static_cast<double>(n) : 0.0;
+    }
+
+    /**
+     * Lower bound of the bucket holding the ceil-rank order statistic
+     * for @p frac in [0, 1] (see stats::Histogram::percentile for the
+     * rounding rationale).
+     */
+    std::uint64_t
+    percentile(double frac) const
+    {
+        if (n == 0)
+            return 0;
+        auto target = static_cast<std::uint64_t>(
+            std::ceil(frac * static_cast<double>(n)));
+        target = std::max<std::uint64_t>(target, 1);
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < bins.size(); ++i) {
+            acc += bins[i];
+            if (acc >= target)
+                return bucketLo(i);
+        }
+        return bucketLo(bins.size() - 1);
+    }
+
+    void
+    merge(const LogHistogram &other)
+    {
+        PPA_ASSERT(bins.size() == other.bins.size(),
+                   "log-histogram size mismatch in merge");
+        for (std::size_t i = 0; i < bins.size(); ++i)
+            bins[i] += other.bins[i];
+        n += other.n;
+        sum += other.sum;
+        if (other.n) {
+            lo = std::min(lo, other.lo);
+            hi = std::max(hi, other.hi);
+        }
+    }
+
+    /** (bucket index, count) pairs for every non-empty bucket —
+     *  the sparse serialization the serve JSON emits. */
+    std::vector<std::pair<std::size_t, std::uint64_t>>
+    nonZeroBuckets() const
+    {
+        std::vector<std::pair<std::size_t, std::uint64_t>> out;
+        for (std::size_t i = 0; i < bins.size(); ++i) {
+            if (bins[i])
+                out.emplace_back(i, bins[i]);
+        }
+        return out;
+    }
+
+  private:
+    std::vector<std::uint64_t> bins;
+    std::uint64_t n = 0;
+    double sum = 0.0;
+    std::uint64_t lo = ~std::uint64_t{0};
+    std::uint64_t hi = 0;
+};
+
+} // namespace serve
+} // namespace ppa
+
+#endif // PPA_SERVE_LATENCY_HH

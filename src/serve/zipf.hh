@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Zipfian key-popularity generator for the serving harness
+ * (docs/SERVING.md).
+ *
+ * YCSB-style rejection-free Zipfian sampling: the zeta normalization
+ * constant is precomputed once per (n, theta), after which each draw
+ * costs one uniform and a pow(). Rank 0 is the most popular item; the
+ * request source scrambles ranks over the key space with a bijective
+ * multiplicative mix so hot keys do not sit on adjacent cache lines.
+ *
+ * theta = 0 degenerates to the uniform distribution; theta = 1 (the
+ * harmonic singularity of the closed form) is nudged by 1e-9, which
+ * is far below any observable difference at realistic key counts.
+ */
+
+#ifndef PPA_SERVE_ZIPF_HH
+#define PPA_SERVE_ZIPF_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace ppa
+{
+namespace serve
+{
+
+/** Draws ranks in [0, n) with P(rank = k) proportional to
+ *  1 / (k+1)^theta. Stateless after construction: all randomness
+ *  comes from the caller's Rng, so streams snapshot/replay freely. */
+class ZipfGenerator
+{
+  public:
+    ZipfGenerator(std::uint64_t n, double theta_in)
+        : items(n), theta(theta_in)
+    {
+        PPA_ASSERT(n > 0, "zipf needs a non-empty key space");
+        PPA_ASSERT(theta >= 0.0, "zipf skew must be non-negative");
+        if (theta == 0.0)
+            return; // uniform fast path; no zeta needed
+        if (std::fabs(theta - 1.0) < 1e-9)
+            theta = 1.0 - 1e-9;
+        double zeta2 = 0.0;
+        double zetan = 0.0;
+        for (std::uint64_t i = 1; i <= n; ++i) {
+            zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+            if (i == 2)
+                zeta2 = zetan;
+        }
+        if (n == 1)
+            zeta2 = zetan;
+        zetaN = zetan;
+        alpha = 1.0 / (1.0 - theta);
+        eta = (1.0 -
+               std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+              (1.0 - zeta2 / zetan);
+        halfPowTheta = std::pow(0.5, theta);
+    }
+
+    std::uint64_t size() const { return items; }
+    double skew() const { return theta; }
+
+    /** Draw one rank; 0 is the most popular. */
+    std::uint64_t
+    sample(Rng &rng) const
+    {
+        if (theta == 0.0)
+            return rng.below(items);
+        double u = rng.uniform();
+        double uz = u * zetaN;
+        if (uz < 1.0)
+            return 0;
+        if (uz < 1.0 + halfPowTheta)
+            return items > 1 ? 1 : 0;
+        auto rank = static_cast<std::uint64_t>(
+            static_cast<double>(items) *
+            std::pow(eta * u - eta + 1.0, alpha));
+        return rank >= items ? items - 1 : rank;
+    }
+
+  private:
+    std::uint64_t items;
+    double theta;
+    double zetaN = 0.0;
+    double alpha = 0.0;
+    double eta = 0.0;
+    double halfPowTheta = 0.0;
+};
+
+/**
+ * Bijectively scramble @p rank over a power-of-two key space of
+ * @p pow2_keys: multiplication by an odd constant is invertible mod
+ * 2^k, so the popularity *distribution* is preserved while popular
+ * keys scatter across the table instead of clustering at index 0.
+ */
+inline std::uint64_t
+scrambleRank(std::uint64_t rank, std::uint64_t pow2_keys)
+{
+    PPA_ASSERT(pow2_keys && (pow2_keys & (pow2_keys - 1)) == 0,
+               "scrambleRank needs a power-of-two key space");
+    return (rank * 0x9E3779B97F4A7C15ull) & (pow2_keys - 1);
+}
+
+} // namespace serve
+} // namespace ppa
+
+#endif // PPA_SERVE_ZIPF_HH

@@ -15,10 +15,6 @@ namespace ppa
 namespace metrics
 {
 
-namespace
-{
-
-/** Shortest representation of @p v that parses back bitwise-equal. */
 std::string
 formatDouble(double v)
 {
@@ -27,6 +23,9 @@ formatDouble(double v)
     PPA_ASSERT(res.ec == std::errc{}, "double format failed");
     return std::string(buf, res.ptr);
 }
+
+namespace
+{
 
 std::string
 histToJson(const stats::Histogram &h)
@@ -109,6 +108,8 @@ uintArrayFromJson(const JsonValue &v)
     return out;
 }
 
+} // namespace
+
 std::string
 telemetryToJson(const obs::TelemetryResult &t)
 {
@@ -142,6 +143,9 @@ telemetryToJson(const obs::TelemetryResult &t)
         os << ", \"mean\": " << formatDouble(s.mean())
            << ", \"p50\": " << formatDouble(s.percentile(0.50))
            << ", \"p95\": " << formatDouble(s.percentile(0.95))
+           << ", \"p99\": " << formatDouble(s.percentile(0.99))
+           << ", \"p999\": " << formatDouble(s.percentile(0.999))
+           << ", \"p9999\": " << formatDouble(s.percentile(0.9999))
            << ", \"max\": " << formatDouble(s.maxBucketMean()) << "}";
     }
     os << "]";
@@ -161,9 +165,26 @@ telemetryToJson(const obs::TelemetryResult &t)
            << e.recover << ", " << (e.recovered ? "true" : "false")
            << "]";
     }
-    os << "]}";
+    os << "]";
+    // Request spans exist only for the serving harness; omitting the
+    // member entirely elsewhere keeps classic documents byte-stable.
+    if (!t.requestSpans.empty() || t.droppedRequestSpans) {
+        os << ", \"requestSpans\": {\"dropped\": "
+           << t.droppedRequestSpans << ", \"spans\": [";
+        for (std::size_t i = 0; i < t.requestSpans.size(); ++i) {
+            const obs::TelemetryRequestSpan &e = t.requestSpans[i];
+            os << (i ? ", " : "") << "[" << e.core << ", " << e.seq
+               << ", " << e.arrival << ", " << e.start << ", "
+               << e.finish << "]";
+        }
+        os << "]}";
+    }
+    os << "}";
     return os.str();
 }
+
+namespace
+{
 
 obs::TelemetryResult
 telemetryFromJson(const JsonValue &v)
@@ -210,6 +231,20 @@ telemetryFromJson(const JsonValue &v)
         e.recover = ev.at(2).asUint64();
         e.recovered = ev.at(3).asBool();
         t.powerEvents.push_back(e);
+    }
+    // Absent in classic documents (and all pre-serve reports).
+    if (v.hasField("requestSpans")) {
+        const JsonValue &rs = v.field("requestSpans");
+        t.droppedRequestSpans = rs.field("dropped").asUint64();
+        for (const JsonValue &ev : rs.field("spans").items()) {
+            obs::TelemetryRequestSpan e;
+            e.core = static_cast<unsigned>(ev.at(0).asUint64());
+            e.seq = ev.at(1).asUint64();
+            e.arrival = ev.at(2).asUint64();
+            e.start = ev.at(3).asUint64();
+            e.finish = ev.at(4).asUint64();
+            t.requestSpans.push_back(e);
+        }
     }
     return t;
 }

@@ -90,6 +90,14 @@ class JsonValue
 /** Escape @p s for embedding in a JSON string literal (no quotes). */
 std::string jsonEscape(const std::string &s);
 
+/** Shortest representation of @p v that parses back bitwise-equal
+ *  (std::to_chars round-trip form). */
+std::string formatDouble(double v);
+
+/** Serialize a harvested telemetry result as the additive
+ *  `stats.telemetry` JSON object (shared by run and serve reports). */
+std::string telemetryToJson(const obs::TelemetryResult &t);
+
 // ---------------------------------------------------------------------
 // RunStats / sweep serialization.
 // ---------------------------------------------------------------------

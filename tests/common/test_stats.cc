@@ -142,6 +142,42 @@ TEST(Histogram, PercentileAgreesWithCdf)
     EXPECT_EQ(h.percentile(1.0), 63u);
 }
 
+TEST(Histogram, NamedQuantilesMatchPercentile)
+{
+    // The tail-quantile conveniences the serving metrics expose must
+    // be exactly percentile() at the matching fraction — and with
+    // 10000 one-per-value samples, exactly the ceil-rank value.
+    Histogram h(10000);
+    for (std::size_t i = 0; i < 10000; ++i)
+        h.sample(i);
+    EXPECT_EQ(h.p50(), h.percentile(0.50));
+    EXPECT_EQ(h.p95(), h.percentile(0.95));
+    EXPECT_EQ(h.p99(), h.percentile(0.99));
+    EXPECT_EQ(h.p999(), h.percentile(0.999));
+    EXPECT_EQ(h.p9999(), h.percentile(0.9999));
+    EXPECT_EQ(h.p50(), 4999u);
+    EXPECT_EQ(h.p99(), 9899u);
+    EXPECT_EQ(h.p999(), 9989u);
+    EXPECT_EQ(h.p9999(), 9998u);
+    // ceil-rank, not interpolation: the quantile chain is monotone
+    // and never exceeds the maximum.
+    EXPECT_LE(h.p50(), h.p95());
+    EXPECT_LE(h.p95(), h.p99());
+    EXPECT_LE(h.p99(), h.p999());
+    EXPECT_LE(h.p999(), h.p9999());
+    EXPECT_LE(h.p9999(), h.percentile(1.0));
+}
+
+TEST(Histogram, NamedQuantilesDegenerateTowardMax)
+{
+    // With few samples p9999 collapses to the max — never past it.
+    Histogram h(100);
+    for (std::size_t i = 10; i < 20; ++i)
+        h.sample(i);
+    EXPECT_EQ(h.p999(), 19u);
+    EXPECT_EQ(h.p9999(), 19u);
+}
+
 TEST(Histogram, MeanOfUniform)
 {
     Histogram h(10);

@@ -1,0 +1,130 @@
+/** @file Tests for the open-loop arrival processes. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "serve/arrival.hh"
+
+using namespace ppa;
+using namespace ppa::serve;
+
+namespace
+{
+
+std::vector<double>
+draw(const ArrivalParams &p, std::uint64_t seed, std::size_t n)
+{
+    ArrivalProcess proc(p, seed);
+    std::vector<double> ts(n);
+    for (std::size_t i = 0; i < n; ++i)
+        ts[i] = proc.next();
+    return ts;
+}
+
+} // namespace
+
+TEST(Arrival, Tokens)
+{
+    EXPECT_STREQ(arrivalToken(ArrivalKind::Poisson), "poisson");
+    EXPECT_STREQ(arrivalToken(ArrivalKind::Bursty), "bursty");
+    ArrivalKind k;
+    EXPECT_TRUE(arrivalFromToken("poisson", k));
+    EXPECT_EQ(k, ArrivalKind::Poisson);
+    EXPECT_TRUE(arrivalFromToken("bursty", k));
+    EXPECT_EQ(k, ArrivalKind::Bursty);
+    EXPECT_FALSE(arrivalFromToken("pareto", k));
+    EXPECT_FALSE(arrivalFromToken("", k));
+}
+
+TEST(Arrival, PoissonStrictlyMonotone)
+{
+    ArrivalParams p;
+    p.meanGap = 50.0;
+    auto ts = draw(p, 1, 20000);
+    for (std::size_t i = 1; i < ts.size(); ++i)
+        ASSERT_GT(ts[i], ts[i - 1]) << "arrival " << i;
+}
+
+TEST(Arrival, PoissonMeanGapMatches)
+{
+    ArrivalParams p;
+    p.meanGap = 100.0;
+    constexpr std::size_t n = 40000;
+    auto ts = draw(p, 2, n);
+    double mean = ts.back() / static_cast<double>(n);
+    EXPECT_NEAR(mean, p.meanGap, p.meanGap * 0.05);
+}
+
+TEST(Arrival, DeterministicFromSeed)
+{
+    ArrivalParams p;
+    p.kind = ArrivalKind::Bursty;
+    p.meanGap = 64.0;
+    auto a = draw(p, 9, 5000);
+    auto b = draw(p, 9, 5000);
+    EXPECT_EQ(a, b);
+    auto c = draw(p, 10, 5000);
+    EXPECT_NE(a, c);
+}
+
+TEST(Arrival, BurstyPreservesLongRunRate)
+{
+    // The on-off modulation reshapes arrivals in time but the long-run
+    // mean rate must stay 1 / meanGap (the exact-integration claim).
+    ArrivalParams p;
+    p.kind = ArrivalKind::Bursty;
+    p.meanGap = 100.0;
+    p.burstFactor = 2.0;
+    p.period = 10000.0;
+    p.onFraction = 0.25;
+    constexpr std::size_t n = 40000;
+    auto ts = draw(p, 4, n);
+    double mean = ts.back() / static_cast<double>(n);
+    EXPECT_NEAR(mean, p.meanGap, p.meanGap * 0.05);
+}
+
+TEST(Arrival, BurstyClustersArrivalsInOnWindows)
+{
+    // burstFactor * onFraction = 1 drives the OFF rate to zero: every
+    // arrival must land inside an ON window.
+    ArrivalParams p;
+    p.kind = ArrivalKind::Bursty;
+    p.meanGap = 100.0;
+    p.burstFactor = 4.0;
+    p.period = 8192.0;
+    p.onFraction = 0.25;
+    auto ts = draw(p, 6, 20000);
+    std::size_t on = 0;
+    for (double t : ts) {
+        double phase = std::fmod(t, p.period);
+        if (phase < p.onFraction * p.period)
+            ++on;
+    }
+    EXPECT_EQ(on, ts.size());
+}
+
+TEST(Arrival, BurstyOverweightsOnWindows)
+{
+    // With a nonzero OFF rate the ON windows still get a share of
+    // arrivals well above their share of time (0.25 of the period
+    // carries burstFactor * onFraction = 0.5 of the arrivals).
+    ArrivalParams p;
+    p.kind = ArrivalKind::Bursty;
+    p.meanGap = 100.0;
+    p.burstFactor = 2.0;
+    p.period = 8192.0;
+    p.onFraction = 0.25;
+    auto ts = draw(p, 8, 40000);
+    std::size_t on = 0;
+    for (double t : ts) {
+        double phase = std::fmod(t, p.period);
+        if (phase < p.onFraction * p.period)
+            ++on;
+    }
+    double share = static_cast<double>(on) /
+                   static_cast<double>(ts.size());
+    EXPECT_NEAR(share, 0.5, 0.05);
+}

@@ -1,0 +1,109 @@
+/** @file Tests for the log-bucketed latency histogram. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "serve/latency.hh"
+
+using namespace ppa;
+using namespace ppa::serve;
+
+TEST(LogHistogram, SmallValuesAreExact)
+{
+    // Values below 2^subBits land in unit buckets: percentiles are
+    // exact, not lower bounds.
+    LogHistogram h;
+    for (std::uint64_t v = 0; v < LogHistogram::subBuckets; ++v)
+        h.sample(v);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), LogHistogram::subBuckets - 1);
+    EXPECT_EQ(h.percentile(0.5), LogHistogram::subBuckets / 2 - 1);
+    EXPECT_EQ(h.percentile(1.0), LogHistogram::subBuckets - 1);
+}
+
+TEST(LogHistogram, BucketIndexRoundTrips)
+{
+    // bucketLo(bucketIndex(v)) <= v, and v maps back into the same
+    // bucket — across the full 64-bit range.
+    for (std::uint64_t v :
+         {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{15},
+          std::uint64_t{16}, std::uint64_t{17}, std::uint64_t{1000},
+          std::uint64_t{123456789}, std::uint64_t{1} << 40,
+          (std::uint64_t{1} << 63) + 12345}) {
+        std::size_t idx = LogHistogram::bucketIndex(v);
+        ASSERT_LT(idx, LogHistogram::bucketCount);
+        std::uint64_t lo = LogHistogram::bucketLo(idx);
+        EXPECT_LE(lo, v);
+        EXPECT_EQ(LogHistogram::bucketIndex(lo), idx) << "v " << v;
+    }
+}
+
+TEST(LogHistogram, RelativeResolutionBounded)
+{
+    // A bucket's width is at most 1/subBuckets of its lower bound:
+    // percentile answers are within ~6% of the true order statistic.
+    for (std::uint64_t v = 100; v < 2'000'000; v = v * 7 + 3) {
+        std::size_t idx = LogHistogram::bucketIndex(v);
+        std::uint64_t lo = LogHistogram::bucketLo(idx);
+        EXPECT_GE(v - lo,
+                  0u); // lo <= v by construction
+        EXPECT_LE(static_cast<double>(v - lo),
+                  static_cast<double>(lo) / LogHistogram::subBuckets +
+                      1.0)
+            << "v " << v;
+    }
+}
+
+TEST(LogHistogram, PercentilesMonotone)
+{
+    LogHistogram h;
+    std::uint64_t x = 12345;
+    for (int i = 0; i < 20000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        h.sample((x >> 33) % 1'000'000);
+    }
+    std::uint64_t prev = 0;
+    for (double f : {0.0, 0.5, 0.95, 0.99, 0.999, 0.9999, 1.0}) {
+        std::uint64_t p = h.percentile(f);
+        EXPECT_GE(p, prev) << "frac " << f;
+        prev = p;
+    }
+    EXPECT_LE(h.percentile(1.0), h.max());
+    EXPECT_GE(h.min(), h.percentile(0.0));
+}
+
+TEST(LogHistogram, MergeMatchesCombinedSampling)
+{
+    LogHistogram a, b, both;
+    for (std::uint64_t v = 1; v < 5000; v += 7) {
+        a.sample(v);
+        both.sample(v);
+    }
+    for (std::uint64_t v = 100000; v < 400000; v += 1111) {
+        b.sample(v);
+        both.sample(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_EQ(a.min(), both.min());
+    EXPECT_EQ(a.max(), both.max());
+    EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+    for (double f : {0.1, 0.5, 0.9, 0.99})
+        EXPECT_EQ(a.percentile(f), both.percentile(f)) << "frac " << f;
+    EXPECT_EQ(a.nonZeroBuckets(), both.nonZeroBuckets());
+}
+
+TEST(LogHistogram, NonZeroBucketsSumToCount)
+{
+    LogHistogram h;
+    for (std::uint64_t v : {3u, 3u, 17u, 900u, 900u, 900u})
+        h.sample(v);
+    std::uint64_t total = 0;
+    for (const auto &[idx, cnt] : h.nonZeroBuckets()) {
+        EXPECT_GT(cnt, 0u);
+        total += cnt;
+    }
+    EXPECT_EQ(total, h.count());
+    EXPECT_EQ(h.count(), 6u);
+}

@@ -1,0 +1,114 @@
+/** @file Tests for the Zipfian key-popularity generator. */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+#include "serve/zipf.hh"
+
+using namespace ppa;
+using namespace ppa::serve;
+
+TEST(Zipf, DeterministicFromSeed)
+{
+    ZipfGenerator za(1024, 0.99);
+    ZipfGenerator zb(1024, 0.99);
+    Rng ra(7), rb(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_EQ(za.sample(ra), zb.sample(rb)) << "draw " << i;
+}
+
+TEST(Zipf, ZeroSkewIsUniform)
+{
+    constexpr std::uint64_t keys = 16;
+    constexpr std::uint64_t draws = 64000;
+    ZipfGenerator z(keys, 0.0);
+    Rng rng(42);
+    std::array<std::uint64_t, keys> counts{};
+    for (std::uint64_t i = 0; i < draws; ++i) {
+        std::uint64_t r = z.sample(rng);
+        ASSERT_LT(r, keys);
+        ++counts[r];
+    }
+    // Every cell within a loose 2x band of the uniform expectation.
+    constexpr std::uint64_t expect = draws / keys;
+    for (std::uint64_t k = 0; k < keys; ++k) {
+        EXPECT_GT(counts[k], expect / 2) << "key " << k;
+        EXPECT_LT(counts[k], expect * 2) << "key " << k;
+    }
+}
+
+TEST(Zipf, SkewConcentratesOnLowRanks)
+{
+    constexpr std::uint64_t keys = 1024;
+    constexpr std::uint64_t draws = 50000;
+    auto rank0_share = [&](double theta) {
+        ZipfGenerator z(keys, theta);
+        Rng rng(3);
+        std::uint64_t hits = 0;
+        for (std::uint64_t i = 0; i < draws; ++i) {
+            if (z.sample(rng) == 0)
+                ++hits;
+        }
+        return static_cast<double>(hits) / draws;
+    };
+    double flat = rank0_share(0.0);
+    double skewed = rank0_share(0.99);
+    double steeper = rank0_share(1.2);
+    // theta = 0.99 over 1024 keys puts >10% of mass on the top rank;
+    // uniform puts ~0.1% there. More skew, more mass.
+    EXPECT_LT(flat, 0.01);
+    EXPECT_GT(skewed, 0.10);
+    EXPECT_GT(steeper, skewed);
+}
+
+TEST(Zipf, RankOrderingHolds)
+{
+    constexpr std::uint64_t keys = 64;
+    ZipfGenerator z(keys, 0.99);
+    Rng rng(11);
+    std::vector<std::uint64_t> counts(keys, 0);
+    for (int i = 0; i < 200000; ++i)
+        ++counts[z.sample(rng)];
+    // Popularity must decay with rank: compare head to deep tail.
+    EXPECT_GT(counts[0], counts[8]);
+    EXPECT_GT(counts[1], counts[32]);
+    EXPECT_GT(counts[0], counts[keys - 1] * 4);
+}
+
+TEST(Zipf, HarmonicSingularityIsSafe)
+{
+    // theta exactly 1 hits the closed form's pole; the generator must
+    // nudge it and still produce in-range draws.
+    ZipfGenerator z(256, 1.0);
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(z.sample(rng), 256u);
+}
+
+TEST(Zipf, ScrambleRankIsBijective)
+{
+    constexpr std::uint64_t keys = 4096;
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t r = 0; r < keys; ++r) {
+        std::uint64_t s = scrambleRank(r, keys);
+        ASSERT_LT(s, keys);
+        seen.insert(s);
+    }
+    // Odd-multiplier mixing mod 2^k is invertible: no collisions.
+    EXPECT_EQ(seen.size(), keys);
+}
+
+TEST(Zipf, ScrambleSeparatesHotKeys)
+{
+    // The whole point of scrambling: adjacent popular ranks must not
+    // land on adjacent table slots (same or neighboring cache lines).
+    constexpr std::uint64_t keys = 4096;
+    std::uint64_t a = scrambleRank(0, keys);
+    std::uint64_t b = scrambleRank(1, keys);
+    std::uint64_t c = scrambleRank(2, keys);
+    EXPECT_GT(std::max(a, b) - std::min(a, b), 8u);
+    EXPECT_GT(std::max(b, c) - std::min(b, c), 8u);
+}

@@ -1,0 +1,168 @@
+/** @file
+ * Semantic self-checks for the transaction kernels the serving study
+ * dispatches: tatpUpdate, tpccNewOrder, and kvStore must leave memory
+ * in the state an independent C++ reference model computes. These pin
+ * the kernels' arithmetic (LCG parameters, record layouts, ring
+ * indexing) so a refactor cannot silently change what the benchmarks
+ * measure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+
+#include "workload/kernels.hh"
+
+using namespace ppa;
+
+namespace
+{
+
+/** The kernels' shared LCG: state = state * 2654435761 + 0x7C15
+ *  (the low 16 bits of the golden-ratio constant), mod 2^64. */
+std::uint64_t
+lcg(std::uint64_t state)
+{
+    return state * 2654435761ull + 0x7C15u;
+}
+
+/** Run @p prog to completion and return its golden memory. */
+const MemImage &
+execute(ProgramExecutor &exec)
+{
+    exec.totalLength();
+    return exec.goldenMemory();
+}
+
+} // namespace
+
+TEST(KernelSemantics, TatpUpdateMatchesReference)
+{
+    constexpr std::uint64_t txns = 200;
+    constexpr std::uint64_t subs = 64;
+    constexpr Addr base = 0x400000;
+
+    // Reference model: records are [id, location, version, pad] at
+    // 32 B; each txn rewrites the location with the raw LCG state and
+    // increments the version.
+    std::map<std::uint64_t, std::uint64_t> location, version;
+    std::uint64_t state = 0x5151;
+    for (std::uint64_t t = 0; t < txns; ++t) {
+        state = lcg(state);
+        std::uint64_t idx = (state >> 7) & (subs - 1);
+        location[idx] = state;
+        version[idx] += 1;
+    }
+
+    Program prog = kernels::tatpUpdate(txns, subs, base);
+    ProgramExecutor exec(prog);
+    const MemImage &mem = execute(exec);
+
+    std::uint64_t touched = 0;
+    for (std::uint64_t i = 0; i < subs; ++i) {
+        Addr rec = base + i * 32;
+        EXPECT_EQ(mem.read(rec + 0), i) << "record " << i;
+        if (version.count(i)) {
+            EXPECT_EQ(mem.read(rec + 8), location[i]) << "record " << i;
+            EXPECT_EQ(mem.read(rec + 16), version[i]) << "record " << i;
+            ++touched;
+        } else {
+            EXPECT_EQ(mem.read(rec + 8), 100 + i) << "record " << i;
+            EXPECT_EQ(mem.read(rec + 16), 0u) << "record " << i;
+        }
+    }
+    // Zipf-free LCG over 64 records and 200 txns touches most of them.
+    EXPECT_GT(touched, subs / 2);
+}
+
+TEST(KernelSemantics, TpccNewOrderMatchesReference)
+{
+    constexpr std::uint64_t txns = 100;
+    constexpr Addr district = 0x500000;
+    constexpr Addr orders = 0x510000;
+    constexpr std::uint64_t slots = 1024;
+
+    Program prog = kernels::tpccNewOrder(txns, district, orders);
+    ProgramExecutor exec(prog);
+    const MemImage &mem = execute(exec);
+
+    // next-order-id starts at 1 and advances once per txn; the order
+    // counter counts txns.
+    EXPECT_EQ(mem.read(district + 0), txns + 1);
+    EXPECT_EQ(mem.read(district + 8), txns);
+
+    // Order ids 1..txns fill ring slots (o_id * 32) & ((slots-1)*32)
+    // with [o_id, 42, o_id, 5].
+    for (std::uint64_t oid = 1; oid <= txns; ++oid) {
+        Addr slot = orders + ((oid * 32) & ((slots - 1) * 32));
+        EXPECT_EQ(mem.read(slot + 0), oid) << "order " << oid;
+        EXPECT_EQ(mem.read(slot + 8), 42u) << "order " << oid;
+        EXPECT_EQ(mem.read(slot + 16), oid) << "order " << oid;
+        EXPECT_EQ(mem.read(slot + 24), 5u) << "order " << oid;
+    }
+}
+
+TEST(KernelSemantics, KvStoreMatchesReference)
+{
+    constexpr std::uint64_t ops = 120;
+    constexpr unsigned readPct = 25;
+    constexpr std::uint64_t buckets = 32;
+    constexpr Addr base = 0x600000;
+
+    // Reference model: every op hashes a bucket; a countdown fires a
+    // GET every k = 100 / readPct ops (which folds three words and
+    // writes nothing), all other ops SET the key word and the 8-word
+    // value to the raw LCG state.
+    std::map<std::uint64_t, std::uint64_t> stored;
+    const std::uint64_t k = 100 / readPct;
+    std::uint64_t state = 0xFACE;
+    std::uint64_t countdown = k;
+    for (std::uint64_t op = 0; op < ops; ++op) {
+        state = lcg(state);
+        std::uint64_t idx = (state >> 9) & (buckets - 1);
+        if (--countdown == 0) {
+            countdown = k; // GET: reads only
+            continue;
+        }
+        stored[idx] = state;
+    }
+
+    Program prog = kernels::kvStore(ops, readPct, buckets, base);
+    ProgramExecutor exec(prog);
+    const MemImage &mem = execute(exec);
+
+    for (std::uint64_t i = 0; i < buckets; ++i) {
+        Addr bucket = base + i * 128;
+        std::uint64_t key =
+            stored.count(i) ? stored[i] : i; // init: key = index
+        EXPECT_EQ(mem.read(bucket + 0), key) << "bucket " << i;
+        for (Addr off = 8; off <= 64; off += 8) {
+            std::uint64_t val = stored.count(i) ? stored[i] : 0;
+            EXPECT_EQ(mem.read(bucket + off), val)
+                << "bucket " << i << " off " << off;
+        }
+    }
+}
+
+TEST(KernelSemantics, KvStoreWriteOnlyNeverReads)
+{
+    // read_pct = 0 must disable the GET path entirely (the countdown
+    // is initialized past the op count).
+    constexpr std::uint64_t ops = 40;
+    constexpr std::uint64_t buckets = 16;
+    constexpr Addr base = 0x600000;
+
+    std::map<std::uint64_t, std::uint64_t> stored;
+    std::uint64_t state = 0xFACE;
+    for (std::uint64_t op = 0; op < ops; ++op) {
+        state = lcg(state);
+        stored[(state >> 9) & (buckets - 1)] = state;
+    }
+
+    Program prog = kernels::kvStore(ops, 0, buckets, base);
+    ProgramExecutor exec(prog);
+    const MemImage &mem = execute(exec);
+    for (const auto &[idx, val] : stored)
+        EXPECT_EQ(mem.read(base + idx * 128), val) << "bucket " << idx;
+}

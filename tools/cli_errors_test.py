@@ -55,6 +55,27 @@ CASES = [
     (["fuzz", "bogus"], "unknown fuzz subcommand"),
     (["fuzz", "repro", "/nonexistent/ppa-fuzz-missing.litmus"],
      "cannot open"),
+    # serve: a vacuous request count, malformed reals, negative or
+    # garbage numerics, and structural token/range errors.
+    (["serve", "--ops", "0"], "--ops must be positive"),
+    (["serve", "--ops", "100x"], "--ops wants an unsigned integer"),
+    (["serve", "--skew", "-1"], "--skew wants a non-negative number"),
+    (["serve", "--skew", "0.9oops"], "--skew wants a non-negative number"),
+    (["serve", "--burst-period", "-5"],
+     "--burst-period wants an unsigned integer"),
+    (["serve", "--burst-period", "0"], "--burst-period must be positive"),
+    (["serve", "--variant", "eadr"], "unknown serve variant"),
+    (["serve", "--arrival", "pareto"], "unknown arrival process"),
+    (["serve", "--keys", "1000"], "--keys must be a power of two"),
+    (["serve", "--keys", "131072"], "--keys must be at most 65536"),
+    (["serve", "--read-pct", "101"], "--read-pct must be at most 100"),
+    (["serve", "--arrival", "bursty", "--on-fraction", "1.5"],
+     "--on-fraction wants a fraction in (0, 1)"),
+    (["serve", "--arrival", "bursty", "--burst-factor", "8",
+      "--on-fraction", "0.5"],
+     "--burst-factor times --on-fraction must be at most 1"),
+    (["serve", "--telemetry-trace", "/tmp/x.json"],
+     "--telemetry-trace requires --telemetry"),
 ]
 
 

@@ -40,6 +40,7 @@ DOC_FILES = [
     "docs/INTERNALS.md",
     "docs/METRICS.md",
     "docs/PERF.md",
+    "docs/SERVING.md",
     "docs/TELEMETRY.md",
     "docs/TRACING.md",
 ]

@@ -20,6 +20,7 @@
  *   ppa_cli sweep fig18 --jobs 8 --insts 30000 --out /tmp/res --csv
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -34,6 +35,7 @@
 #include "fuzz/shrink.hh"
 #include "obs/telemetry.hh"
 #include "obs/trace_export.hh"
+#include "serve/serve.hh"
 #include "sim/driver.hh"
 #include "sim/experiment.hh"
 #include "sim/segment.hh"
@@ -294,12 +296,67 @@ usageFuzz()
 }
 
 void
+usageServe()
+{
+    std::printf(
+        "subcommand: serve — open-loop transaction-serving study "
+        "(docs/SERVING.md)\n"
+        "  ppa_cli serve [options]    drive Zipfian request streams "
+        "against each\n"
+        "                             durability variant and compare "
+        "tail latency,\n"
+        "                             throughput, recovery time, and "
+        "data loss\n"
+        "  --workload W        tatp | tpcc | kv (default tatp)\n"
+        "  --variant V         serve variant: ppa, undo-redo-log, "
+        "delay-free;\n"
+        "                      repeatable (default: all three)\n"
+        "  --ops N             total requests across all threads "
+        "(default 1000000)\n"
+        "  --threads N         server cores / request streams "
+        "(default 2)\n"
+        "  --keys N            per-thread key-space size; a power of "
+        "two <= 65536\n"
+        "                      (default 4096)\n"
+        "  --skew S            Zipfian theta, non-negative; 0 = "
+        "uniform (default 0.99)\n"
+        "  --read-pct N        kv workload GET percentage, 0..100 "
+        "(default 50)\n"
+        "  --arrival A         arrival process: poisson | bursty "
+        "(default poisson)\n"
+        "  --mean-gap N        mean inter-arrival gap per stream in "
+        "cycles (default 256)\n"
+        "  --burst-factor F    bursty: on-phase rate multiplier "
+        "(default 4)\n"
+        "  --burst-period N    bursty: square-wave period in cycles "
+        "(default 65536)\n"
+        "  --on-fraction F     bursty: fraction of each period in the "
+        "on phase,\n"
+        "                      in (0, 1) (default 0.25)\n"
+        "  --failures N        injected power-failure points per "
+        "variant (default 8)\n"
+        "  --seed N            root seed; the whole study is bitwise "
+        "reproducible\n"
+        "                      from it (default 42)\n"
+        "  --workers N         host threads for failure branches; any "
+        "value yields\n"
+        "                      identical output (default: hardware "
+        "parallelism)\n"
+        "  --json FILE         write the study as JSON "
+        "(tools/serve_report.py renders it)\n"
+        "  --telemetry         collect in-run telemetry and request "
+        "spans per variant\n"
+        "  --telemetry-trace FILE  write the first variant's Chrome "
+        "trace (needs --telemetry)\n");
+}
+
+void
 usage()
 {
     std::printf(
         "usage: ppa_cli [SUBCOMMAND] [options]\n"
         "subcommands: run (default), sweep, bench, trace, profile, "
-        "litmus, fuzz\n"
+        "litmus, fuzz, serve\n"
         "flags are grouped by the subcommand they belong to:\n"
         "\n");
     usageRun();
@@ -315,6 +372,8 @@ usage()
     usageLitmus();
     std::printf("\n");
     usageFuzz();
+    std::printf("\n");
+    usageServe();
 }
 
 SystemVariant
@@ -344,6 +403,26 @@ parseCount(const char *flag, const char *text)
         *text == '-' || *text == '+') {
         std::fprintf(stderr,
                      "%s wants an unsigned integer, got '%s' (see "
+                     "ppa_cli --help)\n",
+                     flag, text);
+        std::exit(1);
+    }
+    return v;
+}
+
+/** Strict parse of a non-negative real flag value; same philosophy as
+ *  parseCount (reject empty, trailing garbage, range errors, and
+ *  negative or NaN values). */
+double
+parseNonNegDouble(const char *flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(text, &end);
+    if (*text == '\0' || *end != '\0' || errno == ERANGE ||
+        !(v >= 0.0)) {
+        std::fprintf(stderr,
+                     "%s wants a non-negative number, got '%s' (see "
                      "ppa_cli --help)\n",
                      flag, text);
         std::exit(1);
@@ -1735,6 +1814,222 @@ fuzzMain(int argc, char **argv)
     return ok ? 0 : 1;
 }
 
+int
+serveMain(int argc, char **argv)
+{
+    serve::ServeConfig cfg;
+    std::vector<serve::ServeVariant> variants;
+    std::string jsonPath;
+    std::string tracePath;
+
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            const char *tok = next();
+            if (!serve::serveWorkloadFromToken(tok, cfg.workload)) {
+                std::fprintf(stderr,
+                             "unknown serve workload '%s' (tatp, "
+                             "tpcc, kv)\n",
+                             tok);
+                return 1;
+            }
+        } else if (arg == "--variant") {
+            const char *tok = next();
+            serve::ServeVariant v;
+            if (!serve::serveVariantFromToken(tok, v)) {
+                std::fprintf(stderr,
+                             "unknown serve variant '%s' (ppa, "
+                             "undo-redo-log, delay-free)\n",
+                             tok);
+                return 1;
+            }
+            variants.push_back(v);
+        } else if (arg == "--ops") {
+            cfg.requests = parsePositiveCount("--ops", next());
+        } else if (arg == "--threads") {
+            cfg.threads = static_cast<unsigned>(
+                parsePositiveCount("--threads", next()));
+        } else if (arg == "--keys") {
+            cfg.keys = parsePositiveCount("--keys", next());
+        } else if (arg == "--skew") {
+            cfg.skew = parseNonNegDouble("--skew", next());
+        } else if (arg == "--read-pct") {
+            cfg.readPct = static_cast<unsigned>(
+                parseCount("--read-pct", next()));
+        } else if (arg == "--arrival") {
+            const char *tok = next();
+            if (!serve::arrivalFromToken(tok, cfg.arrival.kind)) {
+                std::fprintf(stderr,
+                             "unknown arrival process '%s' (poisson, "
+                             "bursty)\n",
+                             tok);
+                return 1;
+            }
+        } else if (arg == "--mean-gap") {
+            cfg.arrival.meanGap = static_cast<double>(
+                parsePositiveCount("--mean-gap", next()));
+        } else if (arg == "--burst-factor") {
+            cfg.arrival.burstFactor =
+                parseNonNegDouble("--burst-factor", next());
+        } else if (arg == "--burst-period") {
+            cfg.arrival.period = static_cast<double>(
+                parsePositiveCount("--burst-period", next()));
+        } else if (arg == "--on-fraction") {
+            cfg.arrival.onFraction =
+                parseNonNegDouble("--on-fraction", next());
+        } else if (arg == "--failures") {
+            cfg.failures = static_cast<unsigned>(
+                parseCount("--failures", next()));
+        } else if (arg == "--seed") {
+            cfg.seed = parseCount("--seed", next());
+        } else if (arg == "--workers") {
+            cfg.workers = static_cast<unsigned>(
+                parseCount("--workers", next()));
+        } else if (arg == "--json") {
+            jsonPath = next();
+        } else if (arg == "--telemetry") {
+            cfg.telemetry = true;
+        } else if (arg == "--telemetry-trace") {
+            tracePath = next();
+        } else if (arg == "--help" || arg == "-h") {
+            usageServe();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown serve option '%s'\n",
+                         arg.c_str());
+            usageServe();
+            return 1;
+        }
+    }
+
+    if (cfg.keys == 0 || (cfg.keys & (cfg.keys - 1)) != 0) {
+        std::fprintf(stderr,
+                     "--keys must be a power of two, got %llu (see "
+                     "ppa_cli --help)\n",
+                     static_cast<unsigned long long>(cfg.keys));
+        return 1;
+    }
+    if (cfg.keys > 65536) {
+        std::fprintf(stderr,
+                     "--keys must be at most 65536, got %llu (the "
+                     "per-thread data regions are 16 MiB)\n",
+                     static_cast<unsigned long long>(cfg.keys));
+        return 1;
+    }
+    if (cfg.readPct > 100) {
+        std::fprintf(stderr, "--read-pct must be at most 100, got %u\n",
+                     cfg.readPct);
+        return 1;
+    }
+    if (cfg.arrival.kind == serve::ArrivalKind::Bursty) {
+        if (cfg.arrival.onFraction <= 0.0 ||
+            cfg.arrival.onFraction >= 1.0) {
+            std::fprintf(stderr,
+                         "--on-fraction wants a fraction in (0, 1), "
+                         "got %g\n",
+                         cfg.arrival.onFraction);
+            return 1;
+        }
+        if (cfg.arrival.burstFactor <= 0.0) {
+            std::fprintf(stderr,
+                         "--burst-factor must be positive, got %g\n",
+                         cfg.arrival.burstFactor);
+            return 1;
+        }
+        if (cfg.arrival.burstFactor * cfg.arrival.onFraction > 1.0) {
+            std::fprintf(stderr,
+                         "--burst-factor times --on-fraction must be "
+                         "at most 1 (the off-phase rate would be "
+                         "negative)\n");
+            return 1;
+        }
+    }
+    if (!tracePath.empty() && !cfg.telemetry) {
+        std::fprintf(stderr,
+                     "--telemetry-trace requires --telemetry\n");
+        return 1;
+    }
+    if (variants.empty())
+        variants = serve::allServeVariants();
+
+    std::printf("serve: %llu %s request(s) on %u thread(s), %s "
+                "arrivals (mean gap %g), zipf theta %g, %u failure "
+                "point(s), seed %llu\n",
+                static_cast<unsigned long long>(cfg.requests),
+                serve::serveWorkloadToken(cfg.workload), cfg.threads,
+                serve::arrivalToken(cfg.arrival.kind),
+                cfg.arrival.meanGap, cfg.skew, cfg.failures,
+                static_cast<unsigned long long>(cfg.seed));
+
+    serve::ServeStats stats = serve::runServeStudy(cfg, variants);
+
+    auto median = [](std::vector<std::uint64_t> v) -> std::uint64_t {
+        if (v.empty())
+            return 0;
+        std::sort(v.begin(), v.end());
+        return v[(v.size() + 1) / 2 - 1];
+    };
+
+    TextTable t({"variant", "completed", "req/kcyc", "p50", "p95",
+                 "p99", "p99.9", "recovery~", "loss~", "lost~"});
+    for (const serve::ServeVariantStats &vs : stats.variants) {
+        std::vector<std::uint64_t> recovery, loss, lost;
+        for (const serve::FailurePoint &fp : vs.failures) {
+            recovery.push_back(fp.recoveryCycles);
+            loss.push_back(fp.lossWindow);
+            lost.push_back(fp.lostRequests);
+        }
+        t.addRow({serve::serveVariantToken(vs.variant),
+                  std::to_string(vs.completed),
+                  TextTable::num(vs.achievedPerKcycle, 2),
+                  std::to_string(vs.latency.percentile(0.50)),
+                  std::to_string(vs.latency.percentile(0.95)),
+                  std::to_string(vs.latency.percentile(0.99)),
+                  std::to_string(vs.latency.percentile(0.999)),
+                  std::to_string(median(recovery)),
+                  std::to_string(median(loss)),
+                  std::to_string(median(lost))});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("(~ columns are medians over the %u injected failure "
+                "points; latency columns are cycles)\n",
+                cfg.failures);
+
+    bool ok = true;
+    for (const serve::ServeVariantStats &vs : stats.variants) {
+        if (vs.completed != vs.requests) {
+            std::printf("WARN: %s completed %llu of %llu requests "
+                        "before the cycle cap\n",
+                        serve::serveVariantToken(vs.variant),
+                        static_cast<unsigned long long>(vs.completed),
+                        static_cast<unsigned long long>(vs.requests));
+            ok = false;
+        }
+    }
+
+    if (!tracePath.empty()) {
+        if (!obs::writeChromeTrace(stats.variants.front().telemetry,
+                                   tracePath))
+            return 1;
+        std::printf("wrote %s\n", tracePath.c_str());
+    }
+    if (!jsonPath.empty()) {
+        if (!metrics::writeFile(jsonPath,
+                                serve::serveToJson(stats) + "\n"))
+            return 1;
+        std::printf("wrote %s\n", jsonPath.c_str());
+    }
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -1752,6 +2047,8 @@ main(int argc, char **argv)
         return litmusMain(argc - 2, argv + 2);
     if (argc > 1 && std::strcmp(argv[1], "fuzz") == 0)
         return fuzzMain(argc - 2, argv + 2);
+    if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
+        return serveMain(argc - 2, argv + 2);
     // An explicit "run" selects the default mode.
     int shift = argc > 1 && std::strcmp(argv[1], "run") == 0 ? 1 : 0;
     argc -= shift;
